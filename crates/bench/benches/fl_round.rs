@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the federated-learning mechanics: one
+//! client update per strategy and one full communication round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heteroswitch::{HeteroSwitchConfig, HeteroSwitchTrainer, Policy};
+use hs_bench::experiments::{build_fl_population, model_factory};
+use hs_bench::Scale;
+use hs_fl::{
+    AggregationMethod, ClientContext, ClientTrainer, FedAvgTrainer, FlSimulation, LossKind,
+};
+use hs_nn::models::VisionConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_client_updates(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let (clients, _) = build_fl_population(&scale);
+    let vision = VisionConfig::new(3, scale.imagenet.num_classes, scale.imagenet.image_size);
+    let factory = model_factory(scale.model, vision);
+    let mut net = factory(0);
+    let global = net.weights();
+    let data = &clients[0].data;
+
+    let trainers: Vec<(&str, Box<dyn ClientTrainer>)> = vec![
+        ("fedavg", Box::new(FedAvgTrainer::new(LossKind::CrossEntropy))),
+        (
+            "heteroswitch",
+            Box::new(HeteroSwitchTrainer::new(
+                HeteroSwitchConfig::default(),
+                LossKind::CrossEntropy,
+                Policy::AlwaysTransformAndSwad,
+            )),
+        ),
+    ];
+    for (name, trainer) in &trainers {
+        c.bench_function(&format!("fl/client_update_{name}"), |b| {
+            b.iter(|| {
+                net.set_weights(&global);
+                let ctx = ClientContext {
+                    round: 1,
+                    loss_ema: 10.0,
+                    lr: 0.1,
+                    batch_size: 4,
+                    local_epochs: 1,
+                    global_weights: &global,
+                    client_id: 0,
+                };
+                let mut rng = StdRng::seed_from_u64(3);
+                trainer.client_update(&mut net, black_box(data), &ctx, &mut rng)
+            })
+        });
+    }
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let vision = VisionConfig::new(3, scale.imagenet.num_classes, scale.imagenet.image_size);
+    c.bench_function("fl/full_round_fedavg_tiny", |b| {
+        b.iter(|| {
+            let (clients, _) = build_fl_population(&scale);
+            let mut sim = FlSimulation::new(
+                scale.fl,
+                clients,
+                model_factory(scale.model, vision),
+                Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+                AggregationMethod::FedAvg,
+            );
+            sim.run_round()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_client_updates, bench_full_round
+}
+criterion_main!(benches);

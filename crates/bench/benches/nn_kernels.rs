@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the neural-network substrate: convolution,
+//! matmul, and a full forward/backward pass of each model in the zoo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
+use hs_nn::{Conv2d, CrossEntropyLoss, Layer, Target};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/matmul_64x64", |bencher| {
+        bencher.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+
+    let mut conv = Conv2d::new(16, 16, 3, 1, 1, 1, &mut rng);
+    let x = Tensor::rand_uniform(&[1, 16, 16, 16], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/conv3x3_16c_16px_forward", |bencher| {
+        bencher.iter(|| conv.forward(black_box(&x), false))
+    });
+
+    let mut dw = Conv2d::depthwise(16, 3, 1, 1, &mut rng);
+    c.bench_function("nn/depthwise3x3_16c_16px_forward", |bencher| {
+        bencher.iter(|| dw.forward(black_box(&x), false))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = VisionConfig::new(3, 12, 16);
+    for kind in [
+        ModelKind::SimpleCnn,
+        ModelKind::MobileNetV3Small,
+        ModelKind::ShuffleNetV2,
+        ModelKind::SqueezeNet,
+    ] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_vision_model(kind, cfg, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let target = Target::Classes(vec![0, 1, 2, 3]);
+        c.bench_function(&format!("nn/train_step_{}_b4_16px", kind.as_str()), |b| {
+            b.iter(|| {
+                let loss = net.forward_backward(black_box(&x), &target, &CrossEntropyLoss);
+                net.zero_grad();
+                loss
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_kernels, bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion coverage of the paper-experiment harness at tiny scale: one
+//! benchmark per experiment family so regressions in the end-to-end paths
+//! (data generation → training → evaluation) are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_bench::experiments::{cross_device_matrix, ecg_study, isp_ablation, method_suite, Method};
+use hs_bench::Scale;
+use hs_data::CaptureMode;
+use std::hint::black_box;
+
+fn bench_characterization(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("paper/table2_cross_device_tiny", |b| {
+        b.iter(|| cross_device_matrix(black_box(&scale), CaptureMode::Processed))
+    });
+    c.bench_function("paper/fig3_isp_ablation_tiny", |b| {
+        b.iter(|| isp_ablation(black_box(&scale)))
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("paper/table4_fedavg_vs_heteroswitch_tiny", |b| {
+        b.iter(|| method_suite(black_box(&scale), &[Method::FedAvg, Method::HeteroSwitch]))
+    });
+    c.bench_function("paper/ecg_study_tiny", |b| {
+        b.iter(|| ecg_study(black_box(&scale)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_characterization, bench_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E1 — Paper Fig. 1: FedAvg accuracy with homogeneous vs heterogeneous
+//! client devices.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 1: homogeneous vs heterogeneous clients ==");
+    let (homo, hetero) = experiments::homo_vs_hetero(&scale);
+    println!("Homogeneous clients accuracy:   {:.1}%", homo * 100.0);
+    println!("Heterogeneous clients accuracy: {:.1}%", hetero * 100.0);
+    println!(
+        "Degradation from heterogeneity: {:.1}%",
+        (homo - hetero) / homo.max(1e-6) * 100.0
+    );
+}

@@ -1,0 +1,21 @@
+//! E4 — Paper Fig. 3: model-quality degradation when each ISP stage is
+//! omitted (option 1) or replaced (option 2) at test time.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 3: ISP-stage ablation ==");
+    println!("Stage\tOption\tAccuracy\tDegradation");
+    for row in experiments::isp_ablation(&scale) {
+        println!(
+            "{}\t{}\t{:.1}%\t{:.1}%",
+            row.stage.as_str(),
+            row.option,
+            row.accuracy * 100.0,
+            row.degradation * 100.0
+        );
+    }
+    println!("(The paper finds the Color/WB and Tone stages the most damaging to omit.)");
+}

@@ -1,0 +1,19 @@
+//! E5 — Paper Fig. 4: per-device degradation of the FedAvg global model
+//! versus the dominant devices (Galaxy S9 and S6) under market-share client
+//! allocation.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 4: fairness — degradation vs the dominant devices ==");
+    println!("Device\tAccuracy\tDegradation vs dominant");
+    for (device, accuracy, degradation) in experiments::fairness_vs_dominant(&scale) {
+        println!(
+            "{device}\t{:.1}%\t{:.1}%",
+            accuracy * 100.0,
+            degradation * 100.0
+        );
+    }
+}

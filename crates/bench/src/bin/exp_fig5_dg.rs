@@ -1,0 +1,19 @@
+//! E6 — Paper Fig. 5: leave-one-device-out domain generalization — accuracy
+//! on the excluded device relative to the all-devices baseline.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 5: leave-one-device-out domain generalization ==");
+    println!("Excluded device\tAccuracy when excluded\tDegradation vs all-device baseline");
+    for (device, accuracy, degradation) in experiments::dg_leave_one_out(&scale) {
+        println!(
+            "{device}\t{:.1}%\t{:+.1}%",
+            accuracy * 100.0,
+            degradation * 100.0
+        );
+    }
+    println!("(The paper observes that exclusion does not consistently hurt: some older devices even improve.)");
+}

@@ -1,0 +1,20 @@
+//! E7 — Paper Fig. 7: robustness of transform-only, SWA and SWAD training to
+//! test-time Affine / Gaussian-noise / WB / Gamma distortions.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 7: SWA vs SWAD robustness ==");
+    println!("Training variant\tTransformation\tMean degradation");
+    for row in experiments::swad_robustness(&scale) {
+        println!(
+            "{}\t{}\t{:.1}%",
+            row.variant.as_str(),
+            row.transformation,
+            row.degradation * 100.0
+        );
+    }
+    println!("(The paper finds SWAD the most robust variant overall.)");
+}

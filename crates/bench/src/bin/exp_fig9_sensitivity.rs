@@ -1,0 +1,19 @@
+//! E13 — Paper Fig. 9 (Appendix A.2): sensitivity of the global accuracy to
+//! the learning rate, minibatch size, local epochs and round count.
+
+use hs_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Fig. 9: hyper-parameter sensitivity ==");
+    println!("Parameter\tValue\tAverage accuracy");
+    for point in experiments::sensitivity_sweep(&scale) {
+        println!(
+            "{}\t{}\t{:.1}%",
+            point.parameter,
+            point.value,
+            point.accuracy * 100.0
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! E2 — Paper Table 2: cross-device model-quality degradation matrix
+//! (train on device i, test on device j) over the nine-device fleet.
+
+use hs_bench::{experiments, Scale};
+use hs_data::CaptureMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Table 2: cross-device quality degradation (processed data) ==");
+    let matrix = experiments::cross_device_matrix(&scale, CaptureMode::Processed);
+    println!("{}", matrix.to_table());
+    println!(
+        "Overall mean cross-device degradation: {:.1}% (paper reports 19.4%)",
+        matrix.overall_mean_degradation() * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! E8 — Paper Table 4: HeteroSwitch vs FedAvg, its own ablations, q-FedAvg,
+//! FedProx and Scaffold on fairness (variance), DG (worst-case accuracy) and
+//! average accuracy.
+
+use hs_bench::experiments::{method_suite, Method};
+use hs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Table 4: method comparison on fairness and DG ==");
+    println!("Method\tDG worst-case acc\tVariance\tAverage acc");
+    for result in method_suite(&scale, &Method::table4()) {
+        println!(
+            "{}\t{:.2}%\t{:.2}\t{:.2}%",
+            result.method,
+            result.worst_case * 100.0,
+            result.variance,
+            result.average * 100.0
+        );
+    }
+    println!("\nPer-device detail is available via --verbose in the EXPERIMENTS.md workflow.");
+}

@@ -1,0 +1,29 @@
+//! E9 — Paper Table 5: FedAvg vs HeteroSwitch across model architectures
+//! (MobileNetV3-small, ShuffleNetV2, SqueezeNet).
+
+use hs_bench::{experiments, Scale};
+use hs_nn::models::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Table 5: model architectures ==");
+    println!("Model\tMethod\tDG worst-case\tVariance\tAverage");
+    let models = [
+        ModelKind::MobileNetV3Small,
+        ModelKind::ShuffleNetV2,
+        ModelKind::SqueezeNet,
+    ];
+    for (model, fedavg, hetero) in experiments::table5_models(&scale, &models) {
+        for result in [fedavg, hetero] {
+            println!(
+                "{}\t{}\t{:.2}%\t{:.2}\t{:.2}%",
+                model.as_str(),
+                result.method,
+                result.worst_case * 100.0,
+                result.variance,
+                result.average * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! E10 — Paper Table 6: averaged precision and its variance across device
+//! types on the synthetic FLAIR-style multi-label dataset.
+
+use hs_bench::experiments::{table6_flair, Method};
+use hs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    println!("== Table 6: FLAIR-style multi-label evaluation ==");
+    println!("Method\tAveraged precision\tVariance");
+    for result in table6_flair(&scale, &Method::table6()) {
+        println!(
+            "{}\t{:.2}%\t{:.2}",
+            result.method, result.averaged_precision, result.variance
+        );
+    }
+}

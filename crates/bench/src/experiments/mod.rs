@@ -1,0 +1,32 @@
+//! Experiment implementations, one function per paper table/figure.
+//!
+//! See DESIGN.md's experiment index for the mapping from paper artifact to
+//! function and binary.
+
+mod characterization;
+mod federated;
+mod swad_study;
+
+pub use characterization::{
+    cross_device_matrix, homo_vs_hetero, isp_ablation, train_centralized, IspAblationRow,
+};
+pub use federated::{
+    build_fl_population, dg_leave_one_out, ecg_study, fairness_vs_dominant, method_suite,
+    run_fl_method, sensitivity_sweep, synthetic_cifar_study, table5_models, table6_flair,
+    EcgResult, FlairResult, Method, MethodResult, SensitivityPoint,
+};
+pub use swad_study::{swad_robustness, RobustnessRow, TrainingVariant};
+
+use hs_fl::ModelFactory;
+use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a [`ModelFactory`] for the given architecture and vision
+/// configuration.
+pub fn model_factory(kind: ModelKind, cfg: VisionConfig) -> ModelFactory {
+    Box::new(move |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_vision_model(kind, cfg, &mut rng)
+    })
+}

@@ -1,0 +1,126 @@
+//! HeteroSwitch configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which data transformation the generalization step applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// Random white balance (Eq. 2) + random gamma (Eq. 3) on image tensors —
+    /// the paper's vision configuration.
+    IspWbGamma {
+        /// Degree of the white-balance jitter (paper default 0.001).
+        wb_degree: f32,
+        /// Degree of the gamma jitter (paper default 0.9).
+        gamma_degree: f32,
+    },
+    /// Random Gaussian filtering of 1-D signals — the paper's ECG
+    /// configuration (Sec. 6.6).
+    GaussianFilter {
+        /// Range of filter standard deviations (in samples) to draw from.
+        sigma_range: (f32, f32),
+    },
+}
+
+impl TransformKind {
+    /// The paper's vision defaults (Appendix A.2): WB degree 0.001, gamma
+    /// degree 0.9.
+    pub fn paper_vision() -> Self {
+        TransformKind::IspWbGamma {
+            wb_degree: 0.001,
+            gamma_degree: 0.9,
+        }
+    }
+
+    /// A reasonable default for the ECG experiment.
+    pub fn paper_ecg() -> Self {
+        TransformKind::GaussianFilter {
+            sigma_range: (0.5, 2.0),
+        }
+    }
+}
+
+/// Which parts of the HeteroSwitch mechanism are active — the rows of the
+/// paper's Table 4 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Full HeteroSwitch: transformation and SWAD are gated by the
+    /// loss-comparison switches (Algorithm 1).
+    Selective,
+    /// "ISP Transformation" row: apply the random transformation to every
+    /// client every round; never use weight averaging.
+    AlwaysTransform,
+    /// "+ SWAD" row: apply the transformation and return densely averaged
+    /// weights for every client every round (one-size-fits-all
+    /// generalization).
+    AlwaysTransformAndSwad,
+}
+
+impl Policy {
+    /// Table-row name used in results output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Policy::Selective => "HeteroSwitch",
+            Policy::AlwaysTransform => "ISP Transformation",
+            Policy::AlwaysTransformAndSwad => "ISP Transformation + SWAD",
+        }
+    }
+}
+
+/// Full HeteroSwitch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSwitchConfig {
+    /// The data transformation used for diversification.
+    pub transform: TransformKind,
+}
+
+impl Default for HeteroSwitchConfig {
+    fn default() -> Self {
+        HeteroSwitchConfig {
+            transform: TransformKind::paper_vision(),
+        }
+    }
+}
+
+impl HeteroSwitchConfig {
+    /// Configuration for the ECG experiment (random Gaussian filter).
+    pub fn ecg() -> Self {
+        HeteroSwitchConfig {
+            transform: TransformKind::paper_ecg(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vision_defaults_match_appendix() {
+        match TransformKind::paper_vision() {
+            TransformKind::IspWbGamma {
+                wb_degree,
+                gamma_degree,
+            } => {
+                assert!((wb_degree - 0.001).abs() < 1e-9);
+                assert!((gamma_degree - 0.9).abs() < 1e-9);
+            }
+            _ => panic!("expected ISP transform"),
+        }
+    }
+
+    #[test]
+    fn policy_names_match_table4_rows() {
+        assert_eq!(Policy::Selective.as_str(), "HeteroSwitch");
+        assert_eq!(Policy::AlwaysTransform.as_str(), "ISP Transformation");
+        assert!(Policy::AlwaysTransformAndSwad.as_str().contains("SWAD"));
+    }
+
+    #[test]
+    fn default_config_uses_vision_transform() {
+        assert_eq!(
+            HeteroSwitchConfig::default().transform,
+            TransformKind::paper_vision()
+        );
+        assert_eq!(HeteroSwitchConfig::ecg().transform, TransformKind::paper_ecg());
+    }
+}

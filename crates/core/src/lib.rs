@@ -1,0 +1,55 @@
+//! # heteroswitch
+//!
+//! The paper's contribution: **HeteroSwitch**, a selective generalization
+//! technique that counteracts system-induced data heterogeneity in federated
+//! learning (MLSys 2024).
+//!
+//! HeteroSwitch runs on the client during each local update
+//! (paper Algorithm 1):
+//!
+//! 1. **Bias measurement** — the client compares its initial loss `L_init`
+//!    under the incoming global model against the server-maintained
+//!    exponential moving average of the aggregated training loss `L_EMA`
+//!    (Eq. 1). A lower-than-average initial loss means the global model has
+//!    already absorbed this client's rendition of the data — i.e. the client
+//!    belongs to the (potentially dominant) group biasing the model.
+//! 2. **Switch 1: ISP transformation** — biased clients diversify their data
+//!    with random white-balance (Eq. 2) and random gamma (Eq. 3)
+//!    transformations, the two ISP stages the characterization study found
+//!    most damaging to cross-device generalization.
+//! 3. **Switch 2: SWAD** — if the training loss also stays below `L_EMA`,
+//!    the client returns the densely (per-batch) averaged weights instead of
+//!    the final SGD iterate, adding the stronger, flat-minima-seeking
+//!    generalization of SWAD.
+//!
+//! The crate provides the transformations, the weight averager, the
+//! [`HeteroSwitchTrainer`] that plugs into the [`hs_fl`] simulator, and the
+//! always-on ablation policies used in the paper's Table 4.
+//!
+//! ```
+//! use heteroswitch::{HeteroSwitchConfig, HeteroSwitchTrainer, Policy};
+//! use hs_fl::LossKind;
+//!
+//! let trainer = HeteroSwitchTrainer::new(
+//!     HeteroSwitchConfig::default(),
+//!     LossKind::CrossEntropy,
+//!     Policy::Selective,
+//! );
+//! assert_eq!(hs_fl::ClientTrainer::name(&trainer), "HeteroSwitch");
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod swa;
+mod trainer;
+mod transforms;
+
+pub use config::{HeteroSwitchConfig, Policy, TransformKind};
+pub use swa::{AveragingMode, WeightAverager};
+pub use trainer::HeteroSwitchTrainer;
+pub use transforms::{
+    affine_transform, gaussian_filter_signal, gaussian_noise, random_gamma, random_white_balance,
+    transform_dataset,
+};

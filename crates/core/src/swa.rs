@@ -1,0 +1,161 @@
+//! Stochastic weight averaging: per-epoch (SWA) and per-batch/dense (SWAD).
+
+use serde::{Deserialize, Serialize};
+
+/// When weights are folded into the running average.
+///
+/// The paper's Fig. 7 compares conventional SWA (average once per epoch)
+/// against SWAD (average after every batch update) and finds the dense
+/// variant markedly more robust to appearance transformations; HeteroSwitch
+/// therefore uses per-batch averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AveragingMode {
+    /// Average the weights once per epoch (conventional SWA).
+    PerEpoch,
+    /// Average the weights after every batch update (SWAD).
+    PerBatch,
+}
+
+/// Maintains a running average of flat weight vectors:
+/// `W_SWA ← (W_SWA · k + W) / (k + 1)` (paper Algorithm 1, line 17).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightAverager {
+    mode: AveragingMode,
+    average: Vec<f32>,
+    count: usize,
+}
+
+impl WeightAverager {
+    /// Starts an average from the initial weights (count 0, average = W₀),
+    /// matching Algorithm 1's "initialise W_SWA as a copy of W".
+    pub fn new(mode: AveragingMode, initial: &[f32]) -> Self {
+        WeightAverager {
+            mode,
+            average: initial.to_vec(),
+            count: 0,
+        }
+    }
+
+    /// The averaging mode.
+    pub fn mode(&self) -> AveragingMode {
+        self.mode
+    }
+
+    /// Number of weight vectors folded in so far (not counting the initial
+    /// copy).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds a new weight vector into the running average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the initial weights.
+    pub fn update(&mut self, weights: &[f32]) {
+        assert_eq!(
+            weights.len(),
+            self.average.len(),
+            "weight vector length changed"
+        );
+        let k = self.count as f32;
+        for (avg, &w) in self.average.iter_mut().zip(weights.iter()) {
+            *avg = (*avg * (k + 1.0) + w) / (k + 2.0);
+        }
+        self.count += 1;
+    }
+
+    /// Called after every batch update; folds the weights in only when the
+    /// mode is [`AveragingMode::PerBatch`].
+    pub fn on_batch_end(&mut self, weights: &[f32]) {
+        if self.mode == AveragingMode::PerBatch {
+            self.update(weights);
+        }
+    }
+
+    /// Called after every epoch; folds the weights in only when the mode is
+    /// [`AveragingMode::PerEpoch`].
+    pub fn on_epoch_end(&mut self, weights: &[f32]) {
+        if self.mode == AveragingMode::PerEpoch {
+            self.update(weights);
+        }
+    }
+
+    /// The current averaged weights.
+    pub fn average(&self) -> &[f32] {
+        &self.average
+    }
+
+    /// Consumes the averager and returns the averaged weights.
+    pub fn into_average(self) -> Vec<f32> {
+        self.average
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_includes_the_initial_copy() {
+        // Algorithm 1 initialises W_SWA = W0 and then averages in later
+        // iterates: after one update the average is (W0 + W1) / 2.
+        let mut avg = WeightAverager::new(AveragingMode::PerBatch, &[0.0, 0.0]);
+        avg.update(&[2.0, 4.0]);
+        assert_eq!(avg.average(), &[1.0, 2.0]);
+        avg.update(&[4.0, 5.0]);
+        assert_eq!(avg.average(), &[2.0, 3.0]);
+        assert_eq!(avg.count(), 2);
+    }
+
+    #[test]
+    fn per_batch_mode_ignores_epoch_hooks_and_vice_versa() {
+        let mut dense = WeightAverager::new(AveragingMode::PerBatch, &[0.0]);
+        dense.on_epoch_end(&[10.0]);
+        assert_eq!(dense.count(), 0);
+        dense.on_batch_end(&[10.0]);
+        assert_eq!(dense.count(), 1);
+
+        let mut sparse = WeightAverager::new(AveragingMode::PerEpoch, &[0.0]);
+        sparse.on_batch_end(&[10.0]);
+        assert_eq!(sparse.count(), 0);
+        sparse.on_epoch_end(&[10.0]);
+        assert_eq!(sparse.count(), 1);
+    }
+
+    #[test]
+    fn swad_averages_more_iterates_than_swa() {
+        // simulate 2 epochs of 5 batches
+        let mut swad = WeightAverager::new(AveragingMode::PerBatch, &[0.0]);
+        let mut swa = WeightAverager::new(AveragingMode::PerEpoch, &[0.0]);
+        let mut w = 0.0f32;
+        for _epoch in 0..2 {
+            for batch in 0..5 {
+                w += (batch + 1) as f32;
+                swad.on_batch_end(&[w]);
+                swa.on_batch_end(&[w]);
+            }
+            swad.on_epoch_end(&[w]);
+            swa.on_epoch_end(&[w]);
+        }
+        assert_eq!(swad.count(), 10);
+        assert_eq!(swa.count(), 2);
+        // SWAD's average reaches further back into the trajectory, so it is
+        // smaller than SWA's (which only saw the epoch-end iterates 5 and 10)
+        assert!(swad.average()[0] < swa.average()[0]);
+    }
+
+    #[test]
+    fn into_average_returns_the_buffer() {
+        let mut avg = WeightAverager::new(AveragingMode::PerBatch, &[1.0, 1.0]);
+        avg.update(&[3.0, 3.0]);
+        assert_eq!(avg.into_average(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn update_rejects_length_changes() {
+        let mut avg = WeightAverager::new(AveragingMode::PerBatch, &[0.0, 0.0]);
+        avg.update(&[1.0]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The random data transformations HeteroSwitch uses for dataset
+//! diversification, plus the additional transformations of the SWAD
+//! robustness study (paper Fig. 7).
+
+use crate::TransformKind;
+use hs_data::{Dataset, Labels};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Random white balance (paper Eq. 2): each colour channel of a `[3, h, w]`
+/// image tensor is scaled by an independent factor drawn from
+/// `U(1 − degree, 1 + degree)`.
+pub fn random_white_balance(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor {
+    assert_eq!(image.rank(), 3, "expected a [c, h, w] image tensor");
+    let c = image.dims()[0];
+    let hw = image.dims()[1] * image.dims()[2];
+    let gains: Vec<f32> = (0..c)
+        .map(|_| rng.gen_range((1.0 - degree)..(1.0 + degree).max(1.0 - degree + f32::EPSILON)))
+        .collect();
+    let mut out = image.clone();
+    let data = out.as_mut_slice();
+    for (ch, gain) in gains.iter().enumerate() {
+        for v in &mut data[ch * hw..(ch + 1) * hw] {
+            *v = (*v * gain).clamp(0.0, 1.0);
+        }
+    }
+    out
+}
+
+/// Random gamma (paper Eq. 3): `img_out = img_in ^ γ` with
+/// `γ ~ U(1 − degree, 1 + degree)`, applied to all channels.
+pub fn random_gamma(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor {
+    let gamma = rng
+        .gen_range((1.0 - degree).max(0.05)..(1.0 + degree).max(0.05 + f32::EPSILON));
+    image.map(|v| v.clamp(0.0, 1.0).powf(gamma))
+}
+
+/// Additive Gaussian pixel noise with standard deviation `0.1 · degree`
+/// (used by the Fig. 7 robustness study).
+pub fn gaussian_noise(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor {
+    let sigma = 0.1 * degree;
+    let mut out = image.clone();
+    for v in out.as_mut_slice() {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        *v = (*v + sigma * n).clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Small random affine warp (rotation, scale and translation proportional to
+/// `degree`) of a `[c, h, w]` image tensor, with bilinear resampling (used by
+/// the Fig. 7 robustness study).
+pub fn affine_transform(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor {
+    assert_eq!(image.rank(), 3, "expected a [c, h, w] image tensor");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let angle = rng.gen_range(-0.5..0.5) * degree;
+    let scale = 1.0 + rng.gen_range(-0.2..0.2) * degree;
+    let tx = rng.gen_range(-0.2..0.2) * degree * w as f32;
+    let ty = rng.gen_range(-0.2..0.2) * degree * h as f32;
+    let (sin_a, cos_a) = angle.sin_cos();
+    let (cx, cy) = (w as f32 / 2.0, h as f32 / 2.0);
+    let mut out = Tensor::zeros(image.dims());
+    let src = image.as_slice();
+    let dst = out.as_mut_slice();
+    for ch in 0..c {
+        for r in 0..h {
+            for col in 0..w {
+                // inverse-map the output pixel into source coordinates
+                let x = (col as f32 - cx - tx) / scale;
+                let y = (r as f32 - cy - ty) / scale;
+                let sx = cos_a * x + sin_a * y + cx;
+                let sy = -sin_a * x + cos_a * y + cy;
+                if sx < 0.0 || sy < 0.0 || sx > (w - 1) as f32 || sy > (h - 1) as f32 {
+                    continue; // out-of-frame pixels stay black
+                }
+                let x0 = sx.floor() as usize;
+                let y0 = sy.floor() as usize;
+                let x1 = (x0 + 1).min(w - 1);
+                let y1 = (y0 + 1).min(h - 1);
+                let fx = sx - x0 as f32;
+                let fy = sy - y0 as f32;
+                let at = |rr: usize, cc: usize| src[(ch * h + rr) * w + cc];
+                let v = at(y0, x0) * (1.0 - fx) * (1.0 - fy)
+                    + at(y0, x1) * fx * (1.0 - fy)
+                    + at(y1, x0) * (1.0 - fx) * fy
+                    + at(y1, x1) * fx * fy;
+                dst[(ch * h + r) * w + col] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Random Gaussian filtering of a 1-D signal tensor — the transformation
+/// HeteroSwitch uses for the ECG modality (paper Sec. 6.6). The filter
+/// standard deviation (in samples) is drawn uniformly from `sigma_range`.
+pub fn gaussian_filter_signal(signal: &Tensor, sigma_range: (f32, f32), rng: &mut StdRng) -> Tensor {
+    assert_eq!(signal.rank(), 1, "expected a [n] signal tensor");
+    let sigma = rng.gen_range(sigma_range.0..sigma_range.1.max(sigma_range.0 + f32::EPSILON));
+    let radius = (3.0 * sigma).ceil() as isize;
+    let kernel: Vec<f32> = (-radius..=radius)
+        .map(|i| (-(i as f32).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let norm: f32 = kernel.iter().sum();
+    let x = signal.as_slice();
+    let n = x.len() as isize;
+    let out: Vec<f32> = (0..n)
+        .map(|i| {
+            let mut acc = 0.0;
+            for (k, kv) in kernel.iter().enumerate() {
+                let j = (i + k as isize - radius).clamp(0, n - 1);
+                acc += kv * x[j as usize];
+            }
+            acc / norm
+        })
+        .collect();
+    Tensor::from_vec(out, signal.dims())
+}
+
+/// Applies the configured transformation to every sample of a dataset,
+/// returning the diversified dataset (labels are untouched — the
+/// transformations never change the semantic content).
+pub fn transform_dataset(data: &Dataset, kind: TransformKind, rng: &mut StdRng) -> Dataset {
+    let x: Vec<Tensor> = data
+        .x
+        .iter()
+        .map(|sample| match kind {
+            TransformKind::IspWbGamma {
+                wb_degree,
+                gamma_degree,
+            } => {
+                let wb = random_white_balance(sample, wb_degree, rng);
+                random_gamma(&wb, gamma_degree, rng)
+            }
+            TransformKind::GaussianFilter { sigma_range } => {
+                gaussian_filter_signal(sample, sigma_range, rng)
+            }
+        })
+        .collect();
+    let labels = match &data.labels {
+        Labels::Classes(c) => Labels::Classes(c.clone()),
+        Labels::MultiHot(h) => Labels::MultiHot(h.clone()),
+        Labels::Values(v) => Labels::Values(v.clone()),
+    };
+    Dataset::new(x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn image(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(&[3, 8, 8], 0.1, 0.9, &mut rng)
+    }
+
+    #[test]
+    fn white_balance_scales_channels_independently() {
+        let img = image(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = random_white_balance(&img, 0.5, &mut rng);
+        assert_eq!(out.dims(), img.dims());
+        // each channel's ratio to the original is (nearly) constant
+        let hw = 64;
+        for ch in 0..3 {
+            let ratios: Vec<f32> = (0..hw)
+                .filter(|&i| img.as_slice()[ch * hw + i] > 0.05 && out.as_slice()[ch * hw + i] < 1.0)
+                .map(|i| out.as_slice()[ch * hw + i] / img.as_slice()[ch * hw + i])
+                .collect();
+            let first = ratios[0];
+            assert!(ratios.iter().all(|r| (r - first).abs() < 1e-4));
+        }
+    }
+
+    #[test]
+    fn tiny_degree_white_balance_is_nearly_identity() {
+        let img = image(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = random_white_balance(&img, 0.001, &mut rng);
+        let diff: f32 = img
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / img.len() as f32;
+        assert!(diff < 0.002);
+    }
+
+    #[test]
+    fn random_gamma_preserves_black_and_white() {
+        let img = Tensor::from_vec(vec![0.0, 1.0, 0.5], &[3, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = random_gamma(&img, 0.9, &mut rng);
+        assert_eq!(out.at(&[0, 0, 0]), 0.0);
+        assert!((out.at(&[1, 0, 0]) - 1.0).abs() < 1e-6);
+        // mid-grey moves but stays in range
+        assert!(out.at(&[2, 0, 0]) > 0.0 && out.at(&[2, 0, 0]) < 1.0);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbation_scales_with_degree() {
+        let img = image(5);
+        let diff_for = |degree: f32| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let out = gaussian_noise(&img, degree, &mut rng);
+            img.as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / img.len() as f32
+        };
+        assert!(diff_for(0.9) > diff_for(0.3));
+    }
+
+    #[test]
+    fn affine_preserves_shape_and_mass_roughly() {
+        let img = image(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = affine_transform(&img, 0.3, &mut rng);
+        assert_eq!(out.dims(), img.dims());
+        // a mild warp keeps most of the energy
+        assert!(out.sum() > img.sum() * 0.5);
+        assert!(out.max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn gaussian_filter_smooths_signals() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let noisy = Tensor::rand_uniform(&[64], 0.0, 1.0, &mut rng);
+        let smooth = gaussian_filter_signal(&noisy, (1.5, 1.5001), &mut rng);
+        let roughness = |t: &Tensor| {
+            t.as_slice()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f32>()
+        };
+        assert!(roughness(&smooth) < roughness(&noisy));
+        assert_eq!(smooth.dims(), noisy.dims());
+    }
+
+    #[test]
+    fn transform_dataset_keeps_labels_and_shapes() {
+        let data = Dataset::new(
+            vec![image(10), image(11)],
+            Labels::Classes(vec![3, 5]),
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = transform_dataset(&data, TransformKind::paper_vision(), &mut rng);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.labels, data.labels);
+        assert_eq!(out.x[0].dims(), data.x[0].dims());
+        // gamma degree 0.9 should visibly change the pixels
+        let diff: f32 = data.x[0]
+            .as_slice()
+            .iter()
+            .zip(out.x[0].as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / data.x[0].len() as f32;
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn transform_dataset_supports_signals() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = Dataset::new(
+            vec![Tensor::rand_uniform(&[32], 0.0, 1.0, &mut rng)],
+            Labels::Values(vec![0.4]),
+        );
+        let out = transform_dataset(&data, TransformKind::paper_ecg(), &mut rng);
+        assert_eq!(out.x[0].dims(), &[32]);
+        assert_eq!(out.labels, data.labels);
+    }
+}

@@ -1,0 +1,109 @@
+//! Rendering a scene into the training tensor a given device would produce.
+
+use hs_device::DeviceProfile;
+use hs_isp::ImageBuf;
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Whether a capture goes through the device ISP or stays RAW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaptureMode {
+    /// Full pipeline: sensor capture followed by the device's ISP (the
+    /// paper's default condition).
+    Processed,
+    /// Sensor capture only, replicated to three grey channels (the paper's
+    /// RAW-data condition of Sec. 3.3 / Fig. 2).
+    Raw,
+}
+
+/// Converts an [`ImageBuf`] into a `[c, h, w]` tensor, resampling to
+/// `out_size` × `out_size`.
+pub fn image_to_tensor(img: &ImageBuf, out_size: usize) -> Tensor {
+    let resized = if img.width == out_size && img.height == out_size {
+        img.clone()
+    } else {
+        img.resize(out_size, out_size)
+    };
+    Tensor::from_vec(resized.data, &[resized.channels, out_size, out_size])
+}
+
+/// Captures `scene` with `device` in the requested mode and returns the
+/// `[3, out_size, out_size]` tensor that device would contribute to training.
+pub fn capture_sample(
+    device: &DeviceProfile,
+    scene: &ImageBuf,
+    mode: CaptureMode,
+    out_size: usize,
+    rng: &mut StdRng,
+) -> Tensor {
+    let rendered = match mode {
+        CaptureMode::Processed => device.render(scene, rng),
+        CaptureMode::Raw => device.render_raw(scene, rng),
+    };
+    image_to_tensor(&rendered, out_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_device::paper_devices;
+    use rand::SeedableRng;
+
+    fn scene() -> ImageBuf {
+        let mut img = ImageBuf::zeros(48, 48, 3);
+        for r in 0..48 {
+            for c in 0..48 {
+                img.set(0, r, c, 0.25 + 0.5 * (r as f32 / 47.0));
+                img.set(1, r, c, 0.5);
+                img.set(2, r, c, 0.25 + 0.5 * (c as f32 / 47.0));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn capture_produces_requested_tensor_shape() {
+        let fleet = paper_devices();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = capture_sample(&fleet[0], &scene(), CaptureMode::Processed, 32, &mut rng);
+        assert_eq!(t.dims(), &[3, 32, 32]);
+        assert!(t.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn raw_mode_produces_grey_tensors() {
+        let fleet = paper_devices();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = capture_sample(&fleet[2], &scene(), CaptureMode::Raw, 32, &mut rng);
+        let s = t.as_slice();
+        let n = 32 * 32;
+        assert_eq!(&s[..n], &s[n..2 * n], "RAW captures replicate the mosaic");
+    }
+
+    #[test]
+    fn different_devices_produce_different_tensors_for_the_same_scene() {
+        let fleet = paper_devices();
+        let scene = scene();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = capture_sample(&fleet[0], &scene, CaptureMode::Processed, 32, &mut rng);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = capture_sample(&fleet[6], &scene, CaptureMode::Processed, 32, &mut rng);
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!(diff > 0.01, "system-induced heterogeneity should be visible, diff {diff}");
+    }
+
+    #[test]
+    fn image_to_tensor_skips_resize_when_sizes_match() {
+        let img = ImageBuf::from_planar(16, 16, 3, vec![0.5; 3 * 256]);
+        let t = image_to_tensor(&img, 16);
+        assert_eq!(t.dims(), &[3, 16, 16]);
+        assert!((t.mean() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic ECG dataset with four heterogeneous sensor types
+//! (paper Sec. 6.6).
+//!
+//! One underlying physiological signal (a heart rate) is rendered by four
+//! sensor models, each adding its characteristic artefact: white noise,
+//! baseline wander, powerline interference or motion spikes. A regression
+//! model estimates the heart rate from a window of samples; the paper's
+//! metric is the relative deviation of predictions for the *same* underlying
+//! signal across sensor types.
+
+use crate::{Dataset, DeviceDataset, Labels};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four simulated ECG sensor types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EcgSensorKind {
+    /// A clean chest-strap-style sensor with mild white noise.
+    ChestStrap,
+    /// A wrist wearable with baseline wander (respiration/motion drift).
+    WristWearable,
+    /// A clinical monitor with powerline (50 Hz) interference.
+    ClinicalMonitor,
+    /// A handheld sensor with occasional electrode-motion spikes.
+    Handheld,
+}
+
+impl EcgSensorKind {
+    /// All four sensor types.
+    pub fn all() -> [EcgSensorKind; 4] {
+        [
+            EcgSensorKind::ChestStrap,
+            EcgSensorKind::WristWearable,
+            EcgSensorKind::ClinicalMonitor,
+            EcgSensorKind::Handheld,
+        ]
+    }
+
+    /// Display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EcgSensorKind::ChestStrap => "chest-strap",
+            EcgSensorKind::WristWearable => "wrist-wearable",
+            EcgSensorKind::ClinicalMonitor => "clinical-monitor",
+            EcgSensorKind::Handheld => "handheld",
+        }
+    }
+
+    /// Adds this sensor's characteristic artefacts to a clean waveform.
+    pub fn corrupt(&self, clean: &[f32], sample_rate: f32, rng: &mut StdRng) -> Vec<f32> {
+        let n = clean.len();
+        let mut out = clean.to_vec();
+        match self {
+            EcgSensorKind::ChestStrap => {
+                for v in &mut out {
+                    *v += rng.gen_range(-0.02..0.02);
+                }
+            }
+            EcgSensorKind::WristWearable => {
+                let wander_freq = rng.gen_range(0.15..0.4);
+                let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+                for (i, v) in out.iter_mut().enumerate() {
+                    let t = i as f32 / sample_rate;
+                    *v += 0.25 * (std::f32::consts::TAU * wander_freq * t + phase).sin()
+                        + rng.gen_range(-0.05..0.05);
+                }
+            }
+            EcgSensorKind::ClinicalMonitor => {
+                let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+                for (i, v) in out.iter_mut().enumerate() {
+                    let t = i as f32 / sample_rate;
+                    *v += 0.15 * (std::f32::consts::TAU * 50.0 * t + phase).sin()
+                        + rng.gen_range(-0.02..0.02);
+                }
+            }
+            EcgSensorKind::Handheld => {
+                for v in &mut out {
+                    *v += rng.gen_range(-0.04..0.04);
+                }
+                // a few large motion spikes
+                let spikes = (n / 40).max(1);
+                for _ in 0..spikes {
+                    let pos = rng.gen_range(0..n);
+                    out[pos] += rng.gen_range(-0.8..0.8);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generates a clean synthetic ECG waveform for a given heart rate.
+///
+/// Each beat is modelled as a sharp R peak flanked by smaller P and T waves;
+/// this captures the periodic structure a heart-rate regressor relies on.
+pub fn ecg_waveform(heart_rate_bpm: f32, window: usize, sample_rate: f32, phase: f32) -> Vec<f32> {
+    let beat_period = 60.0 / heart_rate_bpm; // seconds per beat
+    (0..window)
+        .map(|i| {
+            let t = i as f32 / sample_rate + phase;
+            let beat_t = (t / beat_period).fract(); // position within the beat [0,1)
+            let gauss = |centre: f32, width: f32, amp: f32| {
+                let d = beat_t - centre;
+                amp * (-d * d / (2.0 * width * width)).exp()
+            };
+            // P wave, QRS complex, T wave
+            gauss(0.18, 0.025, 0.15) + gauss(0.32, 0.012, 1.0) - gauss(0.29, 0.01, 0.2)
+                + gauss(0.55, 0.04, 0.3)
+        })
+        .collect()
+}
+
+/// Configuration for [`build_ecg_datasets`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EcgConfig {
+    /// Samples per window fed to the regressor.
+    pub window: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f32,
+    /// Training windows per sensor type.
+    pub train_per_sensor: usize,
+    /// Test windows per sensor type.
+    pub test_per_sensor: usize,
+    /// Heart-rate range to draw from (bpm).
+    pub heart_rate_range: (f32, f32),
+}
+
+impl Default for EcgConfig {
+    fn default() -> Self {
+        EcgConfig {
+            window: 128,
+            sample_rate: 64.0,
+            train_per_sensor: 40,
+            test_per_sensor: 15,
+            heart_rate_range: (50.0, 120.0),
+        }
+    }
+}
+
+impl EcgConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        EcgConfig {
+            window: 64,
+            sample_rate: 64.0,
+            train_per_sensor: 8,
+            test_per_sensor: 4,
+            heart_rate_range: (50.0, 120.0),
+        }
+    }
+
+    /// Normalises a heart rate into the `[0, 1]`-ish regression target used
+    /// for training.
+    pub fn normalize_hr(&self, bpm: f32) -> f32 {
+        bpm / 200.0
+    }
+
+    /// Inverse of [`EcgConfig::normalize_hr`].
+    pub fn denormalize_hr(&self, value: f32) -> f32 {
+        value * 200.0
+    }
+}
+
+/// Builds one train/test dataset per sensor type. The *test* splits of all
+/// sensor types share the same underlying heart-rate sequence so the paper's
+/// "same individual, different sensors" deviation analysis is possible.
+pub fn build_ecg_datasets(cfg: EcgConfig, seed: u64) -> Vec<DeviceDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // shared underlying signals for the test split
+    let shared_test: Vec<(f32, f32)> = (0..cfg.test_per_sensor)
+        .map(|_| {
+            (
+                rng.gen_range(cfg.heart_rate_range.0..cfg.heart_rate_range.1),
+                rng.gen_range(0.0..1.0),
+            )
+        })
+        .collect();
+
+    EcgSensorKind::all()
+        .iter()
+        .map(|sensor| {
+            let mut build = |count: usize, shared: Option<&[(f32, f32)]>| {
+                let mut x = Vec::with_capacity(count);
+                let mut y = Vec::with_capacity(count);
+                for i in 0..count {
+                    let (hr, phase) = match shared {
+                        Some(s) => s[i],
+                        None => (
+                            rng.gen_range(cfg.heart_rate_range.0..cfg.heart_rate_range.1),
+                            rng.gen_range(0.0..1.0),
+                        ),
+                    };
+                    let clean = ecg_waveform(hr, cfg.window, cfg.sample_rate, phase);
+                    let noisy = sensor.corrupt(&clean, cfg.sample_rate, &mut rng);
+                    x.push(Tensor::from_vec(noisy, &[cfg.window]));
+                    y.push(cfg.normalize_hr(hr));
+                }
+                Dataset::new(x, Labels::Values(y))
+            };
+            let train = build(cfg.train_per_sensor, None);
+            let test = build(cfg.test_per_sensor, Some(&shared_test));
+            DeviceDataset {
+                device: sensor.as_str().to_string(),
+                share: 0.25,
+                train,
+                test,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_period_matches_heart_rate() {
+        // at 60 bpm and 64 Hz sampling, R peaks are 64 samples apart
+        let wave = ecg_waveform(60.0, 256, 64.0, 0.0);
+        // find the two largest peaks
+        let mut peaks: Vec<usize> = (1..wave.len() - 1)
+            .filter(|&i| wave[i] > 0.8 && wave[i] >= wave[i - 1] && wave[i] >= wave[i + 1])
+            .collect();
+        peaks.dedup_by(|a, b| a.abs_diff(*b) < 5);
+        assert!(peaks.len() >= 3, "expected several beats, got {peaks:?}");
+        let spacing = peaks[1] - peaks[0];
+        assert!((spacing as i64 - 64).abs() <= 2, "spacing {spacing}");
+    }
+
+    #[test]
+    fn higher_heart_rate_means_more_beats() {
+        let count_beats = |hr: f32| {
+            let wave = ecg_waveform(hr, 512, 64.0, 0.0);
+            (1..wave.len() - 1)
+                .filter(|&i| wave[i] > 0.8 && wave[i] >= wave[i - 1] && wave[i] >= wave[i + 1])
+                .count()
+        };
+        assert!(count_beats(110.0) > count_beats(55.0));
+    }
+
+    #[test]
+    fn sensors_corrupt_differently() {
+        let clean = ecg_waveform(70.0, 128, 64.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outputs: Vec<Vec<f32>> = EcgSensorKind::all()
+            .iter()
+            .map(|s| s.corrupt(&clean, 64.0, &mut rng))
+            .collect();
+        for i in 0..outputs.len() {
+            for j in (i + 1)..outputs.len() {
+                let diff: f32 = outputs[i]
+                    .iter()
+                    .zip(outputs[j].iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>()
+                    / clean.len() as f32;
+                assert!(diff > 1e-3, "sensors {i} and {j} should differ");
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_cover_all_four_sensors_with_shared_test_signals() {
+        let cfg = EcgConfig::tiny();
+        let datasets = build_ecg_datasets(cfg, 3);
+        assert_eq!(datasets.len(), 4);
+        // test labels (underlying heart rates) are identical across sensors
+        let first_labels = &datasets[0].test.labels;
+        for ds in &datasets[1..] {
+            assert_eq!(&ds.test.labels, first_labels);
+        }
+        for ds in &datasets {
+            assert_eq!(ds.train.len(), cfg.train_per_sensor);
+            assert_eq!(ds.test.len(), cfg.test_per_sensor);
+        }
+    }
+
+    #[test]
+    fn heart_rate_normalisation_round_trips() {
+        let cfg = EcgConfig::default();
+        let hr = 87.0;
+        assert!((cfg.denormalize_hr(cfg.normalize_hr(hr)) - hr).abs() < 1e-4);
+    }
+}

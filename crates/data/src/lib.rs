@@ -1,0 +1,42 @@
+//! # hs-data
+//!
+//! Procedural dataset generation for the HeteroSwitch reproduction.
+//!
+//! The paper studies how *the same underlying content*, rendered by
+//! heterogeneous devices, biases federated learning. This crate provides the
+//! content and the rendering plumbing:
+//!
+//! * [`SceneGenerator`] — procedural, class-conditional scenes standing in
+//!   for the paper's 12-class ImageNet-derived photo set,
+//! * [`capture_sample`] — scene → sensor → ISP → training tensor, per device,
+//! * [`build_device_datasets`] — the per-device train/test splits used by the
+//!   characterization experiments (Table 2, Figs. 2–5),
+//! * [`build_jitter_datasets`] — the synthetic-CIFAR heterogeneity injection
+//!   (Fig. 8),
+//! * [`build_flair_datasets`] — a synthetic multi-label, long-tail-devices
+//!   dataset standing in for FLAIR (Table 6),
+//! * [`build_ecg_datasets`] — synthetic ECG windows from four sensor types
+//!   (Sec. 6.6),
+//! * [`Dataset`] / [`Labels`] — the in-memory sample containers shared with
+//!   the federated-learning simulator.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod capture;
+mod cifar_synth;
+mod dataset;
+mod ecg;
+mod flair_synth;
+mod imagenet12;
+mod partition;
+mod scene;
+
+pub use capture::{capture_sample, CaptureMode};
+pub use cifar_synth::{build_jitter_datasets, CifarSynthConfig};
+pub use dataset::{Dataset, DeviceDataset, Labels};
+pub use ecg::{build_ecg_datasets, ecg_waveform, EcgConfig, EcgSensorKind};
+pub use flair_synth::{build_flair_datasets, FlairSynthConfig};
+pub use imagenet12::{build_device_datasets, Imagenet12Config, IMAGENET12_CLASSES};
+pub use partition::{assign_clients_by_share, split_evenly};
+pub use scene::SceneGenerator;

@@ -1,0 +1,145 @@
+//! Client-population partitioning helpers.
+//!
+//! The paper's fairness experiments allocate client device types according to
+//! real market shares (Table 1); these helpers turn per-device datasets plus
+//! share weights into a concrete client population.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns `num_clients` clients to device types according to `shares`
+/// (which need not be normalised). Allocation uses the largest-remainder
+/// method so the realised counts track the shares as closely as possible,
+/// then the assignment order is shuffled deterministically.
+///
+/// Returns one device index per client.
+///
+/// # Panics
+///
+/// Panics if `shares` is empty or sums to zero.
+pub fn assign_clients_by_share(shares: &[f32], num_clients: usize, seed: u64) -> Vec<usize> {
+    assert!(!shares.is_empty(), "need at least one device type");
+    let total: f32 = shares.iter().sum();
+    assert!(total > 0.0, "shares must sum to a positive value");
+
+    let ideal: Vec<f32> = shares
+        .iter()
+        .map(|s| s / total * num_clients as f32)
+        .collect();
+    let mut counts: Vec<usize> = ideal.iter().map(|v| v.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    // distribute the remaining clients to the largest fractional remainders
+    let mut remainders: Vec<(usize, f32)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, v - v.floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for k in 0..num_clients.saturating_sub(assigned) {
+        counts[remainders[k % remainders.len()].0] += 1;
+    }
+
+    let mut assignment = Vec::with_capacity(num_clients);
+    for (device, &count) in counts.iter().enumerate() {
+        assignment.extend(std::iter::repeat(device).take(count));
+    }
+    assignment.truncate(num_clients);
+    let mut rng = StdRng::seed_from_u64(seed);
+    assignment.shuffle(&mut rng);
+    assignment
+}
+
+/// Splits a dataset into `parts` disjoint, (near-)equal shards after a
+/// deterministic shuffle. Shards differ in size by at most one sample.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn split_evenly(dataset: &Dataset, parts: usize, seed: u64) -> Vec<Dataset> {
+    assert!(parts >= 1, "need at least one part");
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let base = dataset.len() / parts;
+    let extra = dataset.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        let chunk: Vec<usize> = indices[cursor..cursor + take].to_vec();
+        cursor += take;
+        out.push(dataset.subset(&chunk));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Labels;
+    use hs_tensor::Tensor;
+
+    #[test]
+    fn share_assignment_tracks_proportions() {
+        let shares = [0.5, 0.3, 0.2];
+        let assignment = assign_clients_by_share(&shares, 100, 0);
+        assert_eq!(assignment.len(), 100);
+        let count = |d: usize| assignment.iter().filter(|&&x| x == d).count();
+        assert_eq!(count(0), 50);
+        assert_eq!(count(1), 30);
+        assert_eq!(count(2), 20);
+    }
+
+    #[test]
+    fn share_assignment_handles_non_divisible_counts() {
+        let shares = [1.0, 1.0, 1.0];
+        let assignment = assign_clients_by_share(&shares, 10, 1);
+        assert_eq!(assignment.len(), 10);
+        // every device type is represented
+        for d in 0..3 {
+            assert!(assignment.contains(&d));
+        }
+    }
+
+    #[test]
+    fn share_assignment_is_deterministic() {
+        let shares = [0.38, 0.27, 0.12, 0.08, 0.05, 0.04, 0.03, 0.02, 0.01];
+        assert_eq!(
+            assign_clients_by_share(&shares, 100, 42),
+            assign_clients_by_share(&shares, 100, 42)
+        );
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| Tensor::full(&[1], i as f32)).collect(),
+            Labels::Classes((0..n).map(|i| i % 2).collect()),
+        )
+    }
+
+    #[test]
+    fn split_evenly_partitions_all_samples() {
+        let ds = dataset(11);
+        let parts = split_evenly(&ds, 3, 0);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        // no sample appears twice
+        let mut seen: Vec<i64> = parts
+            .iter()
+            .flat_map(|p| p.x.iter().map(|t| t.at(&[0]) as i64))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn split_rejects_zero_parts() {
+        let _ = split_evenly(&dataset(4), 0, 0);
+    }
+}

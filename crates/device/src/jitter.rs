@@ -1,0 +1,163 @@
+//! Photometric jitter profiles for the synthetic-CIFAR experiment.
+//!
+//! Paper Sec. 6.5 injects heterogeneity into CIFAR-100 by applying ten
+//! randomized contrast / brightness / saturation / hue settings, one per
+//! synthetic device type. [`JitterProfile`] is that setting.
+
+use hs_isp::ImageBuf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fixed photometric rendition emulating one synthetic device type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterProfile {
+    /// Contrast multiplier around mid-grey (1.0 = unchanged).
+    pub contrast: f32,
+    /// Additive brightness shift.
+    pub brightness: f32,
+    /// Saturation multiplier (1.0 = unchanged, 0.0 = greyscale).
+    pub saturation: f32,
+    /// Hue rotation in radians applied in a simple RGB rotation approximation.
+    pub hue: f32,
+}
+
+impl JitterProfile {
+    /// The identity rendition.
+    pub fn identity() -> Self {
+        JitterProfile {
+            contrast: 1.0,
+            brightness: 0.0,
+            saturation: 1.0,
+            hue: 0.0,
+        }
+    }
+
+    /// Applies the rendition to an RGB image, returning a new image clamped
+    /// to `[0, 1]`.
+    pub fn apply(&self, img: &ImageBuf) -> ImageBuf {
+        assert_eq!(img.channels, 3, "jitter profiles expect RGB images");
+        let n = img.width * img.height;
+        let mut out = img.clone();
+        let (sin_h, cos_h) = self.hue.sin_cos();
+        for i in 0..n {
+            let r = img.data[i];
+            let g = img.data[n + i];
+            let b = img.data[2 * n + i];
+            // brightness and contrast around mid-grey
+            let adjust = |v: f32| (v - 0.5) * self.contrast + 0.5 + self.brightness;
+            let (mut r, mut g, mut b) = (adjust(r), adjust(g), adjust(b));
+            // saturation: lerp towards the luminance
+            let luma = 0.2126 * r + 0.7152 * g + 0.0722 * b;
+            r = luma + (r - luma) * self.saturation;
+            g = luma + (g - luma) * self.saturation;
+            b = luma + (b - luma) * self.saturation;
+            // hue: rotate the chroma components in a simple opponent space
+            let c1 = r - g;
+            let c2 = 0.5 * (r + g) - b;
+            let c1r = c1 * cos_h - c2 * sin_h;
+            let c2r = c1 * sin_h + c2 * cos_h;
+            let y = (r + g + b) / 3.0;
+            let rr = y + c1r / 2.0 + c2r / 3.0;
+            let gg = y - c1r / 2.0 + c2r / 3.0;
+            let bb = y - 2.0 * c2r / 3.0;
+            out.data[i] = rr.clamp(0.0, 1.0);
+            out.data[n + i] = gg.clamp(0.0, 1.0);
+            out.data[2 * n + i] = bb.clamp(0.0, 1.0);
+        }
+        out
+    }
+}
+
+/// Generates `n` randomized jitter profiles (one per synthetic device type),
+/// reproducing the paper's "10 different randomized settings for contrast,
+/// brightness, saturation, and hue".
+pub fn random_jitter_profiles(n: usize, seed: u64) -> Vec<JitterProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| JitterProfile {
+            contrast: rng.gen_range(0.6..1.4),
+            brightness: rng.gen_range(-0.15..0.15),
+            saturation: rng.gen_range(0.4..1.6),
+            hue: rng.gen_range(-0.5..0.5),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> ImageBuf {
+        let mut img = ImageBuf::zeros(4, 4, 3);
+        for r in 0..4 {
+            for c in 0..4 {
+                img.set(0, r, c, 0.2 + 0.15 * r as f32);
+                img.set(1, r, c, 0.5);
+                img.set(2, r, c, 0.8 - 0.15 * c as f32);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn identity_profile_is_nearly_identity() {
+        let img = sample_image();
+        let out = JitterProfile::identity().apply(&img);
+        assert!(img.mean_abs_diff(&out) < 1e-5);
+    }
+
+    #[test]
+    fn brightness_raises_mean() {
+        let img = sample_image();
+        let mut p = JitterProfile::identity();
+        p.brightness = 0.1;
+        let out = p.apply(&img);
+        let mean = |im: &ImageBuf| im.data.iter().sum::<f32>() / im.data.len() as f32;
+        assert!(mean(&out) > mean(&img));
+    }
+
+    #[test]
+    fn zero_saturation_removes_chroma() {
+        let img = sample_image();
+        let mut p = JitterProfile::identity();
+        p.saturation = 0.0;
+        let out = p.apply(&img);
+        let n = out.width * out.height;
+        for i in 0..n {
+            assert!((out.data[i] - out.data[n + i]).abs() < 1e-5);
+            assert!((out.data[n + i] - out.data[2 * n + i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn contrast_stretches_around_midgrey() {
+        let img = sample_image();
+        let mut p = JitterProfile::identity();
+        p.contrast = 1.5;
+        let out = p.apply(&img);
+        // dark pixels get darker, bright pixels get brighter
+        assert!(out.get(0, 0, 0) < img.get(0, 0, 0));
+        assert!(out.get(2, 0, 0) > img.get(2, 0, 0));
+    }
+
+    #[test]
+    fn random_profiles_are_deterministic_and_distinct() {
+        let a = random_jitter_profiles(10, 3);
+        let b = random_jitter_profiles(10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let distinct_contrasts: std::collections::HashSet<_> =
+            a.iter().map(|p| (p.contrast * 1000.0) as i64).collect();
+        assert!(distinct_contrasts.len() > 5);
+    }
+
+    #[test]
+    fn different_profiles_render_differently() {
+        let img = sample_image();
+        let profiles = random_jitter_profiles(2, 9);
+        let a = profiles[0].apply(&img);
+        let b = profiles[1].apply(&img);
+        assert!(a.mean_abs_diff(&b) > 1e-3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hs-device
+//!
+//! Parametric camera/sensor models and the heterogeneous device fleet used to
+//! reproduce the HeteroSwitch paper's characterization experiments.
+//!
+//! The paper captures the same scenes with nine physical smartphones
+//! (Table 1) spanning three vendors × three performance tiers; the hardware
+//! half of the resulting *system-induced data heterogeneity* comes from each
+//! phone's sensor (resolution, noise, colour response, optics) and the
+//! software half from each phone's ISP algorithms. This crate substitutes
+//! parametric [`SensorModel`]s plus per-device [`hs_isp::IspConfig`]s for the
+//! physical fleet: the same canonical scene, pushed through two different
+//! [`DeviceProfile`]s, yields visibly and statistically different tensors —
+//! exactly the mechanism the paper studies.
+//!
+//! ```
+//! use hs_device::{paper_devices, DeviceId};
+//! use hs_isp::ImageBuf;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let fleet = paper_devices();
+//! assert_eq!(fleet.len(), 9);
+//! let scene = ImageBuf::from_planar(16, 16, 3, vec![0.5; 3 * 256]);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let raw = fleet[0].sensor.capture(&scene, &mut rng);
+//! let rgb = fleet[0].isp.process(&raw);
+//! assert_eq!(rgb.channels, 3);
+//! # let _ = DeviceId::Pixel5;
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fleet;
+mod jitter;
+mod profile;
+mod sensor;
+
+pub use fleet::{paper_devices, synthetic_fleet, DeviceId};
+pub use jitter::{random_jitter_profiles, JitterProfile};
+pub use profile::{DeviceProfile, Tier, Vendor};
+pub use sensor::SensorModel;

@@ -1,0 +1,166 @@
+//! Server-side aggregation rules.
+
+use crate::ClientUpdate;
+use serde::{Deserialize, Serialize};
+
+/// How the server combines client updates into the next global model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationMethod {
+    /// Sample-count-weighted averaging of client weights (FedAvg).
+    FedAvg,
+    /// q-FedAvg (Li et al., 2019): clients with higher loss receive larger
+    /// effective updates, trading average accuracy for fairness. `q = 0`
+    /// recovers a FedAvg-style update.
+    QFedAvg {
+        /// Fairness exponent q.
+        q: f32,
+        /// The learning rate used to convert weight deltas back into
+        /// gradient estimates (the paper reuses the local η).
+        lr: f32,
+    },
+}
+
+/// Sample-count-weighted average of client weight vectors.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or the weight vectors disagree in length.
+pub fn weighted_average(updates: &[ClientUpdate]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let len = updates[0].weights.len();
+    let total: f32 = updates.iter().map(|u| u.num_samples as f32).sum();
+    assert!(total > 0.0, "total sample count must be positive");
+    let mut out = vec![0.0f32; len];
+    for u in updates {
+        assert_eq!(u.weights.len(), len, "weight vectors must align");
+        let w = u.num_samples as f32 / total;
+        for (o, &v) in out.iter_mut().zip(u.weights.iter()) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+impl AggregationMethod {
+    /// Produces the next global weight vector from the previous one and the
+    /// round's client updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updates` is empty or weight lengths disagree.
+    pub fn aggregate(&self, global: &[f32], updates: &[ClientUpdate]) -> Vec<f32> {
+        match *self {
+            AggregationMethod::FedAvg => weighted_average(updates),
+            AggregationMethod::QFedAvg { q, lr } => q_fed_avg(global, updates, q, lr),
+        }
+    }
+
+    /// Short name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationMethod::FedAvg => "FedAvg",
+            AggregationMethod::QFedAvg { .. } => "q-FedAvg",
+        }
+    }
+}
+
+/// The q-FFL update rule of q-FedAvg.
+fn q_fed_avg(global: &[f32], updates: &[ClientUpdate], q: f32, lr: f32) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let len = global.len();
+    let mut delta_sum = vec![0.0f32; len];
+    let mut h_sum = 0.0f32;
+    for u in updates {
+        assert_eq!(u.weights.len(), len, "weight vectors must align");
+        // gradient estimate from the weight delta
+        let mut grad_norm_sq = 0.0f32;
+        let loss = u.train_loss.max(1e-10);
+        let loss_pow_q = loss.powf(q);
+        for i in 0..len {
+            let g = (global[i] - u.weights[i]) / lr;
+            grad_norm_sq += g * g;
+            delta_sum[i] += loss_pow_q * g;
+        }
+        h_sum += q * loss.powf(q - 1.0) * grad_norm_sq + loss_pow_q / lr;
+    }
+    let h_sum = h_sum.max(1e-10);
+    let mut out = global.to_vec();
+    for i in 0..len {
+        out[i] -= delta_sum[i] / h_sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(weights: Vec<f32>, samples: usize, loss: f32) -> ClientUpdate {
+        ClientUpdate {
+            client_id: 0,
+            weights,
+            train_loss: loss,
+            init_loss: loss,
+            num_samples: samples,
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        let updates = vec![
+            update(vec![0.0, 0.0], 1, 1.0),
+            update(vec![3.0, 6.0], 2, 1.0),
+        ];
+        let avg = weighted_average(&updates);
+        assert_eq!(avg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn fedavg_of_identical_updates_is_identity() {
+        let updates = vec![update(vec![1.5, -2.0], 5, 0.3); 3];
+        let avg = AggregationMethod::FedAvg.aggregate(&[0.0, 0.0], &updates);
+        assert_eq!(avg, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn qfedavg_with_small_q_moves_towards_clients() {
+        let global = vec![1.0, 1.0];
+        let updates = vec![
+            update(vec![0.5, 1.0], 10, 0.8),
+            update(vec![1.0, 0.5], 10, 0.8),
+        ];
+        let next = AggregationMethod::QFedAvg { q: 1e-6, lr: 0.1 }.aggregate(&global, &updates);
+        // the update moves the global weights towards the client average
+        assert!(next[0] < 1.0 && next[0] > 0.4);
+        assert!(next[1] < 1.0 && next[1] > 0.4);
+    }
+
+    #[test]
+    fn qfedavg_upweights_high_loss_clients() {
+        let global = vec![1.0];
+        // the low-loss client pulls the weight up (and more strongly), the
+        // high-loss client pulls it down
+        let updates = vec![
+            update(vec![1.2], 10, 0.1),
+            update(vec![0.9], 10, 2.0),
+        ];
+        let plain = AggregationMethod::QFedAvg { q: 1e-6, lr: 0.1 }.aggregate(&global, &updates);
+        let fair = AggregationMethod::QFedAvg { q: 2.0, lr: 0.1 }.aggregate(&global, &updates);
+        // with q ≈ 0 the stronger (low-loss) pull wins; with a large q the
+        // high-loss client dominates the update direction
+        assert!(plain[0] > global[0], "plain {plain:?}");
+        assert!(fair[0] < global[0], "fair {fair:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero updates")]
+    fn aggregation_rejects_empty_input() {
+        let _ = weighted_average(&[]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AggregationMethod::FedAvg.name(), "FedAvg");
+        assert_eq!(AggregationMethod::QFedAvg { q: 1.0, lr: 0.1 }.name(), "q-FedAvg");
+    }
+}

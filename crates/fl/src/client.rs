@@ -1,0 +1,87 @@
+//! Client-side data structures.
+
+use hs_data::Dataset;
+
+/// One simulated client: an identity, the device type it runs on and its
+/// local dataset.
+#[derive(Debug, Clone)]
+pub struct ClientData {
+    /// Stable client identifier.
+    pub id: usize,
+    /// Device type name (one of the fleet device names).
+    pub device: String,
+    /// The client's private training data.
+    pub data: Dataset,
+}
+
+/// The result a client sends back to the server after a local update.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Identifier of the reporting client.
+    pub client_id: usize,
+    /// The locally updated flat weight vector.
+    pub weights: Vec<f32>,
+    /// Mean training loss over the local update (the paper's `L_train`).
+    pub train_loss: f32,
+    /// The client's initial loss before local training (the paper's
+    /// `L_init`), used for diagnostics.
+    pub init_loss: f32,
+    /// Number of local samples (aggregation weight).
+    pub num_samples: usize,
+}
+
+/// Read-only context the server hands to a client for one local update.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientContext<'a> {
+    /// Current communication round (0-based).
+    pub round: usize,
+    /// Exponential moving average of the aggregated training loss from
+    /// previous rounds (the paper's `L_EMA`).
+    pub loss_ema: f32,
+    /// Local learning rate η.
+    pub lr: f32,
+    /// Local minibatch size B.
+    pub batch_size: usize,
+    /// Local epochs E.
+    pub local_epochs: usize,
+    /// The current global weights (needed by FedProx and Scaffold).
+    pub global_weights: &'a [f32],
+    /// Identifier of the client being trained.
+    pub client_id: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_data::{Dataset, Labels};
+    use hs_tensor::Tensor;
+
+    #[test]
+    fn client_data_holds_its_dataset() {
+        let data = Dataset::new(
+            vec![Tensor::zeros(&[4]); 3],
+            Labels::Classes(vec![0, 1, 0]),
+        );
+        let client = ClientData {
+            id: 7,
+            device: "Pixel5".into(),
+            data,
+        };
+        assert_eq!(client.data.len(), 3);
+        assert_eq!(client.device, "Pixel5");
+    }
+
+    #[test]
+    fn client_update_is_cloneable() {
+        let update = ClientUpdate {
+            client_id: 1,
+            weights: vec![0.0; 8],
+            train_loss: 0.5,
+            init_loss: 0.7,
+            num_samples: 12,
+        };
+        let copy = update.clone();
+        assert_eq!(copy.weights.len(), 8);
+        assert_eq!(copy.num_samples, 12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Federated-learning hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The FL hyper-parameters of the paper's setup (Sec. 6 and Appendix A.2).
+///
+/// The paper's full-scale configuration is `N = 100`, `K = 20`, `B = 10`,
+/// `E = 1`, `T = 1000`, `η = 0.1`; [`FlConfig::paper`] returns exactly that.
+/// The default is a scaled-down configuration that preserves the ratios but
+/// finishes in CPU-friendly time, which is what the reproduction's quick
+/// experiments use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Total number of clients (`N`).
+    pub num_clients: usize,
+    /// Clients selected per round (`K`).
+    pub clients_per_round: usize,
+    /// Local minibatch size (`B`).
+    pub batch_size: usize,
+    /// Local epochs per round (`E`).
+    pub local_epochs: usize,
+    /// Number of communication rounds (`T`).
+    pub rounds: usize,
+    /// Local learning rate (`η`).
+    pub lr: f32,
+    /// Smoothing factor α for the exponential moving average of the
+    /// aggregated training loss (paper Eq. 1; α = 0.9 in Appendix A.2).
+    pub ema_alpha: f32,
+    /// Base seed for client sampling, batching and model initialisation.
+    pub seed: u64,
+}
+
+impl FlConfig {
+    /// The paper's full-scale configuration.
+    pub fn paper() -> Self {
+        FlConfig {
+            num_clients: 100,
+            clients_per_round: 20,
+            batch_size: 10,
+            local_epochs: 1,
+            rounds: 1000,
+            lr: 0.1,
+            ema_alpha: 0.9,
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down configuration that keeps the paper's ratios
+    /// (K/N = 0.2, E = 1, B = 10) at CPU-reproduction scale.
+    pub fn quick() -> Self {
+        FlConfig {
+            num_clients: 30,
+            clients_per_round: 6,
+            batch_size: 10,
+            local_epochs: 1,
+            rounds: 20,
+            lr: 0.1,
+            ema_alpha: 0.9,
+            seed: 0,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        FlConfig {
+            num_clients: 4,
+            clients_per_round: 2,
+            batch_size: 4,
+            local_epochs: 1,
+            rounds: 2,
+            lr: 0.1,
+            ema_alpha: 0.9,
+            seed: 0,
+        }
+    }
+
+    /// Validates the configuration, panicking with a descriptive message on
+    /// inconsistent values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, `clients_per_round > num_clients`,
+    /// the learning rate is not positive, or `ema_alpha` is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "num_clients must be positive");
+        assert!(
+            self.clients_per_round > 0 && self.clients_per_round <= self.num_clients,
+            "clients_per_round must be in 1..=num_clients"
+        );
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.local_epochs > 0, "local_epochs must be positive");
+        assert!(self.rounds > 0, "rounds must be positive");
+        assert!(self.lr > 0.0, "learning rate must be positive");
+        assert!(
+            self.ema_alpha > 0.0 && self.ema_alpha <= 1.0,
+            "ema_alpha must be in (0, 1]"
+        );
+    }
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_the_published_setup() {
+        let cfg = FlConfig::paper();
+        assert_eq!(cfg.num_clients, 100);
+        assert_eq!(cfg.clients_per_round, 20);
+        assert_eq!(cfg.batch_size, 10);
+        assert_eq!(cfg.local_epochs, 1);
+        assert_eq!(cfg.rounds, 1000);
+        assert!((cfg.lr - 0.1).abs() < 1e-6);
+        cfg.validate();
+    }
+
+    #[test]
+    fn quick_config_preserves_participation_ratio() {
+        let quick = FlConfig::quick();
+        let paper = FlConfig::paper();
+        let ratio_quick = quick.clients_per_round as f32 / quick.num_clients as f32;
+        let ratio_paper = paper.clients_per_round as f32 / paper.num_clients as f32;
+        assert!((ratio_quick - ratio_paper).abs() < 1e-6);
+        quick.validate();
+        FlConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "clients_per_round")]
+    fn validate_rejects_oversampling() {
+        let mut cfg = FlConfig::tiny();
+        cfg.clients_per_round = 100;
+        cfg.validate();
+    }
+}

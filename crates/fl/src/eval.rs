@@ -1,0 +1,186 @@
+//! Evaluation helpers for trained (global) models.
+
+use hs_data::{Dataset, Labels};
+use hs_metrics::{accuracy, average_precision, GroupAccuracy};
+use hs_nn::Network;
+
+/// Maximum evaluation batch size (keeps peak memory bounded).
+const EVAL_BATCH: usize = 32;
+
+/// Classification accuracy of `net` on a dataset with class labels.
+///
+/// # Panics
+///
+/// Panics if the dataset does not carry class labels.
+pub fn evaluate_accuracy(net: &mut Network, data: &Dataset) -> f32 {
+    let labels = match &data.labels {
+        Labels::Classes(l) => l.clone(),
+        _ => panic!("evaluate_accuracy requires class labels"),
+    };
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut predictions = Vec::with_capacity(data.len());
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + EVAL_BATCH).min(data.len());
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, _) = data.batch(&indices);
+        predictions.extend(net.predict_classes(&x));
+        start = end;
+    }
+    accuracy(&predictions, &labels)
+}
+
+/// Mean averaged precision of `net` on a multi-label dataset (the paper's
+/// FLAIR metric).
+///
+/// # Panics
+///
+/// Panics if the dataset does not carry multi-hot labels.
+pub fn evaluate_average_precision(net: &mut Network, data: &Dataset) -> f32 {
+    let hot = match &data.labels {
+        Labels::MultiHot(h) => h.clone(),
+        _ => panic!("evaluate_average_precision requires multi-hot labels"),
+    };
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut aps = Vec::with_capacity(data.len());
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + EVAL_BATCH).min(data.len());
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, _) = data.batch(&indices);
+        let logits = net.forward(&x, false);
+        let (n, l) = (logits.dims()[0], logits.dims()[1]);
+        for i in 0..n {
+            let scores: Vec<f32> = (0..l).map(|j| logits.at(&[i, j])).collect();
+            let relevant: Vec<bool> = hot[start + i].iter().map(|&v| v > 0.5).collect();
+            aps.push(average_precision(&scores, &relevant));
+        }
+        start = end;
+    }
+    aps.iter().sum::<f32>() / aps.len() as f32
+}
+
+/// Heart-rate predictions and ground truth (both in bpm) of `net` on a
+/// regression dataset whose labels were normalised by `1 / denormalize`.
+///
+/// # Panics
+///
+/// Panics if the dataset does not carry value labels.
+pub fn evaluate_heart_rate(
+    net: &mut Network,
+    data: &Dataset,
+    denormalize: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let values = match &data.labels {
+        Labels::Values(v) => v.clone(),
+        _ => panic!("evaluate_heart_rate requires value labels"),
+    };
+    let mut preds = Vec::with_capacity(data.len());
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + EVAL_BATCH).min(data.len());
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, _) = data.batch(&indices);
+        let out = net.forward(&x, false);
+        for i in 0..(end - start) {
+            preds.push(out.at(&[i, 0]) * denormalize);
+        }
+        start = end;
+    }
+    let actual: Vec<f32> = values.iter().map(|v| v * denormalize).collect();
+    (preds, actual)
+}
+
+/// Per-device-type accuracy of a single model over a list of named test
+/// sets — the quantity behind the paper's fairness/DG tables.
+pub fn per_device_accuracy(
+    net: &mut Network,
+    device_tests: &[(String, Dataset)],
+) -> Vec<GroupAccuracy> {
+    device_tests
+        .iter()
+        .map(|(device, test)| GroupAccuracy::new(device.clone(), evaluate_accuracy(net, test)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::{Linear, Sequential};
+    use hs_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identity_like_net(features: usize, classes: usize) -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(Sequential::new(vec![Box::new(Linear::new(
+            features, classes, &mut rng,
+        ))]));
+        // make logits equal to the input features so predictions are readable
+        let weights_len = net.num_weights();
+        let mut w = vec![0.0f32; weights_len];
+        for c in 0..classes {
+            w[c * features + c] = 1.0;
+        }
+        net.set_weights(&w);
+        net
+    }
+
+    #[test]
+    fn accuracy_of_a_perfect_model_is_one() {
+        let mut net = identity_like_net(3, 3);
+        let x: Vec<Tensor> = (0..3)
+            .map(|i| {
+                let mut t = Tensor::zeros(&[3]);
+                t.as_mut_slice()[i] = 1.0;
+                t
+            })
+            .collect();
+        let data = Dataset::new(x, Labels::Classes(vec![0, 1, 2]));
+        assert_eq!(evaluate_accuracy(&mut net, &data), 1.0);
+    }
+
+    #[test]
+    fn average_precision_of_a_perfect_scorer_is_one() {
+        let mut net = identity_like_net(4, 4);
+        let x = vec![
+            Tensor::from_vec(vec![5.0, 0.0, 5.0, 0.0], &[4]),
+            Tensor::from_vec(vec![0.0, 5.0, 0.0, 0.0], &[4]),
+        ];
+        let labels = Labels::MultiHot(vec![vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]);
+        let data = Dataset::new(x, labels);
+        let ap = evaluate_average_precision(&mut net, &data);
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heart_rate_evaluation_denormalises() {
+        let mut net = identity_like_net(1, 1);
+        let data = Dataset::new(
+            vec![Tensor::from_vec(vec![0.4], &[1]), Tensor::from_vec(vec![0.3], &[1])],
+            Labels::Values(vec![0.4, 0.3]),
+        );
+        let (preds, actual) = evaluate_heart_rate(&mut net, &data, 200.0);
+        assert!((actual[0] - 80.0).abs() < 1e-3 && (actual[1] - 60.0).abs() < 1e-3);
+        assert!((preds[0] - 80.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn per_device_accuracy_labels_groups() {
+        let mut net = identity_like_net(2, 2);
+        let make = |label: usize| {
+            let mut t = Tensor::zeros(&[2]);
+            t.as_mut_slice()[label] = 1.0;
+            Dataset::new(vec![t], Labels::Classes(vec![label]))
+        };
+        let tests = vec![("A".to_string(), make(0)), ("B".to_string(), make(1))];
+        let groups = per_device_accuracy(&mut net, &tests);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].group, "A");
+        assert_eq!(groups[0].accuracy, 1.0);
+    }
+}

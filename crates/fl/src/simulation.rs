@@ -1,0 +1,357 @@
+//! The federated-learning round loop.
+
+use crate::{
+    per_device_accuracy, AggregationMethod, ClientContext, ClientData, ClientTrainer, ClientUpdate,
+    FlConfig,
+};
+use hs_data::Dataset;
+use hs_metrics::GroupAccuracy;
+use hs_nn::Network;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Builds a fresh, structurally identical model replica. The argument is a
+/// seed for weight initialisation; replicas always have their weights
+/// overwritten with the global model before use, so the seed only matters for
+/// the very first global model.
+pub type ModelFactory = Box<dyn Fn(u64) -> Network + Send + Sync>;
+
+/// Summary statistics of one communication round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Sample-weighted mean of the participating clients' training losses.
+    pub mean_train_loss: f32,
+    /// Sample-weighted mean of the participating clients' initial losses.
+    pub mean_init_loss: f32,
+    /// The EMA of the aggregated training loss after this round
+    /// (the paper's `L_EMA`).
+    pub loss_ema: f32,
+    /// Ids of the clients that participated.
+    pub participants: Vec<usize>,
+}
+
+/// A complete federated-learning simulation: clients, model, local-update
+/// strategy and aggregation rule.
+pub struct FlSimulation {
+    config: FlConfig,
+    clients: Vec<ClientData>,
+    model_factory: ModelFactory,
+    trainer: Box<dyn ClientTrainer>,
+    aggregation: AggregationMethod,
+    global_weights: Vec<f32>,
+    loss_ema: f32,
+    rounds_run: usize,
+}
+
+impl FlSimulation {
+    /// Creates a simulation. The initial global model comes from
+    /// `model_factory(config.seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or there are fewer clients than
+    /// `config.num_clients` requires.
+    pub fn new(
+        config: FlConfig,
+        clients: Vec<ClientData>,
+        model_factory: ModelFactory,
+        trainer: Box<dyn ClientTrainer>,
+        aggregation: AggregationMethod,
+    ) -> Self {
+        config.validate();
+        assert!(
+            clients.len() >= config.num_clients,
+            "need at least {} clients, got {}",
+            config.num_clients,
+            clients.len()
+        );
+        let mut initial = model_factory(config.seed);
+        let global_weights = initial.weights();
+        FlSimulation {
+            config,
+            clients,
+            model_factory,
+            trainer,
+            aggregation,
+            global_weights,
+            // NaN marks "no EMA yet": every comparison against it is false,
+            // so bias-gated strategies stay conservative in round 0.
+            loss_ema: f32::NAN,
+            rounds_run: 0,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// The current global weight vector.
+    pub fn global_weights(&self) -> &[f32] {
+        &self.global_weights
+    }
+
+    /// The current EMA of the aggregated training loss (NaN before the first
+    /// round).
+    pub fn loss_ema(&self) -> f32 {
+        self.loss_ema
+    }
+
+    /// The name of the local-update strategy in use.
+    pub fn trainer_name(&self) -> &'static str {
+        self.trainer.name()
+    }
+
+    /// Builds a model replica loaded with the current global weights.
+    pub fn global_model(&self) -> Network {
+        let mut net = (self.model_factory)(self.config.seed);
+        net.set_weights(&self.global_weights);
+        net
+    }
+
+    /// Runs one communication round: sample `K` clients, run local updates
+    /// (in parallel across worker threads), aggregate and update the loss
+    /// EMA.
+    pub fn run_round(&mut self) -> RoundStats {
+        let round = self.rounds_run;
+        let mut sample_rng = StdRng::seed_from_u64(
+            self.config.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut ids: Vec<usize> = (0..self.config.num_clients).collect();
+        ids.shuffle(&mut sample_rng);
+        let selected: Vec<usize> = ids[..self.config.clients_per_round].to_vec();
+
+        let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(selected.len()));
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(selected.len())
+            .max(1);
+        let chunks: Vec<Vec<usize>> = selected
+            .chunks(selected.len().div_ceil(workers))
+            .map(|c| c.to_vec())
+            .collect();
+
+        crossbeam::thread::scope(|scope| {
+            for chunk in &chunks {
+                let updates = &updates;
+                let global = &self.global_weights;
+                let trainer = self.trainer.as_ref();
+                let factory = &self.model_factory;
+                let clients = &self.clients;
+                let config = self.config;
+                let loss_ema = self.loss_ema;
+                scope.spawn(move |_| {
+                    let mut net = factory(config.seed);
+                    for &client_id in chunk {
+                        net.set_weights(global);
+                        net.zero_grad();
+                        let client = &clients[client_id];
+                        let ctx = ClientContext {
+                            round,
+                            loss_ema,
+                            lr: config.lr,
+                            batch_size: config.batch_size,
+                            local_epochs: config.local_epochs,
+                            global_weights: global,
+                            client_id,
+                        };
+                        let mut client_rng = StdRng::seed_from_u64(
+                            config.seed
+                                ^ (client_id as u64).wrapping_mul(0x517c_c1b7_2722_0a95)
+                                ^ (round as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+                        );
+                        let update =
+                            trainer.client_update(&mut net, &client.data, &ctx, &mut client_rng);
+                        updates.lock().push(update);
+                    }
+                });
+            }
+        })
+        .expect("client training threads must not panic");
+
+        let mut updates = updates.into_inner();
+        // deterministic aggregation order regardless of thread interleaving
+        updates.sort_by_key(|u| u.client_id);
+
+        self.global_weights = self.aggregation.aggregate(&self.global_weights, &updates);
+
+        let total: f32 = updates.iter().map(|u| u.num_samples as f32).sum::<f32>().max(1.0);
+        let mean_train_loss = updates
+            .iter()
+            .map(|u| u.train_loss * u.num_samples as f32)
+            .sum::<f32>()
+            / total;
+        let mean_init_loss = updates
+            .iter()
+            .map(|u| u.init_loss * u.num_samples as f32)
+            .sum::<f32>()
+            / total;
+        // paper Eq. 1: L_EMA ← α · L_cur + (1 − α) · L_EMA
+        self.loss_ema = if self.loss_ema.is_nan() {
+            mean_train_loss
+        } else {
+            self.config.ema_alpha * mean_train_loss + (1.0 - self.config.ema_alpha) * self.loss_ema
+        };
+        self.rounds_run += 1;
+
+        RoundStats {
+            round,
+            mean_train_loss,
+            mean_init_loss,
+            loss_ema: self.loss_ema,
+            participants: selected,
+        }
+    }
+
+    /// Runs `config.rounds` communication rounds.
+    pub fn run(&mut self) -> Vec<RoundStats> {
+        (0..self.config.rounds).map(|_| self.run_round()).collect()
+    }
+
+    /// Evaluates the current global model on per-device test sets, returning
+    /// one accuracy per device type.
+    pub fn evaluate_per_device(&self, device_tests: &[(String, Dataset)]) -> Vec<GroupAccuracy> {
+        let mut net = self.global_model();
+        per_device_accuracy(&mut net, device_tests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FedAvgTrainer, LossKind};
+    use hs_data::{Dataset, Labels};
+    use hs_nn::{Linear, Relu, Sequential};
+    use hs_tensor::Tensor;
+
+    fn factory() -> ModelFactory {
+        Box::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Network::new(Sequential::new(vec![
+                Box::new(Linear::new(4, 16, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Linear::new(16, 3, &mut rng)),
+            ]))
+        })
+    }
+
+    fn clients(n: usize, samples: usize) -> Vec<ClientData> {
+        (0..n)
+            .map(|id| {
+                let mut rng = StdRng::seed_from_u64(id as u64 + 100);
+                let x: Vec<Tensor> = (0..samples)
+                    .map(|i| {
+                        let mut t = Tensor::rand_uniform(&[4], -0.2, 0.2, &mut rng);
+                        t.as_mut_slice()[i % 3] += 1.0;
+                        t
+                    })
+                    .collect();
+                ClientData {
+                    id,
+                    device: format!("dev-{}", id % 2),
+                    data: Dataset::new(x, Labels::Classes((0..samples).map(|i| i % 3).collect())),
+                }
+            })
+            .collect()
+    }
+
+    fn test_set() -> Vec<(String, Dataset)> {
+        let mut rng = StdRng::seed_from_u64(999);
+        let mut build = || {
+            let x: Vec<Tensor> = (0..9)
+                .map(|i| {
+                    let mut t = Tensor::rand_uniform(&[4], -0.2, 0.2, &mut rng);
+                    t.as_mut_slice()[i % 3] += 1.0;
+                    t
+                })
+                .collect();
+            Dataset::new(x, Labels::Classes((0..9).map(|i| i % 3).collect()))
+        };
+        vec![("dev-0".into(), build()), ("dev-1".into(), build())]
+    }
+
+    fn simulation(rounds: usize) -> FlSimulation {
+        let mut config = FlConfig::tiny();
+        config.rounds = rounds;
+        config.num_clients = 4;
+        config.clients_per_round = 2;
+        FlSimulation::new(
+            config,
+            clients(4, 9),
+            factory(),
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+            AggregationMethod::FedAvg,
+        )
+    }
+
+    #[test]
+    fn round_selects_k_clients_and_updates_ema() {
+        let mut sim = simulation(1);
+        assert!(sim.loss_ema().is_nan());
+        let stats = sim.run_round();
+        assert_eq!(stats.participants.len(), 2);
+        assert!(stats.mean_train_loss.is_finite());
+        assert!(sim.loss_ema().is_finite());
+    }
+
+    #[test]
+    fn training_improves_accuracy_on_a_learnable_problem() {
+        let mut sim = simulation(12);
+        let before: f32 = sim
+            .evaluate_per_device(&test_set())
+            .iter()
+            .map(|g| g.accuracy)
+            .sum::<f32>()
+            / 2.0;
+        let history = sim.run();
+        assert_eq!(history.len(), 12);
+        let after: f32 = sim
+            .evaluate_per_device(&test_set())
+            .iter()
+            .map(|g| g.accuracy)
+            .sum::<f32>()
+            / 2.0;
+        assert!(
+            after > before || after > 0.85,
+            "FL should learn: before {before}, after {after}"
+        );
+        // loss should broadly decrease over training
+        assert!(history.last().unwrap().mean_train_loss < history[0].mean_train_loss);
+    }
+
+    #[test]
+    fn simulation_is_reproducible_for_a_fixed_seed() {
+        let mut a = simulation(3);
+        let mut b = simulation(3);
+        a.run();
+        b.run();
+        assert_eq!(a.global_weights(), b.global_weights());
+    }
+
+    #[test]
+    fn global_model_carries_global_weights() {
+        let mut sim = simulation(1);
+        sim.run();
+        let mut model = sim.global_model();
+        assert_eq!(model.weights(), sim.global_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn rejects_too_few_clients() {
+        let config = FlConfig::tiny();
+        let _ = FlSimulation::new(
+            config,
+            clients(1, 4),
+            factory(),
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+            AggregationMethod::FedAvg,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Gamut mapping: converting camera RGB into a standard colour gamut.
+
+use crate::ImageBuf;
+use serde::{Deserialize, Serialize};
+
+/// Gamut-mapping selector (paper Table 3, "Gamut mapping" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GamutMethod {
+    /// Skip gamut mapping — option 1 in the paper's ablation.
+    None,
+    /// Map into the sRGB gamut — baseline.
+    Srgb,
+    /// Map into the wide ProPhoto gamut — option 2.
+    Prophoto,
+}
+
+/// sRGB: an (approximately) identity mapping with a mild saturation boost so
+/// colours fill the narrow gamut; values are renormalised by a 3×3 matrix
+/// whose rows sum to one.
+const SRGB_MATRIX: [[f32; 3]; 3] = [
+    [1.15, -0.10, -0.05],
+    [-0.05, 1.10, -0.05],
+    [-0.05, -0.10, 1.15],
+];
+
+/// ProPhoto: a wide gamut, so camera colours become *less* saturated when
+/// expressed in it (the matrix pulls channels towards their mean).
+const PROPHOTO_MATRIX: [[f32; 3]; 3] = [
+    [0.80, 0.15, 0.05],
+    [0.10, 0.80, 0.10],
+    [0.05, 0.15, 0.80],
+];
+
+/// Applies the selected gamut mapping.
+pub fn map_gamut(img: &ImageBuf, method: GamutMethod) -> ImageBuf {
+    let matrix = match method {
+        GamutMethod::None => return img.clone(),
+        GamutMethod::Srgb => &SRGB_MATRIX,
+        GamutMethod::Prophoto => &PROPHOTO_MATRIX,
+    };
+    apply_matrix(img, matrix)
+}
+
+/// Applies a 3×3 colour matrix to every pixel.
+pub(crate) fn apply_matrix(img: &ImageBuf, matrix: &[[f32; 3]; 3]) -> ImageBuf {
+    assert_eq!(img.channels, 3, "gamut mapping expects an RGB image");
+    let mut out = img.clone();
+    let n = img.width * img.height;
+    for i in 0..n {
+        let r = img.data[i];
+        let g = img.data[n + i];
+        let b = img.data[2 * n + i];
+        for (c, row) in matrix.iter().enumerate() {
+            out.data[c * n + i] = (row[0] * r + row[1] * g + row[2] * b).clamp(0.0, 1.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colourful() -> ImageBuf {
+        let mut img = ImageBuf::zeros(2, 2, 3);
+        img.set(0, 0, 0, 0.9);
+        img.set(1, 0, 0, 0.2);
+        img.set(2, 0, 0, 0.1);
+        img.set(0, 1, 1, 0.1);
+        img.set(1, 1, 1, 0.8);
+        img.set(2, 1, 1, 0.3);
+        img
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let img = colourful();
+        assert_eq!(map_gamut(&img, GamutMethod::None), img);
+    }
+
+    #[test]
+    fn greys_stay_grey_under_both_gamuts() {
+        let img = ImageBuf::from_planar(2, 2, 3, vec![0.5; 12]);
+        for method in [GamutMethod::Srgb, GamutMethod::Prophoto] {
+            let mapped = map_gamut(&img, method);
+            // both matrices have rows summing to 1.0, so neutral colours are preserved
+            assert!(img.mean_abs_diff(&mapped) < 1e-6, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn srgb_increases_saturation_prophoto_decreases_it() {
+        let img = colourful();
+        let saturation = |im: &ImageBuf, r: usize, c: usize| {
+            let (x, y, z) = (im.get(0, r, c), im.get(1, r, c), im.get(2, r, c));
+            let max = x.max(y).max(z);
+            let min = x.min(y).min(z);
+            max - min
+        };
+        let srgb = map_gamut(&img, GamutMethod::Srgb);
+        let pro = map_gamut(&img, GamutMethod::Prophoto);
+        assert!(saturation(&srgb, 0, 0) >= saturation(&img, 0, 0));
+        assert!(saturation(&pro, 0, 0) < saturation(&img, 0, 0));
+    }
+
+    #[test]
+    fn outputs_stay_in_unit_range() {
+        let img = colourful();
+        for method in [GamutMethod::Srgb, GamutMethod::Prophoto] {
+            let mapped = map_gamut(&img, method);
+            for &v in &mapped.data {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Basic classification and regression metrics.
+
+/// Fraction of predictions equal to the label.
+///
+/// Returns 0.0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must have equal length"
+    );
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Confusion matrix `[true][predicted]` over `num_classes` classes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain out-of-range
+/// classes.
+pub fn confusion_matrix(predictions: &[usize], labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len());
+    let mut matrix = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels.iter()) {
+        assert!(p < num_classes && l < num_classes, "class out of range");
+        matrix[l][p] += 1;
+    }
+    matrix
+}
+
+/// Mean relative deviation between predicted and true heart rates, in
+/// percent — the metric of the paper's ECG study (Sec. 6.6).
+///
+/// Returns 0.0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn heart_rate_deviation(predicted: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let total: f32 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &a)| ((p - a).abs() / a.abs().max(1e-6)) * 100.0)
+        .sum();
+    total / actual.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 2], &[0, 1, 1, 2]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_counts_correct() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn heart_rate_deviation_is_relative() {
+        // predictions off by 10% and 20% -> mean deviation 15%
+        let dev = heart_rate_deviation(&[66.0, 96.0], &[60.0, 80.0]);
+        assert!((dev - 15.0).abs() < 1e-4);
+        assert_eq!(heart_rate_deviation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn accuracy_rejects_length_mismatch() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

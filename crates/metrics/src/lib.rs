@@ -1,0 +1,30 @@
+//! # hs-metrics
+//!
+//! Evaluation metrics for the HeteroSwitch reproduction: classification
+//! accuracy, the cross-device degradation matrix of the characterization
+//! study (paper Table 2), fairness statistics (accuracy variance across
+//! device types), domain-generalization statistics (worst-case accuracy),
+//! multi-label averaged precision for the FLAIR-style experiment, and the
+//! heart-rate deviation metric of the ECG study.
+//!
+//! ```
+//! use hs_metrics::{accuracy, population_variance, worst_case};
+//!
+//! let per_device = [0.62, 0.65, 0.58, 0.71];
+//! assert_eq!(worst_case(&per_device), 0.58);
+//! assert!(population_variance(&per_device) > 0.0);
+//! assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod classification;
+mod degradation;
+mod fairness;
+mod ranking;
+
+pub use classification::{accuracy, confusion_matrix, heart_rate_deviation};
+pub use degradation::DegradationMatrix;
+pub use fairness::{mean, population_variance, worst_case, GroupAccuracy};
+pub use ranking::{average_precision, mean_average_precision};

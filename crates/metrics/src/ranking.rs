@@ -1,0 +1,97 @@
+//! Multi-label ranking metrics: average precision (AP) and mean AP, used for
+//! the FLAIR-style multi-label experiment (paper Table 6).
+
+/// Average precision of one sample: scores are ranked, and precision is
+/// averaged at the rank of every positive label.
+///
+/// Returns 0.0 if there are no positive labels.
+///
+/// # Panics
+///
+/// Panics if `scores` and `relevant` have different lengths.
+pub fn average_precision(scores: &[f32], relevant: &[bool]) -> f32 {
+    assert_eq!(
+        scores.len(),
+        relevant.len(),
+        "scores and relevance must have equal length"
+    );
+    let num_relevant = relevant.iter().filter(|&&r| r).count();
+    if num_relevant == 0 {
+        return 0.0;
+    }
+    // rank labels by descending score
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hits = 0usize;
+    let mut ap = 0.0f32;
+    for (rank, &idx) in order.iter().enumerate() {
+        if relevant[idx] {
+            hits += 1;
+            ap += hits as f32 / (rank + 1) as f32;
+        }
+    }
+    ap / num_relevant as f32
+}
+
+/// Mean of per-sample average precisions.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if any sample's scores and relevance lengths differ.
+pub fn mean_average_precision(samples: &[(Vec<f32>, Vec<bool>)]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let total: f32 = samples
+        .iter()
+        .map(|(scores, relevant)| average_precision(scores, relevant))
+        .sum();
+    total / samples.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let scores = [0.9, 0.8, 0.1, 0.05];
+        let relevant = [true, true, false, false];
+        assert!((average_precision(&scores, &relevant) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_ranking_has_low_ap() {
+        let scores = [0.9, 0.8, 0.1, 0.05];
+        let relevant = [false, false, false, true];
+        // single positive ranked last out of 4 -> AP = 1/4
+        assert!((average_precision(&scores, &relevant) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // positives at ranks 1 and 3 -> AP = (1/1 + 2/3) / 2
+        let scores = [0.9, 0.5, 0.4, 0.1];
+        let relevant = [true, false, true, false];
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&scores, &relevant) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_positives_yields_zero() {
+        assert_eq!(average_precision(&[0.5, 0.4], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn map_averages_samples() {
+        let samples = vec![
+            (vec![0.9, 0.1], vec![true, false]),
+            (vec![0.1, 0.9], vec![true, false]),
+        ];
+        // first sample AP=1.0, second AP=0.5
+        assert!((mean_average_precision(&samples) - 0.75).abs() < 1e-6);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Element-wise activation layers.
+//!
+//! The mobile model zoo relies on the ReLU family plus the hard-swish /
+//! hard-sigmoid pair introduced by MobileNetV3.
+
+use crate::Layer;
+use hs_tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)`.
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Leaky rectified linear unit: `x` if positive, `slope * x` otherwise.
+pub struct LeakyRelu {
+    slope: f32,
+    cached_input: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    pub fn new(slope: f32) -> Self {
+        LeakyRelu {
+            slope,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let s = self.slope;
+        input.map(|x| if x > 0.0 { x } else { s * x })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let s = self.slope;
+        grad_out.zip(input, |g, x| if x > 0.0 { g } else { s * g })
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+/// Logistic sigmoid activation.
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation layer.
+    pub fn new() -> Self {
+        Sigmoid {
+            cached_output: None,
+        }
+    }
+}
+
+impl Default for Sigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Numerically-stable scalar sigmoid used by [`Sigmoid`] and the losses.
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(sigmoid_scalar);
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip(out, |g, y| g * y * (1.0 - y))
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Hyperbolic-tangent activation.
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation layer.
+    pub fn new() -> Self {
+        Tanh {
+            cached_output: None,
+        }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = input.map(f32::tanh);
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip(out, |g, y| g * (1.0 - y * y))
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// MobileNetV3 hard-sigmoid: `clamp((x + 3) / 6, 0, 1)`.
+pub struct HardSigmoid {
+    cached_input: Option<Tensor>,
+}
+
+impl HardSigmoid {
+    /// Creates a hard-sigmoid activation layer.
+    pub fn new() -> Self {
+        HardSigmoid { cached_input: None }
+    }
+}
+
+impl Default for HardSigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scalar hard sigmoid shared with [`HardSwish`].
+pub(crate) fn hard_sigmoid_scalar(x: f32) -> f32 {
+    ((x + 3.0) / 6.0).clamp(0.0, 1.0)
+}
+
+impl Layer for HardSigmoid {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(hard_sigmoid_scalar)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip(input, |g, x| {
+            if x > -3.0 && x < 3.0 {
+                g / 6.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hard_sigmoid"
+    }
+}
+
+/// MobileNetV3 hard-swish: `x * hard_sigmoid(x)`.
+pub struct HardSwish {
+    cached_input: Option<Tensor>,
+}
+
+impl HardSwish {
+    /// Creates a hard-swish activation layer.
+    pub fn new() -> Self {
+        HardSwish { cached_input: None }
+    }
+}
+
+impl Default for HardSwish {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for HardSwish {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(|x| x * hard_sigmoid_scalar(x))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip(input, |g, x| {
+            let d = if x <= -3.0 {
+                0.0
+            } else if x >= 3.0 {
+                1.0
+            } else {
+                (2.0 * x + 3.0) / 6.0
+            };
+            g * d
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hard_swish"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numerical_check<L: Layer>(layer: &mut L, x0: f32) {
+        // compares analytic d out/d in at a single point against finite differences
+        let eps = 1e-3;
+        let x = Tensor::from_vec(vec![x0], &[1]);
+        let _ = layer.forward(&x, true);
+        let analytic = layer.backward(&Tensor::ones(&[1])).at(&[0]);
+        let plus = layer
+            .forward(&Tensor::from_vec(vec![x0 + eps], &[1]), false)
+            .at(&[0]);
+        let minus = layer
+            .forward(&Tensor::from_vec(vec![x0 - eps], &[1]), false)
+            .at(&[0]);
+        let numerical = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numerical).abs() < 1e-2,
+            "{}: analytic {analytic} vs numerical {numerical} at {x0}",
+            layer.name()
+        );
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]), false);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient() {
+        numerical_check(&mut Relu::new(), 0.7);
+        numerical_check(&mut Relu::new(), -0.7);
+    }
+
+    #[test]
+    fn leaky_relu_gradient() {
+        numerical_check(&mut LeakyRelu::new(0.1), 0.5);
+        numerical_check(&mut LeakyRelu::new(0.1), -0.5);
+    }
+
+    #[test]
+    fn sigmoid_gradient() {
+        numerical_check(&mut Sigmoid::new(), 0.3);
+        numerical_check(&mut Sigmoid::new(), -2.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![-100.0, 100.0], &[2]), false);
+        assert!(y.at(&[0]) >= 0.0 && y.at(&[0]) < 1e-6);
+        assert!(y.at(&[1]) > 1.0 - 1e-6 && y.at(&[1]) <= 1.0);
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        numerical_check(&mut Tanh::new(), 0.4);
+    }
+
+    #[test]
+    fn hard_sigmoid_gradient() {
+        numerical_check(&mut HardSigmoid::new(), 1.0);
+        numerical_check(&mut HardSigmoid::new(), -4.0);
+    }
+
+    #[test]
+    fn hard_swish_gradient() {
+        numerical_check(&mut HardSwish::new(), 1.0);
+        numerical_check(&mut HardSwish::new(), -1.0);
+        numerical_check(&mut HardSwish::new(), 4.0);
+    }
+
+    #[test]
+    fn hard_swish_matches_definition() {
+        let mut h = HardSwish::new();
+        let y = h.forward(&Tensor::from_vec(vec![-4.0, 0.0, 4.0], &[3]), false);
+        assert_eq!(y.at(&[0]), 0.0);
+        assert_eq!(y.at(&[1]), 0.0);
+        assert_eq!(y.at(&[2]), 4.0);
+    }
+}

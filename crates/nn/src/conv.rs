@@ -1,0 +1,431 @@
+//! 2-D convolution with optional grouping (covers depthwise convolution).
+
+use crate::{Layer, Param};
+use hs_tensor::{he_normal, Tensor};
+use rand::rngs::StdRng;
+
+/// Unfolds a single-sample channel block `[c, h, w]` into a column matrix
+/// `[c*kh*kw, oh*ow]` (the classic im2col transform).
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let mut col = vec![0.0f32; c * kh * kw * oh * ow];
+    let ohw = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        col[row * ohw + oi * ow + oj] =
+                            input[ci * h * w + ii as usize * w + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Folds a column matrix `[c*kh*kw, oh*ow]` back into a `[c, h, w]` gradient
+/// block, accumulating overlapping contributions (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; c * h * w];
+    let ohw = oh * ow;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[ci * h * w + ii as usize * w + jj as usize] +=
+                            col[row * ohw + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A 2-D convolution layer over `[n, c, h, w]` inputs.
+///
+/// Setting `groups == in_channels == out_channels` yields a depthwise
+/// convolution as used by MobileNetV3 and ShuffleNetV2.
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    cached_input_dims: Option<Vec<usize>>,
+    cached_cols: Vec<Vec<Tensor>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_channels` or `out_channels` are not divisible by
+    /// `groups`, or any argument is zero where it must not be.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(groups >= 1, "groups must be at least 1");
+        assert_eq!(in_channels % groups, 0, "in_channels must divide by groups");
+        assert_eq!(out_channels % groups, 0, "out_channels must divide by groups");
+        assert!(kernel >= 1 && stride >= 1, "kernel and stride must be positive");
+        let cin_g = in_channels / groups;
+        let fan_in = cin_g * kernel * kernel;
+        let weight = Param::new(he_normal(
+            &[out_channels, cin_g, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let bias = Param::new(Tensor::zeros(&[out_channels]));
+        Conv2d {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups,
+            cached_input_dims: None,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for a depthwise convolution
+    /// (`groups == in_channels == out_channels`).
+    pub fn depthwise(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut StdRng) -> Self {
+        Conv2d::new(channels, channels, kernel, stride, padding, channels, rng)
+    }
+
+    /// Output spatial size for a given input spatial size.
+    fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (oh, ow) = self.out_size(h, w);
+        let cin_g = self.in_channels / self.groups;
+        let cout_g = self.out_channels / self.groups;
+        let k = self.kernel;
+
+        if train {
+            self.cached_input_dims = Some(dims.to_vec());
+            self.cached_cols = Vec::with_capacity(n);
+        }
+
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        let ohw = oh * ow;
+
+        for ni in 0..n {
+            let mut sample_cols = Vec::with_capacity(self.groups);
+            for g in 0..self.groups {
+                let in_offset = ni * c * h * w + g * cin_g * h * w;
+                let col = im2col(
+                    &x[in_offset..in_offset + cin_g * h * w],
+                    cin_g,
+                    h,
+                    w,
+                    k,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                );
+                // weight for this group: rows [g*cout_g .. (g+1)*cout_g] of the
+                // [out_channels, cin_g*k*k] reshaped weight matrix
+                let wrow = cin_g * k * k;
+                for oc in 0..cout_g {
+                    let w_off = (g * cout_g + oc) * wrow;
+                    let o_off = ni * self.out_channels * ohw + (g * cout_g + oc) * ohw;
+                    let b = bias[g * cout_g + oc];
+                    for p in 0..wrow {
+                        let wv = wgt[w_off + p];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let col_row = &col[p * ohw..(p + 1) * ohw];
+                        let out_row = &mut out[o_off..o_off + ohw];
+                        for (ov, &cv) in out_row.iter_mut().zip(col_row.iter()) {
+                            *ov += wv * cv;
+                        }
+                    }
+                    let out_row = &mut out[o_off..o_off + ohw];
+                    for ov in out_row.iter_mut() {
+                        *ov += b;
+                    }
+                }
+                if train {
+                    sample_cols.push(Tensor::from_vec(col, &[wrow, ohw]));
+                }
+            }
+            if train {
+                self.cached_cols.push(sample_cols);
+            }
+        }
+        Tensor::from_vec(out, &[n, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self
+            .cached_input_dims
+            .clone()
+            .expect("backward called before forward(train=true)");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let (oh, ow) = self.out_size(h, w);
+        let ohw = oh * ow;
+        let cin_g = self.in_channels / self.groups;
+        let cout_g = self.out_channels / self.groups;
+        let k = self.kernel;
+        let wrow = cin_g * k * k;
+
+        let go = grad_out.as_slice();
+        let wgt = self.weight.value.as_slice().to_vec();
+        let mut grad_w = vec![0.0f32; self.weight.value.len()];
+        let mut grad_b = vec![0.0f32; self.out_channels];
+        let mut grad_in = vec![0.0f32; n * c * h * w];
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let col = self.cached_cols[ni][g].as_slice();
+                let mut grad_col = vec![0.0f32; wrow * ohw];
+                for oc in 0..cout_g {
+                    let oc_abs = g * cout_g + oc;
+                    let go_off = ni * self.out_channels * ohw + oc_abs * ohw;
+                    let go_row = &go[go_off..go_off + ohw];
+                    // bias gradient
+                    grad_b[oc_abs] += go_row.iter().sum::<f32>();
+                    // weight gradient: grad_out_row (1 x ohw) x col^T (ohw x wrow)
+                    let w_off = oc_abs * wrow;
+                    for p in 0..wrow {
+                        let col_row = &col[p * ohw..(p + 1) * ohw];
+                        let mut acc = 0.0;
+                        for (gv, cv) in go_row.iter().zip(col_row.iter()) {
+                            acc += gv * cv;
+                        }
+                        grad_w[w_off + p] += acc;
+                        // grad_col row p += w[oc, p] * grad_out_row
+                        let wv = wgt[w_off + p];
+                        if wv != 0.0 {
+                            let gc_row = &mut grad_col[p * ohw..(p + 1) * ohw];
+                            for (gc, gv) in gc_row.iter_mut().zip(go_row.iter()) {
+                                *gc += wv * gv;
+                            }
+                        }
+                    }
+                }
+                let gi = col2im(
+                    &grad_col,
+                    cin_g,
+                    h,
+                    w,
+                    k,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                );
+                let in_offset = ni * c * h * w + g * cin_g * h * w;
+                for (dst, src) in grad_in[in_offset..in_offset + cin_g * h * w]
+                    .iter_mut()
+                    .zip(gi.iter())
+                {
+                    *dst += src;
+                }
+            }
+        }
+
+        self.weight
+            .accumulate_grad(&Tensor::from_vec(grad_w, self.weight.value.dims()));
+        self.bias
+            .accumulate_grad(&Tensor::from_vec(grad_b, &[self.out_channels]));
+        Tensor::from_vec(grad_in, &[n, c, h, w])
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_same_padding() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn output_shape_stride_two() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(4, 4, 3, 2, 1, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_has_grouped_weight_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::depthwise(6, 3, 1, 1, &mut rng);
+        assert_eq!(conv.params_mut()[0].value.dims(), &[6, 1, 3, 3]);
+        let x = Tensor::rand_uniform(&[1, 6, 5, 5], -1.0, 1.0, &mut rng);
+        assert_eq!(conv.forward(&x, false).dims(), &[1, 6, 5, 5]);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 1, &mut rng);
+        // centre-one kernel and zero bias -> identity mapping
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        *w.at_mut(&[0, 0, 1, 1]) = 1.0;
+        conv.params_mut()[0].value = w;
+        conv.params_mut()[1].value = Tensor::zeros(&[1]);
+        let x = Tensor::rand_uniform(&[1, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+
+        let y = conv.forward(&x, true);
+        let grad_out = Tensor::ones(y.dims());
+        let grad_in = conv.backward(&grad_out);
+        assert_eq!(grad_in.dims(), x.dims());
+        let analytic = conv.params_mut()[0].grad.at(&[1, 0, 1, 2]);
+
+        let eps = 1e-3;
+        let base = conv.params_mut()[0].value.at(&[1, 0, 1, 2]);
+        *conv.params_mut()[0].value.at_mut(&[1, 0, 1, 2]) = base + eps;
+        let plus = conv.forward(&x, false).sum();
+        *conv.params_mut()[0].value.at_mut(&[1, 0, 1, 2]) = base - eps;
+        let minus = conv.forward(&x, false).sum();
+        let numerical = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numerical).abs() < 0.05,
+            "analytic {analytic} vs numerical {numerical}"
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 1, &mut rng);
+        let mut x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut rng);
+
+        let y = conv.forward(&x, true);
+        let grad_in = conv.backward(&Tensor::ones(y.dims()));
+        let analytic = grad_in.at(&[0, 0, 2, 1]);
+
+        let eps = 1e-3;
+        let base = x.at(&[0, 0, 2, 1]);
+        *x.at_mut(&[0, 0, 2, 1]) = base + eps;
+        let plus = conv.forward(&x, false).sum();
+        *x.at_mut(&[0, 0, 2, 1]) = base - eps;
+        let minus = conv.forward(&x, false).sum();
+        let numerical = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numerical).abs() < 0.05,
+            "analytic {analytic} vs numerical {numerical}"
+        );
+    }
+
+    #[test]
+    fn grouped_conv_gradients_have_right_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new(4, 4, 3, 1, 1, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 4, 6, 6], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let g = conv.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(conv.params_mut()[0].grad.dims(), &[4, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Layer`] trait implemented by every building block of the network
+//! stack.
+
+use crate::Param;
+use hs_tensor::Tensor;
+
+/// A differentiable network building block.
+///
+/// A layer caches whatever it needs during [`Layer::forward`] (inputs, masks,
+/// intermediate activations) and uses that cache in [`Layer::backward`] to
+/// produce the gradient with respect to its input while accumulating
+/// parameter gradients into its [`Param`]s.
+///
+/// Layers are `Send` so client updates can run on worker threads in the
+/// federated-learning simulator.
+pub trait Layer: Send {
+    /// Computes the layer output for `input`.
+    ///
+    /// `train` selects training-time behaviour (e.g. batch-norm batch
+    /// statistics, dropout masking); inference uses running statistics and
+    /// identity dropout.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. the layer output) backwards,
+    /// returning the gradient w.r.t. the layer input and accumulating
+    /// parameter gradients.
+    ///
+    /// Must be called after a `forward` pass with `train == true`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the trainable parameters, outermost layers first.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to non-trainable state tensors (e.g. batch-norm running
+    /// statistics) that must still be exchanged between FL clients and the
+    /// server.
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// A short human-readable layer name used in debugging output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal identity layer exercising the trait's default methods.
+    struct Identity;
+
+    impl Layer for Identity {
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.clone()
+        }
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn default_params_and_buffers_are_empty() {
+        let mut id = Identity;
+        assert!(id.params_mut().is_empty());
+        assert!(id.buffers_mut().is_empty());
+        let x = Tensor::ones(&[2, 2]);
+        assert_eq!(id.forward(&x, true).as_slice(), x.as_slice());
+        assert_eq!(id.backward(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn layers_are_object_safe() {
+        let _boxed: Box<dyn Layer> = Box::new(Identity);
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`Network`] wrapper: a trainable model whose parameters and buffers
+//! can be flattened into a single weight vector for federated aggregation.
+
+use crate::{Layer, Loss, Param, Sequential, Target};
+use hs_tensor::Tensor;
+
+/// A trainable model: a [`Sequential`] stack plus the weight-vector plumbing
+/// needed by federated learning (flatten / restore all parameters and
+/// batch-norm buffers).
+pub struct Network {
+    layers: Sequential,
+}
+
+impl Network {
+    /// Wraps a sequential layer stack into a network.
+    pub fn new(layers: Sequential) -> Self {
+        Network { layers }
+    }
+
+    /// Runs a forward pass. `train` enables training-time behaviour
+    /// (batch statistics, dropout, gradient caches).
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.layers.forward(x, train)
+    }
+
+    /// Back-propagates the loss gradient through every layer, accumulating
+    /// parameter gradients.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.layers.backward(grad)
+    }
+
+    /// Mutable access to all trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.params_mut()
+    }
+
+    /// Mutable access to all non-trainable buffers (batch-norm statistics).
+    pub fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.buffers_mut()
+    }
+
+    /// Clears the accumulated gradient of every parameter.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalars in the flattened weight vector
+    /// (parameters followed by buffers).
+    pub fn num_weights(&mut self) -> usize {
+        let p: usize = self.params_mut().iter().map(|p| p.len()).sum();
+        let b: usize = self.buffers_mut().iter().map(|b| b.len()).sum();
+        p + b
+    }
+
+    /// Flattens all parameters and buffers into a single vector.
+    ///
+    /// The layout is: every parameter value in layer order, followed by every
+    /// buffer in layer order. [`Network::set_weights`] expects the same
+    /// layout, so a vector produced by one replica of a model can be loaded
+    /// into another replica built by the same constructor.
+    pub fn weights(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for p in self.params_mut() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        for b in self.buffers_mut() {
+            out.extend_from_slice(b.as_slice());
+        }
+        out
+    }
+
+    /// Restores all parameters and buffers from a flat vector produced by
+    /// [`Network::weights`] on a structurally identical network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match [`Network::num_weights`].
+    pub fn set_weights(&mut self, flat: &[f32]) {
+        let expected = self.num_weights();
+        assert_eq!(
+            flat.len(),
+            expected,
+            "weight vector length {} does not match model size {}",
+            flat.len(),
+            expected
+        );
+        let mut offset = 0;
+        for p in self.params_mut() {
+            let n = p.value.len();
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+        for b in self.buffers_mut() {
+            let n = b.len();
+            b.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Flattens the current parameter gradients (buffers contribute zeros),
+    /// using the same layout as [`Network::weights`].
+    pub fn gradients(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for p in self.params_mut() {
+            out.extend_from_slice(p.grad.as_slice());
+        }
+        let buffer_len: usize = self.buffers_mut().iter().map(|b| b.len()).sum();
+        out.extend(std::iter::repeat(0.0).take(buffer_len));
+        out
+    }
+
+    /// Runs a full training step on one batch: forward, loss, backward.
+    /// Returns the batch loss; the caller applies the optimizer.
+    pub fn forward_backward(&mut self, x: &Tensor, target: &Target, loss: &dyn Loss) -> f32 {
+        let out = self.forward(x, true);
+        let (l, grad) = loss.forward(&out, target);
+        self.backward(&grad);
+        l
+    }
+
+    /// Evaluates the mean loss on a batch without touching gradients or
+    /// batch-norm running statistics.
+    pub fn eval_loss(&mut self, x: &Tensor, target: &Target, loss: &dyn Loss) -> f32 {
+        let out = self.forward(x, false);
+        let (l, _) = loss.forward(&out, target);
+        l
+    }
+
+    /// Predicted class indices for a batch (inference mode).
+    pub fn predict_classes(&mut self, x: &Tensor) -> Vec<usize> {
+        self.forward(x, false).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrossEntropyLoss, Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(Sequential::new(vec![
+            Box::new(Linear::new(6, 10, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(10, 4, &mut rng)),
+        ]))
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let mut a = net(0);
+        let mut b = net(99);
+        let wa = a.weights();
+        assert_eq!(wa.len(), a.num_weights());
+        b.set_weights(&wa);
+        assert_eq!(b.weights(), wa);
+    }
+
+    #[test]
+    fn set_weights_changes_predictions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let mut a = net(0);
+        let mut b = net(99);
+        let before = b.forward(&x, false);
+        b.set_weights(&a.weights());
+        let after = b.forward(&x, false);
+        let same_as_a = a.forward(&x, false);
+        assert_ne!(before.as_slice(), after.as_slice());
+        assert_eq!(after.as_slice(), same_as_a.as_slice());
+    }
+
+    #[test]
+    fn gradients_align_with_weights_layout() {
+        let mut n = net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(&[3, 6], -1.0, 1.0, &mut rng);
+        let loss = n.forward_backward(&x, &Target::Classes(vec![0, 1, 2]), &CrossEntropyLoss);
+        assert!(loss.is_finite());
+        let g = n.gradients();
+        assert_eq!(g.len(), n.num_weights());
+        assert!(g.iter().any(|&v| v != 0.0));
+        n.zero_grad();
+        assert!(n.gradients().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length")]
+    fn set_weights_rejects_wrong_length() {
+        let mut n = net(0);
+        n.set_weights(&[0.0; 3]);
+    }
+
+    #[test]
+    fn predict_classes_returns_batch_size() {
+        let mut n = net(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+        assert_eq!(n.predict_classes(&x).len(), 5);
+    }
+}

@@ -1,0 +1,329 @@
+//! Pooling and reshaping layers.
+
+use crate::Layer;
+use hs_tensor::Tensor;
+
+/// 2-D max pooling with a square window and stride equal to the window size.
+pub struct MaxPool2d {
+    size: usize,
+    cached_argmax: Option<Vec<usize>>,
+    cached_in_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window size (and stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "pool size must be positive");
+        MaxPool2d {
+            size,
+            cached_argmax: None,
+            cached_in_dims: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        let x = input.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let o_idx = ((ni * c + ci) * oh + oi) * ow + oj;
+                        for di in 0..s {
+                            for dj in 0..s {
+                                let ii = oi * s + di;
+                                let jj = oj * s + dj;
+                                let i_idx = ((ni * c + ci) * h + ii) * w + jj;
+                                if x[i_idx] > out[o_idx] {
+                                    out[o_idx] = x[i_idx];
+                                    argmax[o_idx] = i_idx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_argmax = Some(argmax);
+            self.cached_in_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.cached_argmax.as_ref().expect("backward before forward");
+        let in_dims = self.cached_in_dims.clone().expect("missing cache");
+        let mut grad_in = vec![0.0f32; in_dims.iter().product()];
+        for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+            grad_in[idx] += g;
+        }
+        Tensor::from_vec(grad_in, &in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// 2-D average pooling with a square window and stride equal to the window
+/// size.
+pub struct AvgPool2d {
+    size: usize,
+    cached_in_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with the given window size (and stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "pool size must be positive");
+        AvgPool2d {
+            size,
+            cached_in_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "AvgPool2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let norm = 1.0 / (s * s) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let o_idx = ((ni * c + ci) * oh + oi) * ow + oj;
+                        let mut acc = 0.0;
+                        for di in 0..s {
+                            for dj in 0..s {
+                                let i_idx = ((ni * c + ci) * h + oi * s + di) * w + oj * s + dj;
+                                acc += x[i_idx];
+                            }
+                        }
+                        out[o_idx] = acc * norm;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_in_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        let norm = 1.0 / (s * s) as f32;
+        let go = grad_out.as_slice();
+        let mut grad_in = vec![0.0f32; n * c * h * w];
+        for ni in 0..n {
+            for ci in 0..c {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let g = go[((ni * c + ci) * oh + oi) * ow + oj] * norm;
+                        for di in 0..s {
+                            for dj in 0..s {
+                                let i_idx = ((ni * c + ci) * h + oi * s + di) * w + oj * s + dj;
+                                grad_in[i_idx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(grad_in, &in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+pub struct GlobalAvgPool {
+    cached_in_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            cached_in_dims: None,
+        }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "GlobalAvgPool expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = (h * w) as f32;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let off = (ni * c + ci) * h * w;
+                out[ni * c + ci] = x[off..off + h * w].iter().sum::<f32>() / hw;
+            }
+        }
+        if train {
+            self.cached_in_dims = Some(dims.to_vec());
+        }
+        Tensor::from_vec(out, &[n, c])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let norm = 1.0 / (h * w) as f32;
+        let go = grad_out.as_slice();
+        let mut grad_in = vec![0.0f32; n * c * h * w];
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = go[ni * c + ci] * norm;
+                let off = (ni * c + ci) * h * w;
+                for v in &mut grad_in[off..off + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        Tensor::from_vec(grad_in, &in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+/// Flattens `[n, ...]` into `[n, prod(...)]`.
+pub struct Flatten {
+    cached_in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            cached_in_dims: None,
+        }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert!(input.rank() >= 2, "Flatten expects at least a rank-2 input");
+        let dims = input.dims();
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        if train {
+            self.cached_in_dims = Some(dims.to_vec());
+        }
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        grad_out.reshape(&in_dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_reduces_and_routes_gradient() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = pool.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        let g = pool.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        // gradient flows only to the max positions
+        assert_eq!(g.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(g.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_averages_and_spreads_gradient() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let g = pool.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.as_slice(), &[1.0; 6]);
+        let g = pool.backward(&Tensor::ones(&[2, 3]));
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+        assert!((g.sum() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,117 @@
+//! A container that chains layers in order.
+
+use crate::{Layer, Param};
+use hs_tensor::Tensor;
+
+/// Runs a list of layers in sequence; the workhorse container for every model
+/// in the zoo.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty container (useful with [`Sequential::push`]).
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the container.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chains_layers_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ]);
+        let x = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let y = seq.forward(&x, true);
+        assert_eq!(y.dims(), &[3, 2]);
+        let g = seq.backward(&Tensor::ones(&[3, 2]));
+        assert_eq!(g.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn aggregates_child_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ]);
+        // two linear layers, each with weight + bias
+        assert_eq!(seq.params_mut().len(), 4);
+    }
+
+    #[test]
+    fn push_grows_container() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::empty();
+        assert!(seq.is_empty());
+        seq.push(Box::new(Linear::new(2, 2, &mut rng)));
+        assert_eq!(seq.len(), 1);
+    }
+}

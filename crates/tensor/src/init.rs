@@ -1,0 +1,61 @@
+//! Weight-initialisation helpers.
+//!
+//! The network stack uses these to initialise convolution and dense layers.
+//! Each helper takes an explicit [`StdRng`] so that every experiment in the
+//! reproduction is deterministic given its seed.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+
+/// He (Kaiming) normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// Suited to ReLU-family activations, which are used throughout the mobile
+/// model zoo.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_normal(dims, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+/// Plain uniform initialisation over `[low, high)`.
+pub fn uniform(dims: &[usize], low: f32, high: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::rand_uniform(dims, low, high, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = he_normal(&[20000], 8, &mut rng);
+        let expected = (2.0f32 / 8.0).sqrt();
+        assert!((t.variance().sqrt() - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&[1000], 10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.max() <= a);
+        assert!(t.min() >= -a);
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ta = he_normal(&[16], 4, &mut a);
+        let tb = he_normal(&[16], 4, &mut b);
+        assert_eq!(ta.as_slice(), tb.as_slice());
+    }
+}

@@ -1,0 +1,42 @@
+//! # hs-tensor
+//!
+//! A minimal, dependency-light `f32` n-dimensional tensor library used as the
+//! numerical substrate for the HeteroSwitch reproduction. It provides exactly
+//! what the neural-network stack (`hs-nn`), the ISP pipeline (`hs-isp`) and
+//! the federated-learning simulator (`hs-fl`) need:
+//!
+//! * contiguous row-major storage with shape/stride bookkeeping,
+//! * element-wise arithmetic and mapping,
+//! * 2-D matrix multiplication and transposition,
+//! * reductions (sum, mean, max, argmax) over the whole tensor or an axis,
+//! * random initialisation helpers with explicit, seedable RNGs.
+//!
+//! The library deliberately avoids `unsafe`, BLAS bindings and SIMD
+//! intrinsics: the reproduction targets *trend fidelity* of the paper's
+//! experiments on commodity CPUs, not peak throughput.
+//!
+//! ```
+//! use hs_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,112 @@
+//! Quickstart: render one scene through two heterogeneous devices, build a
+//! small federated population over the full nine-device fleet, and compare
+//! FedAvg against HeteroSwitch.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use heteroswitch::{HeteroSwitchConfig, HeteroSwitchTrainer, Policy};
+use hs_data::{build_device_datasets, split_evenly, Imagenet12Config};
+use hs_device::paper_devices;
+use hs_fl::{
+    AggregationMethod, ClientData, FedAvgTrainer, FlConfig, FlSimulation, LossKind, ModelFactory,
+};
+use hs_metrics::{population_variance, worst_case};
+use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The simulated device fleet (paper Table 1).
+    let fleet = paper_devices();
+    println!("Fleet: {} devices", fleet.len());
+    for device in &fleet {
+        println!(
+            "  {:<8} vendor={:<8} tier={:<9} market share={:>4.0}%",
+            device.name,
+            device.vendor.as_str(),
+            device.tier.as_str(),
+            device.market_share * 100.0
+        );
+    }
+
+    // 2. Per-device datasets: the same scenes, rendered by each device.
+    let mut cfg = Imagenet12Config::default();
+    cfg.num_classes = 6;
+    cfg.image_size = 16;
+    cfg.scene_size = 24;
+    cfg.train_per_class = 4;
+    cfg.test_per_class = 2;
+    let datasets = build_device_datasets(&fleet, cfg, 42);
+    println!(
+        "\nBuilt {} per-device datasets ({} train / {} test samples each)",
+        datasets.len(),
+        datasets[0].train.len(),
+        datasets[0].test.len()
+    );
+
+    // 3. A federated population: two clients per device type.
+    let mut clients = Vec::new();
+    for (d, ds) in datasets.iter().enumerate() {
+        for (i, shard) in split_evenly(&ds.train, 2, d as u64).into_iter().enumerate() {
+            clients.push(ClientData {
+                id: d * 2 + i,
+                device: ds.device.clone(),
+                data: shard,
+            });
+        }
+    }
+    let tests: Vec<(String, _)> = datasets
+        .iter()
+        .map(|d| (d.device.clone(), d.test.clone()))
+        .collect();
+
+    let mut fl = FlConfig::quick();
+    fl.num_clients = clients.len();
+    fl.clients_per_round = 6;
+    fl.rounds = 8;
+    fl.batch_size = 8;
+
+    let vision = VisionConfig::new(3, cfg.num_classes, cfg.image_size);
+    let factory = || -> ModelFactory {
+        Box::new(move |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            build_vision_model(ModelKind::SimpleCnn, vision, &mut rng)
+        })
+    };
+
+    // 4. FedAvg baseline vs HeteroSwitch.
+    for (name, trainer) in [
+        (
+            "FedAvg",
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)) as Box<dyn hs_fl::ClientTrainer>,
+        ),
+        (
+            "HeteroSwitch",
+            Box::new(HeteroSwitchTrainer::new(
+                HeteroSwitchConfig::default(),
+                LossKind::CrossEntropy,
+                Policy::Selective,
+            )),
+        ),
+    ] {
+        let mut sim = FlSimulation::new(
+            fl,
+            clients.clone(),
+            factory(),
+            trainer,
+            AggregationMethod::FedAvg,
+        );
+        sim.run();
+        let groups = sim.evaluate_per_device(&tests);
+        let accs: Vec<f32> = groups.iter().map(|g| g.accuracy * 100.0).collect();
+        println!(
+            "\n{name}: average {:.1}%  worst-case {:.1}%  variance {:.1}",
+            accs.iter().sum::<f32>() / accs.len() as f32,
+            worst_case(&accs),
+            population_variance(&accs)
+        );
+        for g in &groups {
+            println!("  {:<8} {:.1}%", g.group, g.accuracy * 100.0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: tensor algebra, ISP pipeline range/geometry guarantees,
+//! metric bounds, weight averaging and client partitioning.
+
+use heteroswitch::{random_gamma, random_white_balance, AveragingMode, WeightAverager};
+use hs_isp::{BayerPattern, IspConfig, RawImage};
+use hs_metrics::{accuracy, average_precision, mean, population_variance, worst_case};
+use hs_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Tensor algebra
+    // ------------------------------------------------------------------
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[rows, cols], -10.0, 10.0, &mut rng);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// Matrix multiplication by the identity is the identity map.
+    #[test]
+    fn matmul_identity_is_identity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[rows, cols], -10.0, 10.0, &mut rng);
+        let out = t.matmul(&Tensor::eye(cols));
+        for (a, b) in t.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: (A + B) C == A C + B C.
+    #[test]
+    fn matmul_distributes_over_addition(n in 1usize..5, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&[n, n], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, n], -2.0, 2.0, &mut rng);
+        let c = Tensor::rand_uniform(&[n, n], -2.0, 2.0, &mut rng);
+        let left = a.add(&b).matmul(&c);
+        let right = a.matmul(&c).add(&b.matmul(&c));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are valid probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[rows, cols], -20.0, 20.0, &mut rng);
+        let s = t.softmax_rows();
+        for i in 0..rows {
+            let mut total = 0.0f32;
+            for j in 0..cols {
+                let v = s.at(&[i, j]);
+                prop_assert!((0.0..=1.0).contains(&v));
+                total += v;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Reshape preserves every element and the element count.
+    #[test]
+    fn reshape_preserves_data(n in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&[n, m], -1.0, 1.0, &mut rng);
+        let r = t.reshape(&[m * n]);
+        prop_assert_eq!(r.len(), t.len());
+        prop_assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    // ------------------------------------------------------------------
+    // ISP pipeline
+    // ------------------------------------------------------------------
+
+    /// Every ISP configuration maps arbitrary RAW data into valid RGB in
+    /// [0, 1] with the sensor's geometry.
+    #[test]
+    fn isp_output_is_bounded_rgb(seed in 0u64..500, size in 2usize..10) {
+        let size = size * 2; // even sizes
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..size * size).map(|_| {
+            use rand::Rng;
+            rng.gen_range(0.0..1.0)
+        }).collect();
+        let raw = RawImage::from_data(size, size, data, BayerPattern::Rggb);
+        for cfg in [IspConfig::baseline(), IspConfig::option1(), IspConfig::option2()] {
+            let rgb = cfg.process(&raw);
+            prop_assert_eq!((rgb.width, rgb.height, rgb.channels), (size, size, 3));
+            prop_assert!(rgb.data.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    /// HeteroSwitch's random transformations keep image tensors in [0, 1]
+    /// and never change the shape.
+    #[test]
+    fn isp_transformations_preserve_range_and_shape(
+        seed in 0u64..500,
+        wb_degree in 0.0f32..0.9,
+        gamma_degree in 0.0f32..0.9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = Tensor::rand_uniform(&[3, 6, 6], 0.0, 1.0, &mut rng);
+        let wb = random_white_balance(&img, wb_degree, &mut rng);
+        let gamma = random_gamma(&wb, gamma_degree, &mut rng);
+        prop_assert_eq!(gamma.dims(), img.dims());
+        prop_assert!(gamma.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Accuracy lies in [0, 1] and equals 1 exactly for identical inputs.
+    #[test]
+    fn accuracy_bounds(labels in prop::collection::vec(0usize..5, 1..50)) {
+        let acc_same = accuracy(&labels, &labels);
+        prop_assert!((acc_same - 1.0).abs() < 1e-6);
+        let shifted: Vec<usize> = labels.iter().map(|l| (l + 1) % 5).collect();
+        let acc_diff = accuracy(&shifted, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc_diff));
+    }
+
+    /// Variance is non-negative and zero for constant vectors; the worst case
+    /// never exceeds the mean.
+    #[test]
+    fn fairness_metric_invariants(values in prop::collection::vec(0.0f32..100.0, 1..20)) {
+        let var = population_variance(&values);
+        prop_assert!(var >= 0.0);
+        prop_assert!(worst_case(&values) <= mean(&values) + 1e-4);
+        let constant = vec![values[0]; values.len()];
+        prop_assert!(population_variance(&constant) < 1e-6);
+    }
+
+    /// Average precision is bounded in [0, 1] for arbitrary score vectors.
+    #[test]
+    fn average_precision_bounds(
+        scores in prop::collection::vec(-5.0f32..5.0, 1..12),
+        mask_seed in 0u64..100,
+    ) {
+        let relevant: Vec<bool> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i as u64 + mask_seed) % 3 == 0)
+            .collect();
+        let ap = average_precision(&scores, &relevant);
+        prop_assert!((0.0..=1.0).contains(&ap));
+    }
+
+    // ------------------------------------------------------------------
+    // Weight averaging and partitioning
+    // ------------------------------------------------------------------
+
+    /// The SWAD running average always stays within the per-coordinate
+    /// min/max envelope of everything it has seen.
+    #[test]
+    fn weight_average_stays_in_envelope(
+        updates in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 1..10),
+        initial in prop::collection::vec(-5.0f32..5.0, 3),
+    ) {
+        let mut averager = WeightAverager::new(AveragingMode::PerBatch, &initial);
+        let mut lo = initial.clone();
+        let mut hi = initial.clone();
+        for update in &updates {
+            averager.update(update);
+            for i in 0..3 {
+                lo[i] = lo[i].min(update[i]);
+                hi[i] = hi[i].max(update[i]);
+            }
+        }
+        for i in 0..3 {
+            prop_assert!(averager.average()[i] >= lo[i] - 1e-4);
+            prop_assert!(averager.average()[i] <= hi[i] + 1e-4);
+        }
+    }
+
+    /// Market-share client assignment always returns exactly the requested
+    /// number of clients and only valid device indices.
+    #[test]
+    fn share_assignment_is_complete(
+        shares in prop::collection::vec(0.01f32..10.0, 1..9),
+        num_clients in 1usize..60,
+        seed in 0u64..100,
+    ) {
+        let assignment = hs_data::assign_clients_by_share(&shares, num_clients, seed);
+        prop_assert_eq!(assignment.len(), num_clients);
+        prop_assert!(assignment.iter().all(|&d| d < shares.len()));
+    }
+}

@@ -9,23 +9,66 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+/// The kernel-layer speedup benches: each optimised hot path is paired with
+/// its `*_naive` seed-reference twin so a single run shows the ratio (the
+/// PR's acceptance bar is ≥5× on the matmul_256 and conv forward pairs).
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
-    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
-    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
-    c.bench_function("nn/matmul_64x64", |bencher| {
+
+    // -- matmul: blocked+SIMD GEMM vs the seed i-k-j loop ------------------
+    let a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/matmul_256x256x256", |bencher| {
         bencher.iter(|| black_box(&a).matmul(black_box(&b)))
     });
+    c.bench_function("nn/matmul_256x256x256_naive", |bencher| {
+        bencher.iter(|| black_box(&a).matmul_naive(black_box(&b)))
+    });
 
-    let mut conv = Conv2d::new(16, 16, 3, 1, 1, 1, &mut rng);
+    let a64 = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b64 = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/matmul_64x64", |bencher| {
+        bencher.iter(|| black_box(&a64).matmul(black_box(&b64)))
+    });
+
+    // -- convolution: im2col+GEMM vs the seed per-row axpy loop ------------
+    let mut conv64 = Conv2d::new(64, 64, 3, 1, 1, 1, &mut rng);
+    let x64 = Tensor::rand_uniform(&[2, 64, 64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/conv3x3_64c_64px_b2_forward", |bencher| {
+        bencher.iter(|| conv64.forward(black_box(&x64), false))
+    });
+    c.bench_function("nn/conv3x3_64c_64px_b2_forward_naive", |bencher| {
+        bencher.iter(|| conv64.forward_reference(black_box(&x64)))
+    });
+
+    let mut conv = Conv2d::new(32, 32, 3, 1, 1, 1, &mut rng);
+    let xc = Tensor::rand_uniform(&[4, 32, 32, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/conv3x3_32c_32px_b4_forward", |bencher| {
+        bencher.iter(|| conv.forward(black_box(&xc), false))
+    });
+    c.bench_function("nn/conv3x3_32c_32px_b4_forward_naive", |bencher| {
+        bencher.iter(|| conv.forward_reference(black_box(&xc)))
+    });
+
+    let mut conv16 = Conv2d::new(16, 16, 3, 1, 1, 1, &mut rng);
     let x = Tensor::rand_uniform(&[1, 16, 16, 16], -1.0, 1.0, &mut rng);
     c.bench_function("nn/conv3x3_16c_16px_forward", |bencher| {
-        bencher.iter(|| conv.forward(black_box(&x), false))
+        bencher.iter(|| conv16.forward(black_box(&x), false))
     });
 
     let mut dw = Conv2d::depthwise(16, 3, 1, 1, &mut rng);
     c.bench_function("nn/depthwise3x3_16c_16px_forward", |bencher| {
         bencher.iter(|| dw.forward(black_box(&x), false))
+    });
+
+    // -- training step: forward + backward through the GEMM path -----------
+    let mut conv_t = Conv2d::new(16, 16, 3, 1, 1, 1, &mut rng);
+    let xt = Tensor::rand_uniform(&[4, 16, 16, 16], -1.0, 1.0, &mut rng);
+    c.bench_function("nn/conv3x3_16c_16px_b4_fwd_bwd", |bencher| {
+        bencher.iter(|| {
+            let y = conv_t.forward(black_box(&xt), true);
+            conv_t.backward(&Tensor::ones(y.dims()))
+        })
     });
 }
 

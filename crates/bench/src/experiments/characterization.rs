@@ -244,7 +244,7 @@ pub(crate) fn build_population_with_shares(
             client_ids.len(),
             seed ^ device_idx as u64,
         );
-        for (&client_id, shard) in client_ids.iter().zip(shards.into_iter()) {
+        for (&client_id, shard) in client_ids.iter().zip(shards) {
             // guarantee each client has at least one sample by falling back to
             // the full device dataset when the shard came out empty
             let data = if shard.is_empty() {

@@ -32,35 +32,41 @@ impl Scale {
     /// Quick scale: finishes each experiment in minutes on a CPU while
     /// preserving the paper's qualitative trends.
     pub fn quick() -> Self {
-        let mut imagenet = Imagenet12Config::default();
-        imagenet.num_classes = 8;
-        imagenet.image_size = 16;
-        imagenet.scene_size = 32;
-        imagenet.train_per_class = 5;
-        imagenet.test_per_class = 3;
-
-        let mut cifar = CifarSynthConfig::default();
-        cifar.num_classes = 8;
-        cifar.image_size = 16;
-        cifar.train_per_class = 5;
-        cifar.test_per_class = 3;
-
-        let mut flair = FlairSynthConfig::default();
-        flair.num_devices = 8;
-        flair.image_size = 16;
-        flair.scene_size = 24;
-        flair.train_per_device = 10;
-        flair.test_per_device = 5;
-
-        let mut ecg = EcgConfig::default();
-        ecg.train_per_sensor = 30;
-        ecg.test_per_sensor = 10;
-
-        let mut fl = FlConfig::quick();
-        fl.num_clients = 20;
-        fl.clients_per_round = 5;
-        fl.rounds = 40;
-        fl.batch_size = 10;
+        let imagenet = Imagenet12Config {
+            num_classes: 8,
+            image_size: 16,
+            scene_size: 32,
+            train_per_class: 5,
+            test_per_class: 3,
+            ..Imagenet12Config::default()
+        };
+        let cifar = CifarSynthConfig {
+            num_classes: 8,
+            image_size: 16,
+            train_per_class: 5,
+            test_per_class: 3,
+            ..CifarSynthConfig::default()
+        };
+        let flair = FlairSynthConfig {
+            num_devices: 8,
+            image_size: 16,
+            scene_size: 24,
+            train_per_device: 10,
+            test_per_device: 5,
+            ..FlairSynthConfig::default()
+        };
+        let ecg = EcgConfig {
+            train_per_sensor: 30,
+            test_per_sensor: 10,
+            ..EcgConfig::default()
+        };
+        let fl = FlConfig {
+            num_clients: 20,
+            clients_per_round: 5,
+            rounds: 40,
+            batch_size: 10,
+            ..FlConfig::quick()
+        };
 
         Scale {
             imagenet,

@@ -43,7 +43,7 @@ pub fn assign_clients_by_share(shares: &[f32], num_clients: usize, seed: u64) ->
 
     let mut assignment = Vec::with_capacity(num_clients);
     for (device, &count) in counts.iter().enumerate() {
-        assignment.extend(std::iter::repeat(device).take(count));
+        assignment.extend(std::iter::repeat_n(device, count));
     }
     assignment.truncate(num_clients);
     let mut rng = StdRng::seed_from_u64(seed);

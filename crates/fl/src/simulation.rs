@@ -7,11 +7,11 @@ use crate::{
 use hs_data::Dataset;
 use hs_metrics::GroupAccuracy;
 use hs_nn::Network;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Builds a fresh, structurally identical model replica. The argument is a
 /// seed for weight initialisation; replicas always have their weights
@@ -115,8 +115,13 @@ impl FlSimulation {
     }
 
     /// Runs one communication round: sample `K` clients, run local updates
-    /// (in parallel across worker threads), aggregate and update the loss
-    /// EMA.
+    /// (in parallel on the shared [`hs_parallel`] pool), aggregate and
+    /// update the loss EMA.
+    ///
+    /// Client training shares one process-wide pool with the tensor kernels
+    /// and the ISP: while clients fan out here, the per-client convolution
+    /// and GEMM calls detect they are already on a pool worker and run
+    /// inline, so a round never oversubscribes the machine.
     pub fn run_round(&mut self) -> RoundStats {
         let round = self.rounds_run;
         let mut sample_rng = StdRng::seed_from_u64(
@@ -127,17 +132,13 @@ impl FlSimulation {
         let selected: Vec<usize> = ids[..self.config.clients_per_round].to_vec();
 
         let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(selected.len()));
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(selected.len())
-            .max(1);
+        let workers = hs_parallel::num_threads().min(selected.len()).max(1);
         let chunks: Vec<Vec<usize>> = selected
             .chunks(selected.len().div_ceil(workers))
             .map(|c| c.to_vec())
             .collect();
 
-        crossbeam::thread::scope(|scope| {
+        hs_parallel::scope(|scope| {
             for chunk in &chunks {
                 let updates = &updates;
                 let global = &self.global_weights;
@@ -146,7 +147,7 @@ impl FlSimulation {
                 let clients = &self.clients;
                 let config = self.config;
                 let loss_ema = self.loss_ema;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut net = factory(config.seed);
                     for &client_id in chunk {
                         net.set_weights(global);
@@ -168,14 +169,13 @@ impl FlSimulation {
                         );
                         let update =
                             trainer.client_update(&mut net, &client.data, &ctx, &mut client_rng);
-                        updates.lock().push(update);
+                        updates.lock().unwrap().push(update);
                     }
                 });
             }
-        })
-        .expect("client training threads must not panic");
+        });
 
-        let mut updates = updates.into_inner();
+        let mut updates = updates.into_inner().unwrap();
         // deterministic aggregation order regardless of thread interleaving
         updates.sort_by_key(|u| u.client_id);
 

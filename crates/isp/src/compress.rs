@@ -54,8 +54,8 @@ fn scaled_table(quality: u8) -> [[f32; 8]; 8] {
 
 fn dct_8(block: &[[f32; 8]; 8]) -> [[f32; 8]; 8] {
     let mut out = [[0.0f32; 8]; 8];
-    for u in 0..8 {
-        for v in 0..8 {
+    for (u, out_row) in out.iter_mut().enumerate() {
+        for (v, out_val) in out_row.iter_mut().enumerate() {
             let cu = if u == 0 { 1.0 / 2.0f32.sqrt() } else { 1.0 };
             let cv = if v == 0 { 1.0 / 2.0f32.sqrt() } else { 1.0 };
             let mut acc = 0.0;
@@ -66,7 +66,7 @@ fn dct_8(block: &[[f32; 8]; 8]) -> [[f32; 8]; 8] {
                         * ((2.0 * y as f32 + 1.0) * v as f32 * PI / 16.0).cos();
                 }
             }
-            out[u][v] = 0.25 * cu * cv * acc;
+            *out_val = 0.25 * cu * cv * acc;
         }
     }
     out

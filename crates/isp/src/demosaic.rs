@@ -62,74 +62,122 @@ fn neighbour_mean(raw: &RawImage, row: usize, col: usize, target: usize, radius:
     }
 }
 
+/// Runs `per_pixel` over every mosaic location, writing its `[r, g, b]`
+/// result into the three output planes. Rows fan out in bands across the
+/// shared `hs_parallel` pool (the planes are split so each band task owns a
+/// disjoint window of all three).
+fn demosaic_rows<F>(raw: &RawImage, per_pixel: F) -> ImageBuf
+where
+    F: Fn(usize, usize) -> [f32; 3] + Sync,
+{
+    let (w, h) = (raw.width, raw.height);
+    let mut out = ImageBuf::zeros(w, h, 3);
+    let n = w * h;
+    let band = crate::row_band(h, w) * w;
+    let (rp, rest) = out.data.split_at_mut(n);
+    let (gp, bp) = rest.split_at_mut(n);
+    if band >= n {
+        // single band (small image): skip pool dispatch entirely — this is
+        // the dataset-generation hot path at 16-32 px
+        for (i, ((rv, gv), bv)) in rp.iter_mut().zip(gp.iter_mut()).zip(bp.iter_mut()).enumerate() {
+            let [pr, pg, pb] = per_pixel(i / w, i % w);
+            *rv = pr;
+            *gv = pg;
+            *bv = pb;
+        }
+        return out;
+    }
+    hs_parallel::scope(|s| {
+        for (((band_idx, r_band), g_band), b_band) in rp
+            .chunks_mut(band)
+            .enumerate()
+            .zip(gp.chunks_mut(band))
+            .zip(bp.chunks_mut(band))
+        {
+            let per_pixel = &per_pixel;
+            s.spawn(move || {
+                let base = band_idx * band;
+                for (i, ((rv, gv), bv)) in r_band
+                    .iter_mut()
+                    .zip(g_band.iter_mut())
+                    .zip(b_band.iter_mut())
+                    .enumerate()
+                {
+                    let idx = base + i;
+                    let [pr, pg, pb] = per_pixel(idx / w, idx % w);
+                    *rv = pr;
+                    *gv = pg;
+                    *bv = pb;
+                }
+            });
+        }
+    });
+    out
+}
+
 /// PPG-style demosaic: green is interpolated along the direction of the
 /// smaller gradient, red/blue are filled from local neighbourhood means.
 fn ppg(raw: &RawImage) -> ImageBuf {
-    let mut out = ImageBuf::zeros(raw.width, raw.height, 3);
-    for r in 0..raw.height {
-        for c in 0..raw.width {
-            let own = raw.pattern.channel_at(r, c);
-            let v = raw.get(r, c);
-            out.set(own, r, c, v);
-            let (ri, ci) = (r as isize, c as isize);
-            if own != 1 {
-                // interpolate green along the lower-gradient axis
-                let gh = (sample(raw, ri, ci - 1) - sample(raw, ri, ci + 1)).abs();
-                let gv = (sample(raw, ri - 1, ci) - sample(raw, ri + 1, ci)).abs();
-                let green = if gh <= gv {
-                    0.5 * (sample(raw, ri, ci - 1) + sample(raw, ri, ci + 1))
-                } else {
-                    0.5 * (sample(raw, ri - 1, ci) + sample(raw, ri + 1, ci))
-                };
-                out.set(1, r, c, green);
-                // the remaining colour comes from the diagonal neighbours
-                let other = if own == 0 { 2 } else { 0 };
-                out.set(other, r, c, neighbour_mean(raw, r, c, other, 1));
+    demosaic_rows(raw, |r, c| {
+        let own = raw.pattern.channel_at(r, c);
+        let v = raw.get(r, c);
+        let (ri, ci) = (r as isize, c as isize);
+        let mut px = [0.0f32; 3];
+        px[own] = v;
+        if own != 1 {
+            // interpolate green along the lower-gradient axis
+            let gh = (sample(raw, ri, ci - 1) - sample(raw, ri, ci + 1)).abs();
+            let gv = (sample(raw, ri - 1, ci) - sample(raw, ri + 1, ci)).abs();
+            px[1] = if gh <= gv {
+                0.5 * (sample(raw, ri, ci - 1) + sample(raw, ri, ci + 1))
             } else {
-                // green pixel: interpolate both red and blue from neighbours
-                out.set(0, r, c, neighbour_mean(raw, r, c, 0, 1));
-                out.set(2, r, c, neighbour_mean(raw, r, c, 2, 1));
-            }
+                0.5 * (sample(raw, ri - 1, ci) + sample(raw, ri + 1, ci))
+            };
+            // the remaining colour comes from the diagonal neighbours
+            let other = if own == 0 { 2 } else { 0 };
+            px[other] = neighbour_mean(raw, r, c, other, 1);
+        } else {
+            // green pixel: interpolate both red and blue from neighbours
+            px[0] = neighbour_mean(raw, r, c, 0, 1);
+            px[2] = neighbour_mean(raw, r, c, 2, 1);
         }
-    }
-    out
+        px
+    })
 }
 
 /// AHD-style demosaic: like PPG but the interpolation direction is chosen by
 /// comparing the homogeneity (local variance) of horizontal and vertical
 /// candidate reconstructions over a wider window.
 fn ahd(raw: &RawImage) -> ImageBuf {
-    let mut out = ImageBuf::zeros(raw.width, raw.height, 3);
-    for r in 0..raw.height {
-        for c in 0..raw.width {
-            let own = raw.pattern.channel_at(r, c);
-            let v = raw.get(r, c);
-            out.set(own, r, c, v);
-            let (ri, ci) = (r as isize, c as isize);
-            if own != 1 {
-                // candidate green values from each direction
-                let gh = 0.5 * (sample(raw, ri, ci - 1) + sample(raw, ri, ci + 1));
-                let gv = 0.5 * (sample(raw, ri - 1, ci) + sample(raw, ri + 1, ci));
-                // homogeneity score: variation along each axis over radius 2
-                let hom_h = (sample(raw, ri, ci - 2) - v).abs() + (sample(raw, ri, ci + 2) - v).abs();
-                let hom_v = (sample(raw, ri - 2, ci) - v).abs() + (sample(raw, ri + 2, ci) - v).abs();
-                let green = if hom_h <= hom_v { gh } else { gv };
-                // second-order correction term characteristic of AHD
-                let correction = if hom_h <= hom_v {
-                    0.25 * (2.0 * v - sample(raw, ri, ci - 2) - sample(raw, ri, ci + 2))
-                } else {
-                    0.25 * (2.0 * v - sample(raw, ri - 2, ci) - sample(raw, ri + 2, ci))
-                };
-                out.set(1, r, c, (green + correction).clamp(0.0, 1.0));
-                let other = if own == 0 { 2 } else { 0 };
-                out.set(other, r, c, neighbour_mean(raw, r, c, other, 2));
+    demosaic_rows(raw, |r, c| {
+        let own = raw.pattern.channel_at(r, c);
+        let v = raw.get(r, c);
+        let (ri, ci) = (r as isize, c as isize);
+        let mut px = [0.0f32; 3];
+        px[own] = v;
+        if own != 1 {
+            // candidate green values from each direction
+            let gh = 0.5 * (sample(raw, ri, ci - 1) + sample(raw, ri, ci + 1));
+            let gv = 0.5 * (sample(raw, ri - 1, ci) + sample(raw, ri + 1, ci));
+            // homogeneity score: variation along each axis over radius 2
+            let hom_h = (sample(raw, ri, ci - 2) - v).abs() + (sample(raw, ri, ci + 2) - v).abs();
+            let hom_v = (sample(raw, ri - 2, ci) - v).abs() + (sample(raw, ri + 2, ci) - v).abs();
+            let green = if hom_h <= hom_v { gh } else { gv };
+            // second-order correction term characteristic of AHD
+            let correction = if hom_h <= hom_v {
+                0.25 * (2.0 * v - sample(raw, ri, ci - 2) - sample(raw, ri, ci + 2))
             } else {
-                out.set(0, r, c, neighbour_mean(raw, r, c, 0, 2));
-                out.set(2, r, c, neighbour_mean(raw, r, c, 2, 2));
-            }
+                0.25 * (2.0 * v - sample(raw, ri - 2, ci) - sample(raw, ri + 2, ci))
+            };
+            px[1] = (green + correction).clamp(0.0, 1.0);
+            let other = if own == 0 { 2 } else { 0 };
+            px[other] = neighbour_mean(raw, r, c, other, 2);
+        } else {
+            px[0] = neighbour_mean(raw, r, c, 0, 2);
+            px[2] = neighbour_mean(raw, r, c, 2, 2);
         }
-    }
-    out
+        px
+    })
 }
 
 /// 2×2 pixel binning: every Bayer quad collapses into one RGB superpixel and

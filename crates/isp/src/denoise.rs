@@ -27,35 +27,44 @@ pub fn denoise(img: &ImageBuf, method: DenoiseMethod) -> ImageBuf {
 /// Edge-preserving 3×3 smoothing: neighbours are weighted by a Gaussian of
 /// their intensity difference to the centre pixel (a small bilateral filter),
 /// which matches FBDD's goal of removing impulse noise without washing out
-/// edges.
+/// edges. Each channel plane is filtered over parallel row bands on the
+/// shared `hs_parallel` pool (the input is read-only, output bands are
+/// disjoint).
 fn fbdd(img: &ImageBuf) -> ImageBuf {
     let mut out = img.clone();
     let sigma_r = 0.1f32;
-    for c in 0..img.channels {
-        for r in 0..img.height {
-            for col in 0..img.width {
+    let (w, h) = (img.width, img.height);
+    let n = w * h;
+    let band = crate::row_band(h, w) * w;
+    for (c, plane) in out.data.chunks_mut(n).enumerate() {
+        hs_parallel::parallel_chunks_mut(plane, band, |band_idx, out_band| {
+            let base = band_idx * band;
+            for (i, o) in out_band.iter_mut().enumerate() {
+                let idx = base + i;
+                let (r, col) = (idx / w, idx % w);
                 let centre = img.get(c, r, col);
                 let mut sum = 0.0;
                 let mut weight = 0.0;
                 for dr in -1i32..=1 {
                     for dc in -1i32..=1 {
-                        let rr = (r as i32 + dr).clamp(0, img.height as i32 - 1) as usize;
-                        let cc = (col as i32 + dc).clamp(0, img.width as i32 - 1) as usize;
+                        let rr = (r as i32 + dr).clamp(0, h as i32 - 1) as usize;
+                        let cc = (col as i32 + dc).clamp(0, w as i32 - 1) as usize;
                         let v = img.get(c, rr, cc);
-                        let w = (-((v - centre) * (v - centre)) / (2.0 * sigma_r * sigma_r)).exp();
-                        sum += w * v;
-                        weight += w;
+                        let wgt = (-((v - centre) * (v - centre)) / (2.0 * sigma_r * sigma_r)).exp();
+                        sum += wgt * v;
+                        weight += wgt;
                     }
                 }
-                out.set(c, r, col, sum / weight);
+                *o = sum / weight;
             }
-        }
+        });
     }
     out
 }
 
 /// Single-level 2-D Haar decomposition, soft-thresholding of the detail
-/// bands with a BayesShrink-style threshold, and reconstruction.
+/// bands with a BayesShrink-style threshold, and reconstruction. Channels
+/// are independent, so each plane runs as its own task on the shared pool.
 fn wavelet_bayes_shrink(img: &ImageBuf) -> ImageBuf {
     let mut out = img.clone();
     let h = img.height / 2 * 2;
@@ -63,72 +72,87 @@ fn wavelet_bayes_shrink(img: &ImageBuf) -> ImageBuf {
     if h < 2 || w < 2 {
         return out;
     }
-    for c in 0..img.channels {
-        // forward Haar transform over 2x2 blocks
-        let mut approx = vec![0.0f32; (h / 2) * (w / 2)];
-        let mut det_h = vec![0.0f32; (h / 2) * (w / 2)];
-        let mut det_v = vec![0.0f32; (h / 2) * (w / 2)];
-        let mut det_d = vec![0.0f32; (h / 2) * (w / 2)];
-        for r in 0..h / 2 {
-            for col in 0..w / 2 {
-                let a = img.get(c, 2 * r, 2 * col);
-                let b = img.get(c, 2 * r, 2 * col + 1);
-                let d = img.get(c, 2 * r + 1, 2 * col);
-                let e = img.get(c, 2 * r + 1, 2 * col + 1);
-                let idx = r * (w / 2) + col;
-                approx[idx] = (a + b + d + e) / 4.0;
-                det_h[idx] = (a - b + d - e) / 4.0;
-                det_v[idx] = (a + b - d - e) / 4.0;
-                det_d[idx] = (a - b - d + e) / 4.0;
+    let n = img.width * img.height;
+    if n < crate::PARALLEL_MIN_PIXELS {
+        for (c, plane) in out.data.chunks_mut(n).enumerate() {
+            wavelet_plane(img, c, plane, h, w);
+        }
+    } else {
+        hs_parallel::scope(|s| {
+            for (c, plane) in out.data.chunks_mut(n).enumerate() {
+                s.spawn(move || wavelet_plane(img, c, plane, h, w));
             }
-        }
-        // BayesShrink threshold: sigma_noise^2 / sigma_signal, with the noise
-        // estimated from the median absolute deviation of the diagonal band
-        let mut abs_d: Vec<f32> = det_d.iter().map(|v| v.abs()).collect();
-        abs_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mad = abs_d[abs_d.len() / 2];
-        let sigma_noise = mad / 0.6745;
-        let threshold_for = |band: &[f32]| -> f32 {
-            let var: f32 = band.iter().map(|v| v * v).sum::<f32>() / band.len() as f32;
-            let sigma_signal = (var - sigma_noise * sigma_noise).max(1e-12).sqrt();
-            if sigma_signal < 1e-6 {
-                f32::INFINITY
-            } else {
-                sigma_noise * sigma_noise / sigma_signal
-            }
-        };
-        let soft = |v: f32, t: f32| -> f32 {
-            if t.is_infinite() {
-                0.0
-            } else {
-                v.signum() * (v.abs() - t).max(0.0)
-            }
-        };
-        let th = threshold_for(&det_h);
-        let tv = threshold_for(&det_v);
-        let td = threshold_for(&det_d);
-        for v in &mut det_h {
-            *v = soft(*v, th);
-        }
-        for v in &mut det_v {
-            *v = soft(*v, tv);
-        }
-        for v in &mut det_d {
-            *v = soft(*v, td);
-        }
-        // inverse Haar
-        for r in 0..h / 2 {
-            for col in 0..w / 2 {
-                let idx = r * (w / 2) + col;
-                let (a, hh, vv, dd) = (approx[idx], det_h[idx], det_v[idx], det_d[idx]);
-                out.set(c, 2 * r, 2 * col, a + hh + vv + dd);
-                out.set(c, 2 * r, 2 * col + 1, a - hh + vv - dd);
-                out.set(c, 2 * r + 1, 2 * col, a + hh - vv - dd);
-                out.set(c, 2 * r + 1, 2 * col + 1, a - hh - vv + dd);
-            }
-        }
+        });
     }
     out
+}
+
+/// BayesShrink on one channel plane; `plane` is that channel's output slice.
+fn wavelet_plane(img: &ImageBuf, c: usize, plane: &mut [f32], h: usize, w: usize) {
+    // forward Haar transform over 2x2 blocks
+    let mut approx = vec![0.0f32; (h / 2) * (w / 2)];
+    let mut det_h = vec![0.0f32; (h / 2) * (w / 2)];
+    let mut det_v = vec![0.0f32; (h / 2) * (w / 2)];
+    let mut det_d = vec![0.0f32; (h / 2) * (w / 2)];
+    for r in 0..h / 2 {
+        for col in 0..w / 2 {
+            let a = img.get(c, 2 * r, 2 * col);
+            let b = img.get(c, 2 * r, 2 * col + 1);
+            let d = img.get(c, 2 * r + 1, 2 * col);
+            let e = img.get(c, 2 * r + 1, 2 * col + 1);
+            let idx = r * (w / 2) + col;
+            approx[idx] = (a + b + d + e) / 4.0;
+            det_h[idx] = (a - b + d - e) / 4.0;
+            det_v[idx] = (a + b - d - e) / 4.0;
+            det_d[idx] = (a - b - d + e) / 4.0;
+        }
+    }
+    // BayesShrink threshold: sigma_noise^2 / sigma_signal, with the noise
+    // estimated from the median absolute deviation of the diagonal band
+    let mut abs_d: Vec<f32> = det_d.iter().map(|v| v.abs()).collect();
+    abs_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = abs_d[abs_d.len() / 2];
+    let sigma_noise = mad / 0.6745;
+    let threshold_for = |band: &[f32]| -> f32 {
+        let var: f32 = band.iter().map(|v| v * v).sum::<f32>() / band.len() as f32;
+        let sigma_signal = (var - sigma_noise * sigma_noise).max(1e-12).sqrt();
+        if sigma_signal < 1e-6 {
+            f32::INFINITY
+        } else {
+            sigma_noise * sigma_noise / sigma_signal
+        }
+    };
+    let soft = |v: f32, t: f32| -> f32 {
+        if t.is_infinite() {
+            0.0
+        } else {
+            v.signum() * (v.abs() - t).max(0.0)
+        }
+    };
+    let th = threshold_for(&det_h);
+    let tv = threshold_for(&det_v);
+    let td = threshold_for(&det_d);
+    for v in &mut det_h {
+        *v = soft(*v, th);
+    }
+    for v in &mut det_v {
+        *v = soft(*v, tv);
+    }
+    for v in &mut det_d {
+        *v = soft(*v, td);
+    }
+    // inverse Haar, written to this channel's own plane slice
+    let width = img.width;
+    for r in 0..h / 2 {
+        for col in 0..w / 2 {
+            let idx = r * (w / 2) + col;
+            let (a, hh, vv, dd) = (approx[idx], det_h[idx], det_v[idx], det_d[idx]);
+            plane[2 * r * width + 2 * col] = a + hh + vv + dd;
+            plane[2 * r * width + 2 * col + 1] = a - hh + vv - dd;
+            plane[(2 * r + 1) * width + 2 * col] = a + hh - vv - dd;
+            plane[(2 * r + 1) * width + 2 * col + 1] = a - hh - vv + dd;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,20 @@ mod pipeline;
 mod tone;
 mod white_balance;
 
+/// Pixel count below which the per-pixel stages stay serial: pool dispatch
+/// costs more than the loop for thumbnail-sized images.
+pub(crate) const PARALLEL_MIN_PIXELS: usize = 16_384;
+
+/// Rows per parallel band for an `height x width` stage, sized so every pool
+/// thread gets a couple of bands. Returns `height` (one band, i.e. serial)
+/// for small images.
+pub(crate) fn row_band(height: usize, width: usize) -> usize {
+    if height * width < PARALLEL_MIN_PIXELS {
+        return height.max(1);
+    }
+    height.div_ceil(hs_parallel::num_threads() * 2).max(1)
+}
+
 pub use compress::{jpeg_compress, CompressMethod};
 pub use demosaic::{demosaic, DemosaicMethod};
 pub use denoise::{denoise, DenoiseMethod};

@@ -35,9 +35,12 @@ pub(crate) fn srgb_encode(v: f32) -> f32 {
 
 fn srgb_gamma(img: &ImageBuf) -> ImageBuf {
     let mut out = img.clone();
-    for v in &mut out.data {
-        *v = srgb_encode(*v);
-    }
+    let band = (crate::row_band(img.height, img.width) * img.width).max(1);
+    hs_parallel::parallel_chunks_mut(&mut out.data, band, |_, chunk| {
+        for v in chunk {
+            *v = srgb_encode(*v);
+        }
+    });
     out
 }
 
@@ -50,9 +53,14 @@ fn equalize(img: &ImageBuf) -> ImageBuf {
     const BINS: usize = 64;
     let mut hist = [0usize; BINS];
     let mut luma = vec![0.0f32; n];
-    for i in 0..n {
-        let y = 0.2126 * img.data[i] + 0.7152 * img.data[n + i] + 0.0722 * img.data[2 * n + i];
-        luma[i] = y;
+    for (l, ((&r, &g), &b)) in luma.iter_mut().zip(
+        img.data[..n]
+            .iter()
+            .zip(img.data[n..2 * n].iter())
+            .zip(img.data[2 * n..3 * n].iter()),
+    ) {
+        let y = 0.2126 * r + 0.7152 * g + 0.0722 * b;
+        *l = y;
         let bin = ((y * (BINS - 1) as f32).round() as usize).min(BINS - 1);
         hist[bin] += 1;
     }
@@ -63,15 +71,26 @@ fn equalize(img: &ImageBuf) -> ImageBuf {
         acc += hist[b];
         cdf[b] = acc as f32 / n as f32;
     }
-    let mut out = img.clone();
-    for i in 0..n {
-        let y = luma[i].max(1e-6);
-        let bin = ((y * (BINS - 1) as f32).round() as usize).min(BINS - 1);
-        let target = cdf[bin];
-        let gain = target / y;
-        for c in 0..3 {
-            out.data[c * n + i] = (img.data[c * n + i] * gain).clamp(0.0, 1.0);
+    // per-pixel gains from the CDF, then three independent plane multiplies,
+    // all over parallel row bands
+    let band = (crate::row_band(img.height, img.width) * img.width).max(1);
+    let mut gain = vec![0.0f32; n];
+    hs_parallel::parallel_chunks_mut(&mut gain, band, |band_idx, chunk| {
+        let base = band_idx * band;
+        for (i, g) in chunk.iter_mut().enumerate() {
+            let y = luma[base + i].max(1e-6);
+            let bin = ((y * (BINS - 1) as f32).round() as usize).min(BINS - 1);
+            *g = cdf[bin] / y;
         }
+    });
+    let mut out = img.clone();
+    for plane in out.data.chunks_mut(n) {
+        hs_parallel::parallel_chunks_mut(plane, band, |band_idx, chunk| {
+            let base = band_idx * band;
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (*v * gain[base + i]).clamp(0.0, 1.0);
+            }
+        });
     }
     out
 }

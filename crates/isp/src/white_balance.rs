@@ -26,6 +26,23 @@ pub fn white_balance(img: &ImageBuf, method: WbMethod) -> ImageBuf {
     }
 }
 
+/// Applies one gain per channel plane, clamping to `[0, 1]`; each plane's
+/// multiply runs over parallel row bands on the shared pool (top-level, so
+/// the full pool fans out per plane).
+fn apply_gains(img: &ImageBuf, gains: [f32; 3]) -> ImageBuf {
+    let mut out = img.clone();
+    let n = img.width * img.height;
+    let band = (crate::row_band(img.height, img.width) * img.width).max(1);
+    for (plane, gain) in out.data.chunks_mut(n).zip(gains) {
+        hs_parallel::parallel_chunks_mut(plane, band, |_, chunk| {
+            for v in chunk {
+                *v = (*v * gain).clamp(0.0, 1.0);
+            }
+        });
+    }
+    out
+}
+
 /// Scales each channel so its mean equals the overall luminance mean.
 fn gray_world(img: &ImageBuf) -> ImageBuf {
     assert_eq!(img.channels, 3, "white balance expects an RGB image");
@@ -35,31 +52,21 @@ fn gray_world(img: &ImageBuf) -> ImageBuf {
         img.channel_mean(2).max(1e-6),
     ];
     let grey = (means[0] + means[1] + means[2]) / 3.0;
-    let mut out = img.clone();
-    for c in 0..3 {
-        let gain = grey / means[c];
-        let n = img.width * img.height;
-        for v in &mut out.data[c * n..(c + 1) * n] {
-            *v = (*v * gain).clamp(0.0, 1.0);
-        }
-    }
-    out
+    apply_gains(img, [grey / means[0], grey / means[1], grey / means[2]])
 }
 
 /// Scales each channel so its maximum maps to 1.0 (the brightest patch is
 /// assumed to be white).
 fn white_patch(img: &ImageBuf) -> ImageBuf {
     assert_eq!(img.channels, 3, "white balance expects an RGB image");
-    let mut out = img.clone();
-    for c in 0..3 {
-        let max = img.channel_max(c).max(1e-6);
-        let gain = 1.0 / max;
-        let n = img.width * img.height;
-        for v in &mut out.data[c * n..(c + 1) * n] {
-            *v = (*v * gain).clamp(0.0, 1.0);
-        }
-    }
-    out
+    apply_gains(
+        img,
+        [
+            1.0 / img.channel_max(0).max(1e-6),
+            1.0 / img.channel_max(1).max(1e-6),
+            1.0 / img.channel_max(2).max(1e-6),
+        ],
+    )
 }
 
 #[cfg(test)]

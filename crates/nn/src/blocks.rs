@@ -489,11 +489,8 @@ impl ShuffleUnit {
 
     /// Number of output channels produced by the unit.
     pub fn out_channels(&self) -> usize {
-        if self.stride == 1 {
-            self.half * 2
-        } else {
-            self.half * 2
-        }
+        // both the stride-1 and stride-2 unit shapes emit half * 2 channels
+        self.half * 2
     }
 }
 

@@ -1,14 +1,56 @@
 //! 2-D convolution with optional grouping (covers depthwise convolution).
+//!
+//! Forward and backward are expressed as GEMM over the im2col matrix and run
+//! on the `hs-tensor` kernel layer:
+//!
+//! * forward: per group, `out = W_g (cout_g x wrow) * col (wrow x ohw)`,
+//! * weight gradient: `dW_g += dOut_g * col^T`,
+//! * input gradient: `dCol = W_g^T * dOut_g`, folded back by col2im.
+//!
+//! The im2col matrices are written into one flat scratch buffer owned by the
+//! layer (`col_cache`), resized once per input geometry and reused across
+//! steps — the seed's per-sample `Vec` allocations are gone. The batch loop
+//! fans out over the shared `hs_parallel` pool in sample bands; each band
+//! accumulates weight/bias gradients into its own partial buffer, reduced
+//! serially afterwards, so no synchronisation happens inside the hot loop.
+//!
+//! The seed's scalar path survives as [`Conv2d::forward_reference`] /
+//! [`Conv2d::backward_reference`] — the ground truth for parity tests and
+//! the baseline for the `nn_kernels` bench. (Its `== 0.0` weight-skip
+//! branches were removed: they broke NaN/Inf propagation.)
 
 use crate::{Layer, Param};
-use hs_tensor::{he_normal, Tensor};
+use hs_tensor::{gemm, gemm_acc, he_normal, transpose_into, Tensor};
 use rand::rngs::StdRng;
 
+/// For one kernel tap offset `k` (row or column) returns the half-open range
+/// of output coordinates whose sampled input coordinate `o*stride + k - pad`
+/// lands inside `[0, extent)`.
+#[inline]
+fn valid_out_range(extent: usize, k: usize, stride: usize, pad: usize, out_len: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(k).div_ceil(stride);
+    let hi = if extent + pad > k {
+        ((extent + pad - k).div_ceil(stride)).min(out_len)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
 /// Unfolds a single-sample channel block `[c, h, w]` into a column matrix
-/// `[c*kh*kw, oh*ow]` (the classic im2col transform).
+/// `[c*kh*kw, oh*ow]` (the classic im2col transform), writing into `col`,
+/// which must hold exactly `c*kh*kw * oh*ow` elements and is fully
+/// overwritten.
+///
+/// The per-pixel bounds branches of the seed version are replaced by
+/// analytically computed valid ranges per output row; the stride-1 case
+/// (every conv in the model zoo except downsampling layers) degenerates to
+/// `copy_from_slice` row segments, which keeps im2col from dominating the
+/// GEMM it feeds.
 #[allow(clippy::too_many_arguments)]
 fn im2col(
     input: &[f32],
+    col: &mut [f32],
     c: usize,
     h: usize,
     w: usize,
@@ -18,9 +60,112 @@ fn im2col(
     pad: usize,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
-    let mut col = vec![0.0f32; c * kh * kw * oh * ow];
+) {
     let ohw = oh * ow;
+    debug_assert_eq!(col.len(), c * kh * kw * ohw);
+    if pad > 0 {
+        // only the padding fringe is not overwritten below
+        col.fill(0.0);
+    }
+    for ci in 0..c {
+        for ki in 0..kh {
+            let (oi_lo, oi_hi) = valid_out_range(h, ki, stride, pad, oh);
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let (oj_lo, oj_hi) = valid_out_range(w, kj, stride, pad, ow);
+                if oj_hi <= oj_lo {
+                    continue;
+                }
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * stride + ki - pad;
+                    let dst_base = row * ohw + oi * ow;
+                    let src_base = ci * h * w + ii * w;
+                    if stride == 1 {
+                        let jj0 = oj_lo + kj - pad;
+                        let len = oj_hi - oj_lo;
+                        col[dst_base + oj_lo..dst_base + oj_lo + len]
+                            .copy_from_slice(&input[src_base + jj0..src_base + jj0 + len]);
+                    } else {
+                        for oj in oj_lo..oj_hi {
+                            col[dst_base + oj] = input[src_base + oj * stride + kj - pad];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix `[c*kh*kw, oh*ow]` back into a `[c, h, w]` gradient
+/// block, accumulating overlapping contributions into `out` (the adjoint of
+/// [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    out: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let ohw = oh * ow;
+    debug_assert_eq!(out.len(), c * h * w);
+    for ci in 0..c {
+        for ki in 0..kh {
+            let (oi_lo, oi_hi) = valid_out_range(h, ki, stride, pad, oh);
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let (oj_lo, oj_hi) = valid_out_range(w, kj, stride, pad, ow);
+                if oj_hi <= oj_lo {
+                    continue;
+                }
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * stride + ki - pad;
+                    let src_base = row * ohw + oi * ow;
+                    let dst_base = ci * h * w + ii * w;
+                    if stride == 1 {
+                        let jj0 = oj_lo + kj - pad;
+                        let dst = &mut out[dst_base + jj0..dst_base + jj0 + (oj_hi - oj_lo)];
+                        let src = &col[src_base + oj_lo..src_base + oj_hi];
+                        for (d, s) in dst.iter_mut().zip(src.iter()) {
+                            *d += s;
+                        }
+                    } else {
+                        for oj in oj_lo..oj_hi {
+                            out[dst_base + oj * stride + kj - pad] += col[src_base + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed's branchy per-pixel im2col, kept verbatim (minus nothing — it
+/// had no skip branches) for the reference path, so the `nn_kernels` bench
+/// baseline measures the original implementation, not the optimised
+/// transform above.
+#[allow(clippy::too_many_arguments)]
+fn im2col_reference(
+    input: &[f32],
+    col: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let ohw = oh * ow;
+    col.fill(0.0);
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
@@ -42,14 +187,14 @@ fn im2col(
             }
         }
     }
-    col
 }
 
-/// Folds a column matrix `[c*kh*kw, oh*ow]` back into a `[c, h, w]` gradient
-/// block, accumulating overlapping contributions (the adjoint of [`im2col`]).
+/// The seed's branchy col2im adjoint, reference-path twin of
+/// [`im2col_reference`].
 #[allow(clippy::too_many_arguments)]
-fn col2im(
+fn col2im_reference(
     col: &[f32],
+    out: &mut [f32],
     c: usize,
     h: usize,
     w: usize,
@@ -59,8 +204,7 @@ fn col2im(
     pad: usize,
     oh: usize,
     ow: usize,
-) -> Vec<f32> {
-    let mut out = vec![0.0f32; c * h * w];
+) {
     let ohw = oh * ow;
     for ci in 0..c {
         for ki in 0..kh {
@@ -83,7 +227,6 @@ fn col2im(
             }
         }
     }
-    out
 }
 
 /// A 2-D convolution layer over `[n, c, h, w]` inputs.
@@ -100,7 +243,9 @@ pub struct Conv2d {
     padding: usize,
     groups: usize,
     cached_input_dims: Option<Vec<usize>>,
-    cached_cols: Vec<Vec<Tensor>>,
+    /// Flat im2col scratch: `[n][groups][wrow * ohw]`, resized per input
+    /// geometry and reused across steps.
+    col_cache: Vec<f32>,
 }
 
 impl Conv2d {
@@ -141,7 +286,7 @@ impl Conv2d {
             padding,
             groups,
             cached_input_dims: None,
-            cached_cols: Vec::new(),
+            col_cache: Vec::new(),
         }
     }
 
@@ -162,6 +307,156 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
+
+    /// The seed's scalar forward pass, kept as the reference implementation
+    /// for parity tests and the `nn_kernels` baseline bench. Pure: does not
+    /// touch the layer's training cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input rank/channel mismatches.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (oh, ow) = self.out_size(h, w);
+        let cin_g = self.in_channels / self.groups;
+        let cout_g = self.out_channels / self.groups;
+        let k = self.kernel;
+        let wrow = cin_g * k * k;
+        let ohw = oh * ow;
+
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let mut out = vec![0.0f32; n * self.out_channels * ohw];
+        let mut col = vec![0.0f32; wrow * ohw];
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let in_offset = ni * c * h * w + g * cin_g * h * w;
+                im2col_reference(
+                    &x[in_offset..in_offset + cin_g * h * w],
+                    &mut col,
+                    cin_g,
+                    h,
+                    w,
+                    k,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                );
+                for oc in 0..cout_g {
+                    let w_off = (g * cout_g + oc) * wrow;
+                    let o_off = ni * self.out_channels * ohw + (g * cout_g + oc) * ohw;
+                    let b = bias[g * cout_g + oc];
+                    for p in 0..wrow {
+                        let wv = wgt[w_off + p];
+                        let col_row = &col[p * ohw..(p + 1) * ohw];
+                        let out_row = &mut out[o_off..o_off + ohw];
+                        for (ov, &cv) in out_row.iter_mut().zip(col_row.iter()) {
+                            *ov += wv * cv;
+                        }
+                    }
+                    let out_row = &mut out[o_off..o_off + ohw];
+                    for ov in out_row.iter_mut() {
+                        *ov += b;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, self.out_channels, oh, ow])
+    }
+
+    /// The seed's scalar backward pass for `input`/`grad_out`, returning
+    /// `(grad_input, grad_weight, grad_bias)` without touching any layer
+    /// state. Reference for parity tests only — the training path is
+    /// [`Layer::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `input`, `grad_out` and the layer.
+    pub fn backward_reference(&self, input: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = self.out_size(h, w);
+        let ohw = oh * ow;
+        let cin_g = self.in_channels / self.groups;
+        let cout_g = self.out_channels / self.groups;
+        let k = self.kernel;
+        let wrow = cin_g * k * k;
+        assert_eq!(grad_out.dims(), &[n, self.out_channels, oh, ow]);
+
+        let x = input.as_slice();
+        let go = grad_out.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let mut grad_w = vec![0.0f32; self.weight.value.len()];
+        let mut grad_b = vec![0.0f32; self.out_channels];
+        let mut grad_in = vec![0.0f32; n * c * h * w];
+        let mut col = vec![0.0f32; wrow * ohw];
+        let mut grad_col = vec![0.0f32; wrow * ohw];
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let in_offset = ni * c * h * w + g * cin_g * h * w;
+                im2col_reference(
+                    &x[in_offset..in_offset + cin_g * h * w],
+                    &mut col,
+                    cin_g,
+                    h,
+                    w,
+                    k,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                );
+                grad_col.fill(0.0);
+                for oc in 0..cout_g {
+                    let oc_abs = g * cout_g + oc;
+                    let go_off = ni * self.out_channels * ohw + oc_abs * ohw;
+                    let go_row = &go[go_off..go_off + ohw];
+                    grad_b[oc_abs] += go_row.iter().sum::<f32>();
+                    let w_off = oc_abs * wrow;
+                    for p in 0..wrow {
+                        let col_row = &col[p * ohw..(p + 1) * ohw];
+                        let mut acc = 0.0;
+                        for (gv, cv) in go_row.iter().zip(col_row.iter()) {
+                            acc += gv * cv;
+                        }
+                        grad_w[w_off + p] += acc;
+                        let wv = wgt[w_off + p];
+                        let gc_row = &mut grad_col[p * ohw..(p + 1) * ohw];
+                        for (gc, gv) in gc_row.iter_mut().zip(go_row.iter()) {
+                            *gc += wv * gv;
+                        }
+                    }
+                }
+                col2im_reference(
+                    &grad_col,
+                    &mut grad_in[in_offset..in_offset + cin_g * h * w],
+                    cin_g,
+                    h,
+                    w,
+                    k,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                );
+            }
+        }
+        (
+            Tensor::from_vec(grad_in, &[n, c, h, w]),
+            Tensor::from_vec(grad_w, self.weight.value.dims()),
+            Tensor::from_vec(grad_b, &[self.out_channels]),
+        )
+    }
 }
 
 impl Layer for Conv2d {
@@ -174,66 +469,112 @@ impl Layer for Conv2d {
         let cin_g = self.in_channels / self.groups;
         let cout_g = self.out_channels / self.groups;
         let k = self.kernel;
+        let wrow = cin_g * k * k;
+        let ohw = oh * ow;
+        let colsz = wrow * ohw;
+        let groups = self.groups;
+        let (stride, padding) = (self.stride, self.padding);
 
         if train {
             self.cached_input_dims = Some(dims.to_vec());
-            self.cached_cols = Vec::with_capacity(n);
+            // one flat scratch for every sample's im2col, reused across
+            // steps; backward consumes it, so ONLY train-mode forwards may
+            // touch it (an eval pass between forward(train) and backward
+            // must not clobber the cached columns)
+            self.col_cache.resize(n * groups * colsz, 0.0);
         }
 
         let x = input.as_slice();
         let wgt = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
-        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
-        let ohw = oh * ow;
+        let out_channels = self.out_channels;
+        let mut out = vec![0.0f32; n * out_channels * ohw];
 
-        for ni in 0..n {
-            let mut sample_cols = Vec::with_capacity(self.groups);
-            for g in 0..self.groups {
-                let in_offset = ni * c * h * w + g * cin_g * h * w;
-                let col = im2col(
-                    &x[in_offset..in_offset + cin_g * h * w],
-                    cin_g,
-                    h,
-                    w,
-                    k,
-                    k,
-                    self.stride,
-                    self.padding,
-                    oh,
-                    ow,
-                );
-                // weight for this group: rows [g*cout_g .. (g+1)*cout_g] of the
-                // [out_channels, cin_g*k*k] reshaped weight matrix
-                let wrow = cin_g * k * k;
-                for oc in 0..cout_g {
-                    let w_off = (g * cout_g + oc) * wrow;
-                    let o_off = ni * self.out_channels * ohw + (g * cout_g + oc) * ohw;
-                    let b = bias[g * cout_g + oc];
-                    for p in 0..wrow {
-                        let wv = wgt[w_off + p];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        let col_row = &col[p * ohw..(p + 1) * ohw];
-                        let out_row = &mut out[o_off..o_off + ohw];
-                        for (ov, &cv) in out_row.iter_mut().zip(col_row.iter()) {
-                            *ov += wv * cv;
-                        }
-                    }
-                    let out_row = &mut out[o_off..o_off + ohw];
-                    for ov in out_row.iter_mut() {
-                        *ov += b;
-                    }
-                }
-                if train {
-                    sample_cols.push(Tensor::from_vec(col, &[wrow, ohw]));
+        // the per-(sample, group) body: im2col into `col`, then
+        // out_g = bias + W_g (cout_g x wrow) * col (wrow x ohw) — the bias is
+        // the GEMM's initial value, saving a read-modify-write pass
+        let sample_group = |ni: usize, g: usize, col: &mut [f32], out_sample: &mut [f32]| {
+            let in_offset = ni * c * h * w + g * cin_g * h * w;
+            im2col(
+                &x[in_offset..in_offset + cin_g * h * w],
+                col,
+                cin_g,
+                h,
+                w,
+                k,
+                k,
+                stride,
+                padding,
+                oh,
+                ow,
+            );
+            let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
+            let out_g = &mut out_sample[g * cout_g * ohw..(g + 1) * cout_g * ohw];
+            for oc in 0..cout_g {
+                out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
+            }
+            gemm_acc(w_g, col, out_g, cout_g, wrow, ohw);
+        };
+
+        let bands = hs_parallel::num_threads().min(n.max(1));
+        if bands <= 1 {
+            // single band: stay off the pool so the GEMM layer's own
+            // row-block parallelism can fan out instead
+            let mut eval_col = Vec::new();
+            for (ni, out_sample) in out.chunks_mut(out_channels * ohw).enumerate() {
+                for g in 0..groups {
+                    let col = if train {
+                        &mut self.col_cache[(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz]
+                    } else {
+                        eval_col.resize(colsz, 0.0);
+                        &mut eval_col[..]
+                    };
+                    sample_group(ni, g, col, out_sample);
                 }
             }
-            if train {
-                self.cached_cols.push(sample_cols);
-            }
+        } else {
+            let band_len = n.div_ceil(bands).max(1);
+            let band_out = band_len * out_channels * ohw;
+            let n_bands = n.div_ceil(band_len);
+            // train: each band writes its slice of col_cache (consumed by
+            // backward); eval: None -> band-local scratch, cache untouched
+            let col_bands: Vec<Option<&mut [f32]>> = if train {
+                self.col_cache
+                    .chunks_mut(band_len * groups * colsz)
+                    .map(Some)
+                    .collect()
+            } else {
+                (0..n_bands).map(|_| None).collect()
+            };
+            hs_parallel::scope(|s| {
+                for ((band, out_band), mut col_band) in
+                    out.chunks_mut(band_out).enumerate().zip(col_bands)
+                {
+                    let sample_group = &sample_group;
+                    s.spawn(move || {
+                        let n0 = band * band_len;
+                        let samples = out_band.len() / (out_channels * ohw);
+                        let mut local_col = Vec::new();
+                        for si in 0..samples {
+                            for g in 0..groups {
+                                let col: &mut [f32] = match col_band.as_mut() {
+                                    Some(cache) => &mut cache
+                                        [(si * groups + g) * colsz..(si * groups + g + 1) * colsz],
+                                    None => {
+                                        local_col.resize(colsz, 0.0);
+                                        &mut local_col
+                                    }
+                                };
+                                let out_sample = &mut out_band
+                                    [si * out_channels * ohw..(si + 1) * out_channels * ohw];
+                                sample_group(n0 + si, g, col, out_sample);
+                            }
+                        }
+                    });
+                }
+            });
         }
-        Tensor::from_vec(out, &[n, self.out_channels, oh, ow])
+        Tensor::from_vec(out, &[n, out_channels, oh, ow])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -248,61 +589,119 @@ impl Layer for Conv2d {
         let cout_g = self.out_channels / self.groups;
         let k = self.kernel;
         let wrow = cin_g * k * k;
+        let colsz = wrow * ohw;
+        let groups = self.groups;
+        let (stride, padding) = (self.stride, self.padding);
+        let out_channels = self.out_channels;
+        let wlen = self.weight.value.len();
 
         let go = grad_out.as_slice();
-        let wgt = self.weight.value.as_slice().to_vec();
-        let mut grad_w = vec![0.0f32; self.weight.value.len()];
-        let mut grad_b = vec![0.0f32; self.out_channels];
-        let mut grad_in = vec![0.0f32; n * c * h * w];
+        let wgt = self.weight.value.as_slice();
 
-        for ni in 0..n {
-            for g in 0..self.groups {
-                let col = self.cached_cols[ni][g].as_slice();
-                let mut grad_col = vec![0.0f32; wrow * ohw];
-                for oc in 0..cout_g {
-                    let oc_abs = g * cout_g + oc;
-                    let go_off = ni * self.out_channels * ohw + oc_abs * ohw;
-                    let go_row = &go[go_off..go_off + ohw];
+        // W^T per group, shared read-only by every sample band
+        let mut wt = vec![0.0f32; groups * wrow * cout_g];
+        for g in 0..groups {
+            transpose_into(
+                &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow],
+                &mut wt[g * wrow * cout_g..(g + 1) * wrow * cout_g],
+                cout_g,
+                wrow,
+            );
+        }
+
+        let mut grad_in = vec![0.0f32; n * c * h * w];
+        let bands = hs_parallel::num_threads().min(n.max(1));
+        let band_len = n.div_ceil(bands).max(1);
+        let n_bands = n.div_ceil(band_len).max(1);
+        // per-band partial gradients, reduced serially after the fan-out
+        let mut grad_w_parts = vec![0.0f32; n_bands * wlen];
+        let mut grad_b_parts = vec![0.0f32; n_bands * out_channels];
+
+        let col_cache = &self.col_cache;
+        let wt = &wt;
+        // one sample band: bias/weight gradients into the band's partial
+        // buffers, input gradients into its disjoint grad_in window
+        let band_body = |n0: usize, gin_band: &mut [f32], gw_part: &mut [f32], gb_part: &mut [f32]| {
+            let samples = gin_band.len() / (c * h * w);
+            let mut grad_col = vec![0.0f32; colsz];
+            let mut col_t = vec![0.0f32; colsz];
+            for si in 0..samples {
+                let ni = n0 + si;
+                for g in 0..groups {
+                    let col = &col_cache[(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz];
+                    let go_off = ni * out_channels * ohw + g * cout_g * ohw;
+                    let go_g = &go[go_off..go_off + cout_g * ohw];
                     // bias gradient
-                    grad_b[oc_abs] += go_row.iter().sum::<f32>();
-                    // weight gradient: grad_out_row (1 x ohw) x col^T (ohw x wrow)
-                    let w_off = oc_abs * wrow;
-                    for p in 0..wrow {
-                        let col_row = &col[p * ohw..(p + 1) * ohw];
-                        let mut acc = 0.0;
-                        for (gv, cv) in go_row.iter().zip(col_row.iter()) {
-                            acc += gv * cv;
-                        }
-                        grad_w[w_off + p] += acc;
-                        // grad_col row p += w[oc, p] * grad_out_row
-                        let wv = wgt[w_off + p];
-                        if wv != 0.0 {
-                            let gc_row = &mut grad_col[p * ohw..(p + 1) * ohw];
-                            for (gc, gv) in gc_row.iter_mut().zip(go_row.iter()) {
-                                *gc += wv * gv;
-                            }
-                        }
+                    for oc in 0..cout_g {
+                        gb_part[g * cout_g + oc] +=
+                            go_g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
                     }
+                    // weight gradient: dW_g += dOut_g * col^T
+                    transpose_into(col, &mut col_t, wrow, ohw);
+                    gemm_acc(
+                        go_g,
+                        &col_t,
+                        &mut gw_part[g * cout_g * wrow..(g + 1) * cout_g * wrow],
+                        cout_g,
+                        ohw,
+                        wrow,
+                    );
+                    // input gradient: dCol = W_g^T * dOut_g, then col2im
+                    gemm(
+                        &wt[g * wrow * cout_g..(g + 1) * wrow * cout_g],
+                        go_g,
+                        &mut grad_col,
+                        wrow,
+                        cout_g,
+                        ohw,
+                    );
+                    let in_offset = si * c * h * w + g * cin_g * h * w;
+                    col2im(
+                        &grad_col,
+                        &mut gin_band[in_offset..in_offset + cin_g * h * w],
+                        cin_g,
+                        h,
+                        w,
+                        k,
+                        k,
+                        stride,
+                        padding,
+                        oh,
+                        ow,
+                    );
                 }
-                let gi = col2im(
-                    &grad_col,
-                    cin_g,
-                    h,
-                    w,
-                    k,
-                    k,
-                    self.stride,
-                    self.padding,
-                    oh,
-                    ow,
-                );
-                let in_offset = ni * c * h * w + g * cin_g * h * w;
-                for (dst, src) in grad_in[in_offset..in_offset + cin_g * h * w]
-                    .iter_mut()
-                    .zip(gi.iter())
+            }
+        };
+
+        if n_bands <= 1 {
+            // stay off the pool so the per-group GEMMs can use the kernel
+            // layer's own row-block parallelism
+            band_body(0, &mut grad_in, &mut grad_w_parts, &mut grad_b_parts);
+        } else {
+            hs_parallel::scope(|s| {
+                for (((band, gin_band), gw_part), gb_part) in grad_in
+                    .chunks_mut((band_len * c * h * w).max(1))
+                    .enumerate()
+                    .zip(grad_w_parts.chunks_mut(wlen))
+                    .zip(grad_b_parts.chunks_mut(out_channels))
                 {
-                    *dst += src;
+                    let band_body = &band_body;
+                    s.spawn(move || band_body(band * band_len, gin_band, gw_part, gb_part));
                 }
+            });
+        }
+
+        // reduce band partials
+        let mut grad_w = vec![0.0f32; wlen];
+        for part in grad_w_parts.chunks(wlen) {
+            for (acc, v) in grad_w.iter_mut().zip(part.iter()) {
+                *acc += v;
+            }
+        }
+        let mut grad_b = vec![0.0f32; out_channels];
+        for part in grad_b_parts.chunks(out_channels) {
+            for (acc, v) in grad_b.iter_mut().zip(part.iter()) {
+                *acc += v;
             }
         }
 
@@ -371,6 +770,62 @@ mod tests {
     }
 
     #[test]
+    fn forward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // (cin, cout, kernel, stride, pad, groups, h, w)
+        for (cin, cout, k, s, p, g, h, w) in [
+            (3usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize),
+            (4, 6, 3, 2, 1, 2, 8, 10),
+            (6, 6, 3, 1, 1, 6, 7, 7), // depthwise
+            (2, 4, 5, 2, 2, 1, 11, 13),
+            (4, 4, 1, 1, 0, 1, 6, 6), // pointwise
+        ] {
+            let mut conv = Conv2d::new(cin, cout, k, s, p, g, &mut rng);
+            let x = Tensor::rand_uniform(&[2, cin, h, w], -1.0, 1.0, &mut rng);
+            let fast = conv.forward(&x, false);
+            let reference = conv.forward_reference(&x);
+            assert_eq!(fast.dims(), reference.dims());
+            for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "cin={cin} cout={cout} k={k} s={s} p={p} g={g}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for (cin, cout, k, s, p, g, h, w) in [
+            (3usize, 4usize, 3usize, 1usize, 1usize, 1usize, 8usize, 8usize),
+            (4, 4, 3, 2, 1, 2, 9, 9),
+            (5, 5, 3, 1, 1, 5, 6, 6), // depthwise
+        ] {
+            let mut conv = Conv2d::new(cin, cout, k, s, p, g, &mut rng);
+            let x = Tensor::rand_uniform(&[3, cin, h, w], -1.0, 1.0, &mut rng);
+            let y = conv.forward(&x, true);
+            let grad_out = Tensor::rand_uniform(y.dims(), -1.0, 1.0, &mut rng);
+            let grad_in = conv.backward(&grad_out);
+
+            let (ref_gin, ref_gw, ref_gb) = conv.backward_reference(&x, &grad_out);
+            for (a, b) in grad_in.as_slice().iter().zip(ref_gin.as_slice()) {
+                assert!((a - b).abs() < 1e-3, "grad_in mismatch: {a} vs {b}");
+            }
+            let gw = conv.params_mut()[0].grad.clone();
+            for (a, b) in gw.as_slice().iter().zip(ref_gw.as_slice()) {
+                assert!((a - b).abs() < 1e-2, "grad_w mismatch: {a} vs {b}");
+            }
+            let gb = conv.params_mut()[1].grad.clone();
+            for (a, b) in gb.as_slice().iter().zip(ref_gb.as_slice()) {
+                assert!((a - b).abs() < 1e-2, "grad_b mismatch: {a} vs {b}");
+            }
+            conv.params_mut()[0].grad = Tensor::zeros(gw.dims());
+            conv.params_mut()[1].grad = Tensor::zeros(gb.dims());
+        }
+    }
+
+    #[test]
     fn weight_gradient_matches_numerical() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut conv = Conv2d::new(2, 3, 3, 1, 1, 1, &mut rng);
@@ -427,5 +882,55 @@ mod tests {
         let g = conv.backward(&Tensor::ones(y.dims()));
         assert_eq!(g.dims(), x.dims());
         assert_eq!(conv.params_mut()[0].grad.dims(), &[4, 2, 3, 3]);
+    }
+
+    #[test]
+    fn eval_forward_between_train_forward_and_backward_keeps_gradients() {
+        // an eval pass (different batch size AND geometry) between
+        // forward(train=true) and backward() must not clobber the cached
+        // im2col columns the backward pass consumes
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, 1, &mut rng);
+        let x_train = Tensor::rand_uniform(&[2, 3, 7, 7], -1.0, 1.0, &mut rng);
+        let x_eval = Tensor::rand_uniform(&[5, 3, 11, 9], -1.0, 1.0, &mut rng);
+
+        let y = conv.forward(&x_train, true);
+        let _ = conv.forward(&x_eval, false);
+        let grad_out = Tensor::ones(y.dims());
+        let grad_in = conv.backward(&grad_out);
+
+        let (ref_gin, ref_gw, ref_gb) = conv.backward_reference(&x_train, &grad_out);
+        for (a, b) in grad_in.as_slice().iter().zip(ref_gin.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "grad_in clobbered by eval pass: {a} vs {b}");
+        }
+        let gw = conv.params_mut()[0].grad.clone();
+        for (a, b) in gw.as_slice().iter().zip(ref_gw.as_slice()) {
+            assert!((a - b).abs() < 1e-2, "grad_w clobbered by eval pass: {a} vs {b}");
+        }
+        let gb = conv.params_mut()[1].grad.clone();
+        for (a, b) in gb.as_slice().iter().zip(ref_gb.as_slice()) {
+            assert!((a - b).abs() < 1e-2, "grad_b clobbered by eval pass: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn repeated_steps_reuse_scratch_without_drift() {
+        // two identical train steps must produce identical outputs and
+        // gradients (the col_cache is reused, not re-derived state)
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 7, 7], -1.0, 1.0, &mut rng);
+        let y1 = conv.forward(&x, true);
+        let g1 = conv.backward(&Tensor::ones(y1.dims()));
+        let gw1 = conv.params_mut()[0].grad.clone();
+        let y2 = conv.forward(&x, true);
+        let g2 = conv.backward(&Tensor::ones(y2.dims()));
+        assert_eq!(y1, y2);
+        assert_eq!(g1, g2);
+        // grads accumulate: second step doubles the first
+        let gw2 = conv.params_mut()[0].grad.clone();
+        for (a, b) in gw2.as_slice().iter().zip(gw1.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-3);
+        }
     }
 }

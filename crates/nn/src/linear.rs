@@ -53,9 +53,12 @@ impl Layer for Linear {
         if train {
             self.cached_input = Some(input.clone());
         }
-        input
-            .matmul(&self.weight.value.transpose())
-            .add_row_bias(&self.bias.value)
+        // y = x W^T + b on the GEMM layer; matmul_nt transposes W through a
+        // scratch buffer instead of materialising a Tensor, and the bias is
+        // added in place rather than via another allocation.
+        let mut out = input.matmul_nt(&self.weight.value);
+        out.add_row_bias_assign(&self.bias.value);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -64,7 +67,7 @@ impl Layer for Linear {
             .as_ref()
             .expect("backward called before forward(train=true)");
         // grad_w = grad_out^T  x  input  -> [out, in]
-        let grad_w = grad_out.transpose().matmul(input);
+        let grad_w = grad_out.matmul_tn(input);
         self.weight.accumulate_grad(&grad_w);
         // grad_b = column sums of grad_out
         let grad_b = grad_out.sum_axis(0);

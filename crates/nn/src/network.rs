@@ -109,7 +109,7 @@ impl Network {
             out.extend_from_slice(p.grad.as_slice());
         }
         let buffer_len: usize = self.buffers_mut().iter().map(|b| b.len()).sum();
-        out.extend(std::iter::repeat(0.0).take(buffer_len));
+        out.extend(std::iter::repeat_n(0.0, buffer_len));
         out
     }
 

@@ -1,0 +1,447 @@
+//! A minimal scoped thread pool shared by every data-parallel subsystem in
+//! the workspace: the blocked-GEMM row loop, `Conv2d` batch loops, ISP
+//! row-band stages and federated-learning client training.
+//!
+//! Design goals, in order:
+//!
+//! 1. **One pool.** All subsystems share a single process-wide pool sized to
+//!    the machine (`HS_PARALLEL_THREADS` overrides). The FL simulator fans
+//!    out client updates on the same pool the tensor kernels use.
+//! 2. **No oversubscription.** Work spawned *from inside* a pool worker runs
+//!    inline on that worker instead of being re-queued, so a parallel FL
+//!    round running parallel convolutions degrades to per-client serial
+//!    kernels rather than `clients × bands` runnable threads.
+//! 3. **No dependencies.** The build environment has no crates registry, so
+//!    this replaces `rayon` with `std::thread` + `Mutex`/`Condvar`.
+//!
+//! The API is deliberately small: [`scope`] with [`Scope::spawn`] (the
+//! crossbeam/rayon-scope shape), plus [`parallel_for`] and
+//! [`parallel_chunks_mut`] conveniences layered on top.
+//!
+//! # Safety model
+//!
+//! Spawned closures may borrow from the caller's stack (`'scope` lifetime).
+//! Internally the closure is type-erased to `'static` (the one `unsafe` in
+//! this crate) which is sound because [`scope`] does not return — by normal
+//! exit *or* panic — until every spawned task has finished running, so no
+//! borrow outlives its owner. Task panics are caught on the worker,
+//! forwarded, and re-raised on the spawning thread after all sibling tasks
+//! drain.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+thread_local! {
+    /// True while this thread is executing pool tasks; nested spawns then run
+    /// inline to keep the runnable-thread count at the pool size.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Tracks one `scope` invocation: outstanding task count plus the first
+/// panic raised by any of its tasks.
+struct TaskGroup {
+    state: Mutex<GroupState>,
+    done: Condvar,
+}
+
+struct GroupState {
+    pending: usize,
+    panic: Option<PanicPayload>,
+}
+
+impl TaskGroup {
+    fn new() -> Arc<Self> {
+        Arc::new(TaskGroup {
+            state: Mutex::new(GroupState {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn task_finished(&self, panic: Option<PanicPayload>) {
+        let mut state = self.state.lock().unwrap();
+        state.pending -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct QueuedTask {
+    job: Job,
+    group: Arc<TaskGroup>,
+}
+
+impl QueuedTask {
+    /// Runs the job with panic capture and completion accounting.
+    fn run(self) {
+        let was_in_pool = IN_POOL.with(|f| f.replace(true));
+        let result = catch_unwind(AssertUnwindSafe(self.job));
+        IN_POOL.with(|f| f.set(was_in_pool));
+        self.group.task_finished(result.err());
+    }
+}
+
+/// The process-wide pool: an injector queue plus `workers` waiting threads.
+struct Pool {
+    queue: Mutex<VecDeque<QueuedTask>>,
+    work_ready: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn with_workers(workers: usize) -> Arc<Pool> {
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            workers,
+        });
+        for i in 0..workers {
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("hs-parallel-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(task) = queue.pop_front() {
+                        break task;
+                    }
+                    queue = self.work_ready.wait(queue).unwrap();
+                }
+            };
+            task.run();
+        }
+    }
+
+    fn push(&self, task: QueuedTask) {
+        self.queue.lock().unwrap().push_back(task);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<QueuedTask> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+fn global_pool() -> &'static Arc<Pool> {
+    static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Pool::with_workers(num_threads().saturating_sub(1)))
+}
+
+/// The parallelism the pool targets: `HS_PARALLEL_THREADS` if set, otherwise
+/// the machine's available parallelism. At least 1.
+pub fn num_threads() -> usize {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let cached = N.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("HS_PARALLEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        });
+    N.store(n, Ordering::Relaxed);
+    n
+}
+
+/// True when called from inside a pool task (work should stay serial).
+pub fn inside_pool() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// A handle for spawning tasks that may borrow from the enclosing stack
+/// frame. Created by [`scope`].
+pub struct Scope<'scope> {
+    pool: &'static Arc<Pool>,
+    group: Arc<TaskGroup>,
+    inline: bool,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `f` on the shared pool (or inline when the pool is single
+    /// threaded or we are already on a pool worker). Returns immediately;
+    /// completion is awaited when the enclosing [`scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.inline {
+            f();
+            return;
+        }
+        {
+            let mut state = self.group.state.lock().unwrap();
+            state.pending += 1;
+        }
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `scope` (below) does not return until `group.pending` is
+        // zero, i.e. until this job has run to completion, so every borrow
+        // with lifetime 'scope strictly outlives the job's execution.
+        #[allow(unsafe_code)]
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.pool.push(QueuedTask {
+            job,
+            group: Arc::clone(&self.group),
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawned tasks execute on the shared pool,
+/// and waits for all of them before returning. The calling thread helps
+/// execute queued tasks while it waits — including, as in rayon, tasks
+/// spawned by *other* scopes. Consequently, callers must not hold a
+/// `RefCell`/thread-local borrow across a call that may enter `scope`
+/// (take the value out of the cell instead; see `hs-tensor`'s
+/// `TRANSPOSE_SCRATCH` for the pattern).
+///
+/// Nested use (a spawned task calling `scope` again) is allowed and runs its
+/// tasks inline, which keeps one pool's worth of threads busy no matter how
+/// deep subsystems stack their parallelism.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by any spawned task, after every other
+/// task in the scope has finished.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let pool = global_pool();
+    let inline = pool.workers == 0 || inside_pool();
+    let s = Scope {
+        pool,
+        group: TaskGroup::new(),
+        inline,
+        _marker: std::marker::PhantomData,
+    };
+    // The closure may panic *after* spawning tasks that borrow its stack
+    // frame; catching here guarantees we still wait for every in-flight task
+    // before unwinding past the borrowed data (the soundness invariant the
+    // spawn transmute relies on).
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    if !inline {
+        // Help drain the queue, then wait for stragglers running on workers.
+        while let Some(task) = pool.try_pop() {
+            task.run();
+        }
+        let mut state = s.group.state.lock().unwrap();
+        while state.pending > 0 {
+            state = s.group.done.wait(state).unwrap();
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Splits `0..total` into contiguous ranges of at least `min_grain` items
+/// and runs `f` on each range in parallel. Falls back to a single inline
+/// call when the work is too small to be worth fanning out, the pool is
+/// single threaded, or we are already inside a pool task.
+pub fn parallel_for<F>(total: usize, min_grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if total == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let min_grain = min_grain.max(1);
+    if threads == 1 || inside_pool() || total <= min_grain {
+        f(0..total);
+        return;
+    }
+    let chunks = (total / min_grain).clamp(1, threads);
+    let per = total.div_ceil(chunks);
+    scope(|s| {
+        let mut start = 0;
+        while start < total {
+            let end = (start + per).min(total);
+            let f = &f;
+            s.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over `chunk_len`-sized mutable chunks of
+/// `data` in parallel (the final chunk may be shorter). The chunks are
+/// disjoint, so no synchronisation is needed inside `f`.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    if data.is_empty() {
+        return;
+    }
+    if num_threads() == 1 || inside_pool() || data.len() <= chunk_len {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    scope(|s| {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(idx, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_task() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_and_mutate_disjoint_slices() {
+        let mut data = vec![0usize; 1000];
+        scope(|s| {
+            for (idx, chunk) in data.chunks_mut(100).enumerate() {
+                s.spawn(move || {
+                    for v in chunk.iter_mut() {
+                        *v = idx;
+                    }
+                });
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 100);
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..537).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(hits.len(), 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_chunks_mut_sees_disjoint_chunks() {
+        let mut data = vec![0u32; 777];
+        parallel_chunks_mut(&mut data, 64, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx as u32 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 64) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_run_inline_without_deadlock() {
+        let counter = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..8 {
+                outer.spawn(|| {
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn closure_panic_after_spawn_waits_for_in_flight_tasks() {
+        use std::sync::Arc;
+        let finished = Arc::new(AtomicUsize::new(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                for _ in 0..8 {
+                    let finished = Arc::clone(&finished);
+                    s.spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("scope closure panics after spawning");
+            });
+        }));
+        assert!(result.is_err());
+        // every spawned task must have completed before the unwind escaped
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {});
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        parallel_for(0, 8, |_| panic!("must not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"));
+        let done = AtomicUsize::new(0);
+        parallel_for(1, 1024, |r| {
+            assert_eq!(r, 0..1);
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+}

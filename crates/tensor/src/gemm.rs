@@ -1,0 +1,786 @@
+//! The high-performance GEMM kernel layer.
+//!
+//! This module is the compute core every hot path in the workspace funnels
+//! into: [`Tensor::matmul`](crate::Tensor::matmul), the im2col convolution in
+//! `hs-nn`, and the dense layers. It implements the classic BLIS/GotoBLAS
+//! decomposition:
+//!
+//! * the `k` dimension is split into `KC`-deep panels,
+//! * `B` panels are packed into `NR`-wide column strips,
+//! * `A` panels are packed into `MR`-tall row tiles (column-major inside the
+//!   tile so the micro-kernel reads both packs sequentially),
+//! * an `MR x NR` register-tiled micro-kernel does all the flops,
+//! * row blocks fan out across the shared [`hs_parallel`] pool when the
+//!   problem is big enough and we are not already inside a pool task.
+//!
+//! Three micro-kernels are selected **at runtime** (the build stays a plain
+//! portable `x86-64`/other target — no `-C target-cpu` required):
+//!
+//! * AVX-512F: 8x48 tile, 24 zmm accumulators,
+//! * AVX2+FMA: 8x48 tile processed as two 4x48 half-tiles of ymm registers,
+//! * portable: the same 8x48 tile in autovectorisable scalar code.
+//!
+//! All edges are handled by zero-padding the packs, so every tile runs the
+//! full-speed kernel; partial tiles are written out through a small bounce
+//! buffer. Unlike the seed's i-k-j loop there is **no** `== 0.0` skip branch:
+//! `0 * NaN` correctly stays `NaN` and the inner loop stays branch-free.
+//!
+//! Packing buffers live in a thread-local [`GemmScratch`], so steady-state
+//! GEMM calls allocate nothing.
+//!
+//! # Safety
+//!
+//! The SIMD micro-kernels are the only `unsafe` code in this crate. They are
+//! `#[target_feature]` functions called strictly behind the corresponding
+//! `is_x86_feature_detected!` check, and every pointer they touch derives
+//! from a slice whose bounds are asserted in `run_kernel_direct` immediately
+//! before the call.
+
+#![allow(unsafe_code)]
+// the register-tiled micro-kernels index fixed-size accumulator arrays by
+// design; iterator chains there obscure the tiling and hurt codegen
+#![allow(clippy::needless_range_loop)]
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+use std::cell::RefCell;
+
+/// Rows per micro-kernel tile.
+pub const MR: usize = 8;
+/// Columns per micro-kernel tile.
+pub const NR: usize = 48;
+/// Depth of one packed `k` panel.
+const KC: usize = 256;
+/// `A`-block height in tiles: one block packs `MC_TILES * MR` rows.
+const MC_TILES: usize = 64;
+/// Problems below this flop count stay serial (pool dispatch costs more).
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 20;
+/// Up to this many output rows, `B` is read in place instead of packed: a
+/// packed panel would be reused at most `m / MR` times, too few to pay for
+/// the packing traffic (the convolution GEMMs sit squarely in this regime).
+const DIRECT_M_MAX: usize = 64;
+
+/// Reusable packing buffers. One lives per thread (the `SCRATCH`
+/// thread-local); parallel row-band tasks allocate their own short-lived
+/// packs.
+struct GemmScratch {
+    apack: Vec<f32>,
+    bpack: Vec<f32>,
+    edge: Vec<f32>,
+}
+
+impl GemmScratch {
+    const fn new() -> Self {
+        GemmScratch {
+            apack: Vec::new(),
+            bpack: Vec::new(),
+            edge: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<GemmScratch> = const { RefCell::new(GemmScratch::new()) };
+    /// Staging buffer for the transposed operand of [`gemm_nt`]/[`gemm_tn`].
+    /// Taken out of the cell (not borrowed) for the duration of the inner
+    /// [`gemm`], since a parallel gemm may run unrelated pool tasks on this
+    /// thread while waiting.
+    static TRANSPOSE_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Which micro-kernel the running CPU supports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Isa {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Portable,
+}
+
+fn detect_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return Isa::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Isa::Avx2;
+        }
+    }
+    Isa::Portable
+}
+
+fn isa() -> Isa {
+    use std::sync::OnceLock;
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect_isa)
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernels: out[MR x NR] += apack (kc x MR) * b-window (kc rows)
+//
+// One kernel family, parameterised by the B row stride `ldb`: packed panels
+// pass ldb = NR, the small-m path passes the source matrix's own stride so B
+// is read in place.
+// ---------------------------------------------------------------------------
+
+/// AVX-512 micro-kernel reading `B` directly at row stride `ldb` (no
+/// packing when `ldb` is the source stride; the packed path passes
+/// `ldb = NR`).
+///
+/// # Safety
+///
+/// Caller must ensure `avx512f` is available, `apack` holds `kc * MR`
+/// floats, rows `b[p*ldb .. p*ldb+NR]` for `p < kc` are in bounds, and
+/// `out` rows `out[i*ldc .. i*ldc+NR]` for `i < MR` are in bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_avx512_direct(
+    apack: *const f32,
+    b: *const f32,
+    ldb: usize,
+    out: *mut f32,
+    kc: usize,
+    ldc: usize,
+) {
+    let mut acc = [[_mm512_setzero_ps(); 3]; MR];
+    let mut ap = apack;
+    let mut bp = b;
+    for _ in 0..kc {
+        let b0 = _mm512_loadu_ps(bp);
+        let b1 = _mm512_loadu_ps(bp.add(16));
+        let b2 = _mm512_loadu_ps(bp.add(32));
+        for i in 0..MR {
+            let av = _mm512_set1_ps(*ap.add(i));
+            acc[i][0] = _mm512_fmadd_ps(av, b0, acc[i][0]);
+            acc[i][1] = _mm512_fmadd_ps(av, b1, acc[i][1]);
+            acc[i][2] = _mm512_fmadd_ps(av, b2, acc[i][2]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(ldb);
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        for (v, acc_v) in acc_row.iter().enumerate() {
+            let ptr = out.add(i * ldc + v * 16);
+            _mm512_storeu_ps(ptr, _mm512_add_ps(_mm512_loadu_ps(ptr), *acc_v));
+        }
+    }
+}
+
+/// AVX2+FMA twin of [`kernel_avx512_direct`].
+///
+/// # Safety
+///
+/// Same contract as [`kernel_avx512_direct`], requiring `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2_direct(
+    apack: *const f32,
+    b: *const f32,
+    ldb: usize,
+    out: *mut f32,
+    kc: usize,
+    ldc: usize,
+) {
+    for half in 0..2 {
+        let mut acc = [[_mm256_setzero_ps(); 6]; 4];
+        let mut ap = apack.add(half * 4);
+        let mut bp = b;
+        for _ in 0..kc {
+            for i in 0..4 {
+                let av = _mm256_set1_ps(*ap.add(i));
+                for v in 0..6 {
+                    acc[i][v] = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(v * 8)), acc[i][v]);
+                }
+            }
+            ap = ap.add(MR);
+            bp = bp.add(ldb);
+        }
+        for (i, acc_row) in acc.iter().enumerate() {
+            for (v, acc_v) in acc_row.iter().enumerate() {
+                let ptr = out.add((half * 4 + i) * ldc + v * 8);
+                _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), *acc_v));
+            }
+        }
+    }
+}
+
+/// Portable twin of [`kernel_avx512_direct`].
+fn kernel_portable_direct(apack: &[f32], b: &[f32], ldb: usize, out: &mut [f32], kc: usize, ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let apack = &apack[..kc * MR];
+    for p in 0..kc {
+        let ap: &[f32; MR] = apack[p * MR..p * MR + MR].try_into().unwrap();
+        let bp: &[f32; NR] = b[p * ldb..p * ldb + NR].try_into().unwrap();
+        for i in 0..MR {
+            let a_ip = ap[i];
+            for j in 0..NR {
+                acc[i][j] += a_ip * bp[j];
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        let out_row = &mut out[i * ldc..i * ldc + NR];
+        for j in 0..NR {
+            out_row[j] += acc_row[j];
+        }
+    }
+}
+
+/// Bounds-asserting dispatcher for the direct-`B` kernels.
+#[inline]
+fn run_kernel_direct(
+    which: Isa,
+    apack: &[f32],
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    kc: usize,
+    ldc: usize,
+) {
+    assert!(apack.len() >= kc * MR, "A pack too short");
+    assert!(
+        kc == 0 || b.len() >= (kc - 1) * ldb + NR,
+        "B window too short for a direct strip"
+    );
+    assert!(
+        out.len() >= (MR - 1) * ldc + NR,
+        "output window too short for an MRxNR tile"
+    );
+    match which {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            // SAFETY: avx512f verified by `isa()`; lengths asserted above.
+            kernel_avx512_direct(apack.as_ptr(), b.as_ptr(), ldb, out.as_mut_ptr(), kc, ldc)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2+fma verified by `isa()`; lengths asserted above.
+            kernel_avx2_direct(apack.as_ptr(), b.as_ptr(), ldb, out.as_mut_ptr(), kc, ldc)
+        },
+        Isa::Portable => kernel_portable_direct(apack, b, ldb, out, kc, ldc),
+    }
+}
+
+/// Packed-panel kernel dispatch: the packed layout is simply the direct
+/// layout with row stride `NR`.
+#[inline]
+fn run_kernel(which: Isa, apack: &[f32], bpack: &[f32], out: &mut [f32], kc: usize, ldc: usize) {
+    run_kernel_direct(which, apack, bpack, NR, out, kc, ldc);
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs `B[pc..pc+kc, :]` into `NR`-wide zero-padded strips:
+/// `bpack[strip][p][j]` for `j < NR`.
+fn pack_b(b: &[f32], bpack: &mut Vec<f32>, pc: usize, kc: usize, n: usize) {
+    let n_strips = n.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(n_strips * kc * NR, 0.0);
+    for js in 0..n_strips {
+        let j0 = js * NR;
+        let nr = NR.min(n - j0);
+        let dst = &mut bpack[js * kc * NR..(js + 1) * kc * NR];
+        // the resize above zero-filled the buffer, which also provides the
+        // zero padding on the ragged edge strip
+        for p in 0..kc {
+            let src = &b[(pc + p) * n + j0..(pc + p) * n + j0 + nr];
+            dst[p * NR..p * NR + nr].copy_from_slice(src);
+        }
+    }
+}
+
+/// Packs `A[row0..row0+rows, pc..pc+kc]` into `MR`-tall zero-padded tiles,
+/// column-major inside each tile: `apack[tile][p][i]`.
+fn pack_a(a: &[f32], apack: &mut Vec<f32>, row0: usize, rows: usize, pc: usize, kc: usize, k: usize) {
+    let m_tiles = rows.div_ceil(MR);
+    apack.clear();
+    apack.resize(m_tiles * kc * MR, 0.0);
+    for it in 0..m_tiles {
+        let i0 = row0 + it * MR;
+        let mr = MR.min(row0 + rows - i0);
+        let dst = &mut apack[it * kc * MR..(it + 1) * kc * MR];
+        for p in 0..kc {
+            for i in 0..mr {
+                dst[p * MR + i] = a[(i0 + i) * k + pc + p];
+            }
+            dst[p * MR + mr..(p + 1) * MR].fill(0.0);
+        }
+    }
+}
+
+/// Runs the packed tiles of one `A` block against every `B` strip,
+/// accumulating into `out` (which must already hold the desired base value).
+#[allow(clippy::too_many_arguments)]
+fn block_multiply(
+    which: Isa,
+    apack: &[f32],
+    bpack: &[f32],
+    edge: &mut Vec<f32>,
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    kc: usize,
+    n: usize,
+) {
+    let m_tiles = rows.div_ceil(MR);
+    let n_strips = n.div_ceil(NR);
+    for it in 0..m_tiles {
+        let i0 = row0 + it * MR;
+        let mr = MR.min(row0 + rows - i0);
+        let ap = &apack[it * kc * MR..(it + 1) * kc * MR];
+        for js in 0..n_strips {
+            let j0 = js * NR;
+            let nr = NR.min(n - j0);
+            let bp = &bpack[js * kc * NR..(js + 1) * kc * NR];
+            if mr == MR && nr == NR {
+                run_kernel(which, ap, bp, &mut out[i0 * n + j0..], kc, n);
+            } else {
+                // partial tile: run full width into a bounce buffer, then
+                // copy out the live mr x nr corner
+                edge.clear();
+                edge.resize(MR * NR, 0.0);
+                run_kernel(which, ap, bp, edge, kc, NR);
+                for i in 0..mr {
+                    let src = &edge[i * NR..i * NR + nr];
+                    let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + j0 + nr];
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d += s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// `out = A * B` for row-major `A: [m, k]`, `B: [k, n]`, `out: [m, n]`.
+///
+/// Overwrites `out`. Operates on plain slices so callers can reuse output
+/// buffers across calls; packing scratch is thread-local, so steady-state
+/// calls do not allocate. Large problems fan out over row blocks on the
+/// shared [`hs_parallel`] pool; calls made from inside a pool task stay
+/// serial (the pool is already saturated).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
+    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    out[..m * n].fill(0.0);
+    gemm_acc(a, b, out, m, k, n);
+}
+
+/// `out += A * B`; otherwise identical to [`gemm`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
+    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return; // out += A(empty k) * B contributes nothing
+    }
+    let parallel = 2 * m * k * n >= PARALLEL_FLOP_THRESHOLD
+        && m >= 2 * MR
+        && hs_parallel::num_threads() > 1
+        && !hs_parallel::inside_pool();
+    gemm_acc_impl(a, b, out, m, k, n, parallel);
+}
+
+/// Internal implementation with an explicit parallel/serial switch so tests
+/// can exercise both paths regardless of the host's core count.
+pub(crate) fn gemm_acc_impl(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    parallel: bool,
+) {
+    let which = isa();
+    // balance the k panels: k = 288 runs as 144+144, not 256+32 (a short
+    // trailing panel wastes micro-kernel efficiency on its store phase)
+    let kc_target = k.div_ceil(k.div_ceil(KC)).max(1);
+    if !parallel {
+        if m <= DIRECT_M_MAX {
+            gemm_small_m(which, a, b, out, m, k, n, kc_target);
+        } else {
+            SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                let mut pc = 0;
+                while pc < k {
+                    let kc = kc_target.min(k - pc);
+                    pack_b(b, &mut scratch.bpack, pc, kc, n);
+                    let mut row0 = 0;
+                    while row0 < m {
+                        let rows = (MC_TILES * MR).min(m - row0);
+                        pack_a(a, &mut scratch.apack, row0, rows, pc, kc, k);
+                        let (apack, bpack) = (&scratch.apack, &scratch.bpack);
+                        block_multiply(
+                            which,
+                            apack,
+                            bpack,
+                            &mut scratch.edge,
+                            out,
+                            row0,
+                            rows,
+                            kc,
+                            n,
+                        );
+                        row0 += rows;
+                    }
+                    pc += kc;
+                }
+            });
+        }
+        return;
+    }
+
+    // Parallel path: per KC panel, pack B once (shared read-only), then give
+    // each pool task a disjoint band of output rows. Tasks pack their own A
+    // tiles into short-lived local buffers.
+    let threads = hs_parallel::num_threads();
+    let tiles = m.div_ceil(MR);
+    let tiles_per_band = tiles.div_ceil(threads).max(1);
+    let band_rows = tiles_per_band * MR;
+    let mut bpack_shared = Vec::new();
+    let mut pc = 0;
+    while pc < k {
+        let kc = kc_target.min(k - pc);
+        pack_b(b, &mut bpack_shared, pc, kc, n);
+        let bpack = &bpack_shared;
+        hs_parallel::scope(|s| {
+            for (band_idx, out_band) in out[..m * n].chunks_mut(band_rows * n).enumerate() {
+                s.spawn(move || {
+                    let row0 = band_idx * band_rows;
+                    let rows = out_band.len() / n;
+                    let mut apack = Vec::new();
+                    let mut edge = Vec::new();
+                    let mut r = 0;
+                    while r < rows {
+                        let block = (MC_TILES * MR).min(rows - r);
+                        pack_a(a, &mut apack, row0 + r, block, pc, kc, k);
+                        // out_band is indexed from its own row 0
+                        block_multiply(which, &apack, bpack, &mut edge, out_band, r, block, kc, n);
+                        r += block;
+                    }
+                });
+            }
+        });
+        pc += kc;
+    }
+}
+
+/// The small-`m` GEMM: `A` is packed (it is reused across every `B` strip),
+/// `B` full-width strips are read in place by the direct kernels, and only
+/// the ragged `n`-edge strip goes through a small packed panel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small_m(
+    which: Isa,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kc_target: usize,
+) {
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let full_strips = n / NR;
+        let n_edge = n - full_strips * NR;
+        let m_tiles = m.div_ceil(MR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = kc_target.min(k - pc);
+            pack_a(a, &mut scratch.apack, 0, m, pc, kc, k);
+            // ragged right edge of B: pack once per panel, zero-padded
+            if n_edge > 0 {
+                scratch.bpack.clear();
+                scratch.bpack.resize(kc * NR, 0.0);
+                let j0 = full_strips * NR;
+                for p in 0..kc {
+                    let src = &b[(pc + p) * n + j0..(pc + p) * n + n];
+                    scratch.bpack[p * NR..p * NR + n_edge].copy_from_slice(src);
+                }
+            }
+            // strips outer, tiles inner: one strip's B window (kc x NR) stays
+            // cache-resident while every A tile runs against it
+            for js in 0..full_strips {
+                let j0 = js * NR;
+                for it in 0..m_tiles {
+                    let i0 = it * MR;
+                    let mr = MR.min(m - i0);
+                    let ap = &scratch.apack[it * kc * MR..(it + 1) * kc * MR];
+                    let bwin = &b[pc * n + j0..];
+                    if mr == MR {
+                        run_kernel_direct(which, ap, bwin, n, &mut out[i0 * n + j0..], kc, n);
+                    } else {
+                        scratch.edge.clear();
+                        scratch.edge.resize(MR * NR, 0.0);
+                        run_kernel_direct(which, ap, bwin, n, &mut scratch.edge, kc, NR);
+                        for i in 0..mr {
+                            let src = &scratch.edge[i * NR..i * NR + NR];
+                            let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + j0 + NR];
+                            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+            }
+            if n_edge > 0 {
+                let j0 = full_strips * NR;
+                for it in 0..m_tiles {
+                    let i0 = it * MR;
+                    let mr = MR.min(m - i0);
+                    let ap = &scratch.apack[it * kc * MR..(it + 1) * kc * MR];
+                    scratch.edge.clear();
+                    scratch.edge.resize(MR * NR, 0.0);
+                    run_kernel(which, ap, &scratch.bpack, &mut scratch.edge, kc, NR);
+                    for i in 0..mr {
+                        let src = &scratch.edge[i * NR..i * NR + n_edge];
+                        let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + n];
+                        for (d, s) in dst.iter_mut().zip(src.iter()) {
+                            *d += s;
+                        }
+                    }
+                }
+            }
+            pc += kc;
+        }
+    });
+}
+
+/// `out = A * B^T` for row-major `A: [m, k]`, `B: [n, k]`, `out: [m, n]`.
+///
+/// The transpose of `B` is staged in a thread-local scratch buffer, so
+/// steady-state calls do not allocate.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(b.len() >= n * k, "B is {} elements, need n*k = {}", b.len(), n * k);
+    // Take the scratch out of its cell rather than holding a RefCell borrow
+    // across the inner gemm: a parallel gemm's scope may execute unrelated
+    // queued tasks on this thread while it waits, and one of those could
+    // re-enter gemm_nt/gemm_tn.
+    let mut buf = TRANSPOSE_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    if buf.len() < k * n {
+        buf.resize(k * n, 0.0);
+    }
+    transpose_into(b, &mut buf, n, k);
+    gemm(a, &buf, out, m, k, n);
+    TRANSPOSE_SCRATCH.with(|cell| *cell.borrow_mut() = buf);
+}
+
+/// `out = A^T * B` for row-major `A: [k, m]`, `B: [k, n]`, `out: [m, n]`.
+///
+/// The transpose of `A` is staged in a thread-local scratch buffer, so
+/// steady-state calls do not allocate.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= k * m, "A is {} elements, need k*m = {}", a.len(), k * m);
+    // see gemm_nt for why the scratch is taken, not borrowed
+    let mut buf = TRANSPOSE_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    if buf.len() < k * m {
+        buf.resize(k * m, 0.0);
+    }
+    transpose_into(a, &mut buf, k, m);
+    gemm(&buf, b, out, m, k, n);
+    TRANSPOSE_SCRATCH.with(|cell| *cell.borrow_mut() = buf);
+}
+
+/// Transposes row-major `src: [rows, cols]` into `dst: [cols, rows]`.
+///
+/// `dst` is overwritten and must hold at least `rows * cols` elements; this
+/// is the cheap companion that lets callers express `A^T * B` / `A * B^T`
+/// products as [`gemm`] over a reused scratch buffer.
+///
+/// # Panics
+///
+/// Panics if either slice is shorter than `rows * cols`.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    assert!(src.len() >= rows * cols, "transpose src too short");
+    assert!(dst.len() >= rows * cols, "transpose dst too short");
+    // Tiled to keep both sides cache-resident for large matrices.
+    const T: usize = 32;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + T).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + T).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::matmul_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, ctx: &str) {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "{ctx}: element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_square_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in [1usize, 2, 7, 8, 16, 33, 48, 100] {
+            let a = random_matrix(&mut rng, size * size);
+            let b = random_matrix(&mut rng, size * size);
+            let mut expect = vec![0.0; size * size];
+            matmul_naive(&a, &b, &mut expect, size, size, size);
+            let mut got = vec![0.0; size * size];
+            gemm(&a, &b, &mut got, size, size, size);
+            assert_close(&expect, &got, 1e-5, &format!("square {size}"));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_ragged_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (MR, KC, NR),
+            (MR + 1, KC + 1, NR + 1),
+            (MR - 1, 17, NR - 1),
+            (2 * MR + 3, 2 * KC + 5, 2 * NR + 7),
+            (64, 1, 64),
+            (1, 300, 1),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut expect = vec![0.0; m * n];
+            matmul_naive(&a, &b, &mut expect, m, k, n);
+            let mut got = vec![0.0; m * n];
+            gemm(&a, &b, &mut got, m, k, n);
+            assert_close(&expect, &got, 1e-5, &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (m, k, n) in [(37usize, 65usize, 83usize), (128, 128, 128), (257, 96, 61)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut serial = vec![0.0; m * n];
+            gemm_acc_impl(&a, &b, &mut serial, m, k, n, false);
+            let mut parallel = vec![0.0; m * n];
+            gemm_acc_impl(&a, &b, &mut parallel, m, k, n, true);
+            assert_eq!(serial, parallel, "{m}x{k}x{n} parallel/serial divergence");
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, k, n) = (13, 21, 17);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let mut once = vec![0.0; m * n];
+        gemm(&a, &b, &mut once, m, k, n);
+        let mut twice = vec![0.0; m * n];
+        gemm_acc(&a, &b, &mut twice, m, k, n);
+        gemm_acc(&a, &b, &mut twice, m, k, n);
+        for (o, t) in once.iter().zip(twice.iter()) {
+            assert!((2.0 * o - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut out = vec![999.0f32; 4];
+        gemm(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        // the seed kernel's `== 0.0` skip silently dropped NaN/Inf from the
+        // zero-weight lanes; the GEMM path must keep IEEE semantics
+        let a = vec![0.0f32, f32::NAN, 1.0, 2.0];
+        let b = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0f32; 4];
+        gemm(&a, &b, &mut out, 2, 2, 2);
+        assert!(out[0].is_nan() && out[1].is_nan(), "0*NaN must stay NaN: {out:?}");
+        assert_eq!(&out[2..], &[7.0, 10.0]);
+
+        let a = vec![1.0f32, f32::INFINITY];
+        let b = vec![1.0f32, 0.0];
+        let mut out = vec![0.0f32; 1];
+        gemm(&a, &b, &mut out, 1, 2, 1);
+        assert!(out[0].is_nan(), "1*1 + inf*0 must be NaN: {out:?}");
+    }
+
+    #[test]
+    fn zero_dimensions_are_safe() {
+        let mut out = vec![5.0f32; 6];
+        gemm(&[], &[], &mut out, 0, 0, 0);
+        gemm(&[], &[], &mut out[..0], 0, 4, 0);
+        // k == 0 must yield a zero product
+        let mut out = vec![5.0f32; 6];
+        gemm(&[], &[], &mut out, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (r, c) in [(1usize, 1usize), (3, 8), (31, 33), (64, 65)] {
+            let src = random_matrix(&mut rng, r * c);
+            let mut t = vec![0.0; r * c];
+            transpose_into(&src, &mut t, r, c);
+            let mut back = vec![0.0; r * c];
+            transpose_into(&t, &mut back, c, r);
+            assert_eq!(src, back, "{r}x{c}");
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[j * r + i], src[i * c + j]);
+                }
+            }
+        }
+    }
+}

@@ -11,9 +11,12 @@
 //! * reductions (sum, mean, max, argmax) over the whole tensor or an axis,
 //! * random initialisation helpers with explicit, seedable RNGs.
 //!
-//! The library deliberately avoids `unsafe`, BLAS bindings and SIMD
-//! intrinsics: the reproduction targets *trend fidelity* of the paper's
-//! experiments on commodity CPUs, not peak throughput.
+//! The hot paths run on the [`gemm`] kernel layer: a cache-blocked,
+//! register-tiled GEMM with runtime-dispatched AVX-512/AVX2 micro-kernels
+//! and row-block parallelism on the shared `hs_parallel` pool. The seed's
+//! scalar kernels are preserved in [`naive`] as the correctness reference.
+//! `unsafe` is confined to the SIMD micro-kernels in `gemm.rs` (see that
+//! module's safety notes); everything else in the crate denies it.
 //!
 //! ```
 //! use hs_tensor::Tensor;
@@ -25,16 +28,20 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only inside gemm.rs's SIMD micro-kernels
 
 mod error;
+pub mod gemm;
 mod init;
+pub mod naive;
 mod ops;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use gemm::{gemm, gemm_acc, gemm_nt, gemm_tn, transpose_into};
 pub use init::{he_normal, uniform, xavier_uniform};
+pub use naive::matmul_naive;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

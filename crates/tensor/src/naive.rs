@@ -1,0 +1,37 @@
+//! Reference kernels: the seed's scalar implementations, kept verbatim in
+//! spirit as the ground truth that the blocked GEMM layer is tested and
+//! benchmarked against.
+//!
+//! Two deliberate differences from the original seed code:
+//!
+//! * the `if a_ip == 0.0 { continue; }` skip branch is gone — it silently
+//!   dropped NaN/Inf propagation (`0.0 * NaN` must stay `NaN`) and put a
+//!   branch in a hot loop, so the reference now has plain IEEE semantics
+//!   matching the optimised path bit-for-bit on special values;
+//! * the kernels write into caller-provided buffers like the fast path, so
+//!   benches compare compute, not allocator behaviour.
+
+/// The seed's i-k-j matrix multiplication: `out = A * B` for row-major
+/// `A: [m, k]`, `B: [k, n]`. Kept as the correctness reference for
+/// [`gemm`](crate::gemm::gemm) parity tests and as the baseline in the
+/// `nn_kernels` criterion bench.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "A too short");
+    assert!(b.len() >= k * n, "B too short");
+    assert!(out.len() >= m * n, "out too short");
+    out[..m * n].fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}

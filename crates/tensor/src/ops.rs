@@ -8,36 +8,87 @@ use crate::Tensor;
 impl Tensor {
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
-    /// Uses a straightforward i-k-j loop ordering which keeps the innermost
-    /// accesses contiguous for both operands.
+    /// Runs on the blocked, SIMD-dispatched [`gemm`](crate::gemm::gemm)
+    /// kernel layer; large products parallelise over row blocks on the
+    /// shared `hs_parallel` pool.
     ///
     /// # Panics
     ///
     /// Panics if either operand is not rank 2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, _, n) = self.matmul_dims(other);
+        let mut out = vec![0.0f32; m * n];
+        self.matmul_into(other, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided buffer (first
+    /// `m * n` elements are overwritten), so hot loops can reuse storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches or if `out` is shorter than `m * n`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f32]) {
+        let (m, k, n) = self.matmul_dims(other);
+        crate::gemm::gemm(self.as_slice(), other.as_slice(), out, m, k, n);
+    }
+
+    /// `A * B^T` for `A: [m, k]`, `B: [n, k]`, without materialising the
+    /// transpose as a `Tensor` — it is staged in the kernel layer's
+    /// thread-local scratch ([`crate::gemm::gemm_nt`]), so steady-state
+    /// calls allocate only the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt requires rank-2 left operand");
+        assert_eq!(other.rank(), 2, "matmul_nt requires rank-2 right operand");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dimensions must agree ({k} vs {k2})");
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_nt(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `A^T * B` for `A: [k, m]`, `B: [k, n]`, without materialising the
+    /// transpose as a `Tensor` ([`crate::gemm::gemm_tn`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn requires rank-2 left operand");
+        assert_eq!(other.rank(), 2, "matmul_tn requires rank-2 right operand");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dimensions must agree ({k} vs {k2})");
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_tn(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// The seed's scalar i-k-j matmul, kept as the reference implementation
+    /// for parity tests and benchmarks (see [`crate::naive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
+        let (m, k, n) = self.matmul_dims(other);
+        let mut out = vec![0.0f32; m * n];
+        crate::naive::matmul_naive(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize, usize) {
         assert_eq!(self.rank(), 2, "matmul requires rank-2 left operand");
         assert_eq!(other.rank(), 2, "matmul requires rank-2 right operand");
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul inner dimensions must agree ({k} vs {k2})");
-
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+        (m, k, n)
     }
 
     /// Sums along `axis`, removing that axis from the result.
@@ -154,18 +205,28 @@ impl Tensor {
     ///
     /// Panics on rank or length mismatches.
     pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_row_bias_assign(bias);
+        out
+    }
+
+    /// In-place variant of [`Tensor::add_row_bias`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or length mismatches.
+    pub fn add_row_bias_assign(&mut self, bias: &Tensor) {
         assert_eq!(self.rank(), 2, "add_row_bias requires a rank-2 tensor");
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
         let (n, c) = (self.dims()[0], self.dims()[1]);
         assert_eq!(bias.len(), c, "bias length must equal the column count");
-        let mut out = self.clone();
         let b = bias.as_slice();
+        let data = self.as_mut_slice();
         for i in 0..n {
-            for j in 0..c {
-                out.as_mut_slice()[i * c + j] += b[j];
+            for (o, bv) in data[i * c..(i + 1) * c].iter_mut().zip(b.iter()) {
+                *o += bv;
             }
         }
-        out
     }
 }
 

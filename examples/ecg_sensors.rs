@@ -16,9 +16,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut cfg = EcgConfig::default();
-    cfg.train_per_sensor = 24;
-    cfg.test_per_sensor = 10;
+    let cfg = EcgConfig {
+        train_per_sensor: 24,
+        test_per_sensor: 10,
+        ..EcgConfig::default()
+    };
     let datasets = build_ecg_datasets(cfg, 5);
     println!("Sensor types: {:?}", datasets.iter().map(|d| d.device.clone()).collect::<Vec<_>>());
 

@@ -16,12 +16,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut cfg = CifarSynthConfig::default();
-    cfg.num_classes = 6;
-    cfg.image_size = 16;
-    cfg.num_device_types = 6;
-    cfg.train_per_class = 4;
-    cfg.test_per_class = 2;
+    let cfg = CifarSynthConfig {
+        num_classes: 6,
+        image_size: 16,
+        num_device_types: 6,
+        train_per_class: 4,
+        test_per_class: 2,
+    };
     let datasets = build_jitter_datasets(cfg, 11);
 
     // two clients per synthetic device type

@@ -30,12 +30,14 @@ fn main() {
     }
 
     // 2. Per-device datasets: the same scenes, rendered by each device.
-    let mut cfg = Imagenet12Config::default();
-    cfg.num_classes = 6;
-    cfg.image_size = 16;
-    cfg.scene_size = 24;
-    cfg.train_per_class = 4;
-    cfg.test_per_class = 2;
+    let cfg = Imagenet12Config {
+        num_classes: 6,
+        image_size: 16,
+        scene_size: 24,
+        train_per_class: 4,
+        test_per_class: 2,
+        ..Imagenet12Config::default()
+    };
     let datasets = build_device_datasets(&fleet, cfg, 42);
     println!(
         "\nBuilt {} per-device datasets ({} train / {} test samples each)",

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds without crates-registry access, so this crate
+//! implements the subset of criterion's API that the benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`] — on top of a simple wall-clock harness:
+//!
+//! * every benchmark is warmed up, then timed over `sample_size` samples,
+//!   each sample batching enough iterations to exceed a minimum duration;
+//! * the median / min / max per-iteration times are reported in a
+//!   criterion-like `time: [low median high]` line;
+//! * `--test` (the Cargo bench smoke-mode flag) runs each benchmark exactly
+//!   once and reports `ok`, so CI can validate benches cheaply;
+//! * positional CLI arguments act as substring filters on benchmark names.
+//!
+//! Other criterion CLI flags (`--save-baseline`, `--noplot`, ...) are
+//! accepted and ignored.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum duration of one timed sample; iterations are batched up to this.
+const MIN_SAMPLE: Duration = Duration::from_millis(8);
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(300);
+
+/// The benchmark manager: configuration plus name filtering.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // flags with a value we must consume and ignore
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Configures the warm-up time. Accepted for API compatibility; the
+    /// stand-in keeps its fixed warm-up budget.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configures the measurement time. Accepted for API compatibility.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one benchmark if it passes the CLI name filter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            bencher.report(name);
+        }
+        self
+    }
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and discover how many iterations fill MIN_SAMPLE.
+        let mut batch = 1usize;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= MIN_SAMPLE {
+                break;
+            }
+            if warm_start.elapsed() >= WARMUP {
+                // routine is fast; scale the batch from the observed rate
+                let per_iter = dt.as_secs_f64() / batch as f64;
+                if per_iter > 0.0 {
+                    batch = ((MIN_SAMPLE.as_secs_f64() / per_iter).ceil() as usize).max(batch);
+                }
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two macro
+/// forms (`name/config/targets` and positional).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

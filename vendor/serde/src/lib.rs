@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's build environment has no crates-registry access, so this
+//! crate keeps the `#[derive(Serialize, Deserialize)]` annotations across the
+//! workspace compiling without pulling in real serde. [`Serialize`] and
+//! [`Deserialize`] are marker traits with blanket implementations, and the
+//! derive macros (re-exported from the local `serde_derive` proc-macro crate)
+//! expand to nothing.
+//!
+//! No serialisation actually happens anywhere in the workspace today — the
+//! derives exist so the data types keep their (de)serialisable contract for
+//! the day a real serialisation backend is wired in. Swapping this directory
+//! for the crates.io `serde` restores full functionality without touching any
+//! annotated type.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serialisable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that declare themselves deserialisable.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

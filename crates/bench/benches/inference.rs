@@ -1,0 +1,90 @@
+//! End-to-end inference benchmarks for the fused engine (PR 2).
+//!
+//! Three rungs per model, so one run shows where the time goes:
+//!
+//! * `*_unfused`   — the layer-at-a-time path: conv, then a full-tensor
+//!   batch-norm pass, then a full-tensor activation pass, each allocating
+//!   its output;
+//! * `*_fused`     — after `Network::fuse_inference()`: conv+BN+activation
+//!   collapsed into one GEMM with the scale/shift+activation epilogue in the
+//!   micro-kernel store loop;
+//! * `*_fused_plan` — the fused network driven through `Network::infer`'s
+//!   ping-pong arena, so steady-state forwards also stop allocating
+//!   activation tensors.
+//!
+//! `inference/eval_accuracy_*` measures the FL-facing quantity: whole-batch
+//! sharded evaluation over the `hs_parallel` pool (run with
+//! `HS_PARALLEL_THREADS=1/4` to see the scaling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hs_data::{Dataset, Labels};
+use hs_fl::evaluate_accuracy;
+use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
+use hs_nn::Network;
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds two weight-identical replicas of a model (same constructor seed):
+/// one untouched, one fused.
+fn model_pair(kind: ModelKind, cfg: VisionConfig) -> (Network, Network) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let unfused = build_vision_model(kind, cfg, &mut rng);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut fused = build_vision_model(kind, cfg, &mut rng);
+    fused.fuse_inference();
+    (unfused, fused)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // the CIFAR-synth CNN at CIFAR geometry: the model behind the paper's
+    // synthetic heterogeneity study and this PR's acceptance bar
+    let cfg = VisionConfig::new(3, 10, 32);
+    let (mut unfused, mut fused) = model_pair(ModelKind::SimpleCnn, cfg);
+    let x = Tensor::rand_uniform(&[32, 3, 32, 32], 0.0, 1.0, &mut rng);
+    c.bench_function("inference/simple_cnn_b32_unfused", |b| {
+        b.iter(|| unfused.forward(black_box(&x), false))
+    });
+    c.bench_function("inference/simple_cnn_b32_fused", |b| {
+        b.iter(|| fused.forward(black_box(&x), false))
+    });
+    c.bench_function("inference/simple_cnn_b32_fused_plan", |b| {
+        b.iter(|| fused.infer(black_box(&x)).len())
+    });
+
+    // a mobile-zoo model: fusion reaches the nested block Sequentials
+    let cfg = VisionConfig::new(3, 12, 16);
+    let (mut unfused, mut fused) = model_pair(ModelKind::MobileNetV3Small, cfg);
+    let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    c.bench_function("inference/mobilenet_b8_unfused", |b| {
+        b.iter(|| unfused.forward(black_box(&x), false))
+    });
+    c.bench_function("inference/mobilenet_b8_fused_plan", |b| {
+        b.iter(|| fused.infer(black_box(&x)).len())
+    });
+}
+
+fn bench_sharded_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = VisionConfig::new(3, 10, 32);
+    let (_, mut fused) = model_pair(ModelKind::SimpleCnn, cfg);
+    let n = 256;
+    let samples: Vec<Tensor> = (0..n)
+        .map(|_| Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+        .collect();
+    let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..10)).collect();
+    let data = Dataset::new(samples, Labels::Classes(labels));
+    c.bench_function("inference/eval_accuracy_256_simple_cnn", |b| {
+        b.iter(|| evaluate_accuracy(&mut fused, black_box(&data)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = bench_end_to_end, bench_sharded_eval
+}
+criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! E2 — Paper Table 2: cross-device model-quality degradation matrix
 //! (train on device i, test on device j) over the nine-device fleet.
+//!
+//! `--json-out PATH` additionally dumps the matrix (device names, raw
+//! accuracies, derived degradation) as JSON.
 
-use hs_bench::{experiments, Scale};
+use hs_bench::{experiments, json_out_path, Scale};
 use hs_data::CaptureMode;
 
 fn main() {
@@ -14,4 +17,8 @@ fn main() {
         "Overall mean cross-device degradation: {:.1}% (paper reports 19.4%)",
         matrix.overall_mean_degradation() * 100.0
     );
+    if let Some(path) = json_out_path(&args) {
+        serde::json::write_file(&path, &matrix.to_json()).expect("failed to write --json-out file");
+        println!("Wrote JSON degradation matrix to {}", path.display());
+    }
 }

@@ -13,7 +13,7 @@ use hs_data::{
 use hs_device::paper_devices;
 use hs_fl::{
     evaluate_average_precision, evaluate_heart_rate, AggregationMethod, ClientData, ClientTrainer,
-    FedAvgTrainer, FedProxTrainer, FlConfig, FlSimulation, LossKind, ScaffoldTrainer,
+    FedAvgTrainer, FedProxTrainer, FlConfig, FlSimulation, LossKind, RoundStats, ScaffoldTrainer,
 };
 use hs_metrics::{heart_rate_deviation, mean, population_variance, worst_case, GroupAccuracy};
 use hs_nn::models::{ModelKind, VisionConfig};
@@ -140,6 +140,9 @@ pub struct MethodResult {
     pub variance: f32,
     /// Mean accuracy across device types.
     pub average: f32,
+    /// Per-round training statistics of the run that produced this result
+    /// (empty when the experiment only evaluates a pre-trained model).
+    pub rounds: Vec<RoundStats>,
 }
 
 impl MethodResult {
@@ -153,7 +156,22 @@ impl MethodResult {
             variance: population_variance(&percent),
             average: mean(&values),
             per_device,
+            rounds: Vec::new(),
         }
+    }
+}
+
+impl serde::json::ToJson for MethodResult {
+    fn to_json(&self) -> serde::json::JsonValue {
+        use serde::json::{JsonValue, ToJson};
+        JsonValue::obj(vec![
+            ("method", ToJson::to_json(&self.method)),
+            ("per_device", ToJson::to_json(&self.per_device)),
+            ("worst_case", ToJson::to_json(&self.worst_case)),
+            ("variance", ToJson::to_json(&self.variance)),
+            ("average", ToJson::to_json(&self.average)),
+            ("rounds", ToJson::to_json(&self.rounds)),
+        ])
     }
 }
 
@@ -202,8 +220,11 @@ pub fn run_fl_method(
         trainer,
         aggregation,
     );
-    sim.run();
-    MethodResult::from_groups(method.as_str().to_string(), sim.evaluate_per_device(tests))
+    let rounds = sim.run();
+    let mut result =
+        MethodResult::from_groups(method.as_str().to_string(), sim.evaluate_per_device(tests));
+    result.rounds = rounds;
+    result
 }
 
 /// Paper Table 4: every method on the nine-device fleet under the

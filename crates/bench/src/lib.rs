@@ -21,3 +21,14 @@ pub mod experiments;
 pub mod scale;
 
 pub use scale::Scale;
+
+/// Parses a `--json-out PATH` argument from an experiment binary's argument
+/// list. Returns `None` when absent; panics when the flag is given without a
+/// path (a silent typo would otherwise discard results).
+pub fn json_out_path(args: &[String]) -> Option<std::path::PathBuf> {
+    let idx = args.iter().position(|a| a == "--json-out")?;
+    let path = args
+        .get(idx + 1)
+        .unwrap_or_else(|| panic!("--json-out requires a path argument"));
+    Some(std::path::PathBuf::from(path))
+}

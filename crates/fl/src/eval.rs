@@ -1,11 +1,76 @@
 //! Evaluation helpers for trained (global) models.
+//!
+//! Whole evaluation batches are sharded across the shared [`hs_parallel`]
+//! pool against one `&Network` (layers expose a shared-state inference path
+//! via `Layer::forward_eval`), so per-device evaluation in the FL simulator
+//! scales with cores without cloning model weights. Models containing a
+//! custom layer without a shared-state path fall back to the serial
+//! exclusive-access loop.
 
 use hs_data::{Dataset, Labels};
 use hs_metrics::{accuracy, average_precision, GroupAccuracy};
 use hs_nn::Network;
 
-/// Maximum evaluation batch size (keeps peak memory bounded).
+/// Maximum evaluation batch size (keeps peak memory bounded and is the
+/// sharding granule for the parallel path).
 const EVAL_BATCH: usize = 32;
+
+/// Stacks the samples `start..end` and runs the shared-state inference
+/// forward.
+fn batch_logits(net: &Network, data: &Dataset, start: usize, end: usize) -> Option<hs_tensor::Tensor> {
+    let indices: Vec<usize> = (start..end).collect();
+    let (x, _) = data.batch(&indices);
+    net.forward_eval(&x)
+}
+
+/// Runs `consume(start, logits)` for every `EVAL_BATCH`-sized batch of
+/// `data`, sharding batches across the pool when the model supports
+/// shared-state eval (and the work is worth fanning out). `consume` writes
+/// into disjoint per-batch regions via interior indexing, so it must be
+/// callable concurrently.
+///
+/// Returns `false` if the model has no shared-state path — the caller must
+/// then run its serial fallback.
+fn for_each_batch_logits<F>(net: &Network, data: &Dataset, consume: F) -> bool
+where
+    F: Fn(usize, &hs_tensor::Tensor) + Sync,
+{
+    let n = data.len();
+    let n_batches = n.div_ceil(EVAL_BATCH);
+    // probe the first batch serially: a model with an unsupported custom
+    // layer is detected before any parallel work is queued
+    let first_end = EVAL_BATCH.min(n);
+    match batch_logits(net, data, 0, first_end) {
+        None => return false,
+        Some(logits) => consume(0, &logits),
+    }
+    if n_batches <= 1 {
+        return true;
+    }
+    if hs_parallel::num_threads() > 1 && !hs_parallel::inside_pool() {
+        hs_parallel::scope(|s| {
+            for b in 1..n_batches {
+                let consume = &consume;
+                s.spawn(move || {
+                    let start = b * EVAL_BATCH;
+                    let end = (start + EVAL_BATCH).min(n);
+                    let logits = batch_logits(net, data, start, end)
+                        .expect("shared-state eval support cannot vary across batches");
+                    consume(start, &logits);
+                });
+            }
+        });
+    } else {
+        for b in 1..n_batches {
+            let start = b * EVAL_BATCH;
+            let end = (start + EVAL_BATCH).min(n);
+            let logits = batch_logits(net, data, start, end)
+                .expect("shared-state eval support cannot vary across batches");
+            consume(start, &logits);
+        }
+    }
+    true
+}
 
 /// Classification accuracy of `net` on a dataset with class labels.
 ///
@@ -20,6 +85,16 @@ pub fn evaluate_accuracy(net: &mut Network, data: &Dataset) -> f32 {
     if data.is_empty() {
         return 0.0;
     }
+    let predictions = std::sync::Mutex::new(vec![0usize; data.len()]);
+    let sharded = for_each_batch_logits(net, data, |start, logits| {
+        let preds = logits.argmax_rows();
+        let mut guard = predictions.lock().unwrap();
+        guard[start..start + preds.len()].copy_from_slice(&preds);
+    });
+    if sharded {
+        return accuracy(&predictions.into_inner().unwrap(), &labels);
+    }
+    // serial fallback for models without a shared-state eval path
     let mut predictions = Vec::with_capacity(data.len());
     let mut start = 0;
     while start < data.len() {
@@ -46,19 +121,34 @@ pub fn evaluate_average_precision(net: &mut Network, data: &Dataset) -> f32 {
     if data.is_empty() {
         return 0.0;
     }
-    let mut aps = Vec::with_capacity(data.len());
+    let per_sample_ap = |start: usize, logits: &hs_tensor::Tensor, aps: &mut [f32]| {
+        let (n, l) = (logits.dims()[0], logits.dims()[1]);
+        for i in 0..n {
+            let scores: Vec<f32> = (0..l).map(|j| logits.at(&[i, j])).collect();
+            let relevant: Vec<bool> = hot[start + i].iter().map(|&v| v > 0.5).collect();
+            aps[i] = average_precision(&scores, &relevant);
+        }
+    };
+    let aps = std::sync::Mutex::new(vec![0.0f32; data.len()]);
+    let sharded = for_each_batch_logits(net, data, |start, logits| {
+        let mut local = vec![0.0f32; logits.dims()[0]];
+        per_sample_ap(start, logits, &mut local);
+        let mut guard = aps.lock().unwrap();
+        guard[start..start + local.len()].copy_from_slice(&local);
+    });
+    if sharded {
+        let aps = aps.into_inner().unwrap();
+        return aps.iter().sum::<f32>() / aps.len() as f32;
+    }
+    // serial fallback
+    let mut aps = vec![0.0f32; data.len()];
     let mut start = 0;
     while start < data.len() {
         let end = (start + EVAL_BATCH).min(data.len());
         let indices: Vec<usize> = (start..end).collect();
         let (x, _) = data.batch(&indices);
         let logits = net.forward(&x, false);
-        let (n, l) = (logits.dims()[0], logits.dims()[1]);
-        for i in 0..n {
-            let scores: Vec<f32> = (0..l).map(|j| logits.at(&[i, j])).collect();
-            let relevant: Vec<bool> = hot[start + i].iter().map(|&v| v > 0.5).collect();
-            aps.push(average_precision(&scores, &relevant));
-        }
+        per_sample_ap(start, &logits, &mut aps[start..end]);
         start = end;
     }
     aps.iter().sum::<f32>() / aps.len() as f32
@@ -79,6 +169,22 @@ pub fn evaluate_heart_rate(
         Labels::Values(v) => v.clone(),
         _ => panic!("evaluate_heart_rate requires value labels"),
     };
+    let actual: Vec<f32> = values.iter().map(|v| v * denormalize).collect();
+    if data.is_empty() {
+        return (Vec::new(), actual);
+    }
+    let preds = std::sync::Mutex::new(vec![0.0f32; data.len()]);
+    let sharded = for_each_batch_logits(net, data, |start, out| {
+        let n = out.dims()[0];
+        let mut guard = preds.lock().unwrap();
+        for i in 0..n {
+            guard[start + i] = out.at(&[i, 0]) * denormalize;
+        }
+    });
+    if sharded {
+        return (preds.into_inner().unwrap(), actual);
+    }
+    // serial fallback
     let mut preds = Vec::with_capacity(data.len());
     let mut start = 0;
     while start < data.len() {
@@ -91,12 +197,12 @@ pub fn evaluate_heart_rate(
         }
         start = end;
     }
-    let actual: Vec<f32> = values.iter().map(|v| v * denormalize).collect();
     (preds, actual)
 }
 
 /// Per-device-type accuracy of a single model over a list of named test
-/// sets — the quantity behind the paper's fairness/DG tables.
+/// sets — the quantity behind the paper's fairness/DG tables. Each set's
+/// evaluation shards its batches across the pool.
 pub fn per_device_accuracy(
     net: &mut Network,
     device_tests: &[(String, Dataset)],
@@ -110,7 +216,7 @@ pub fn per_device_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hs_nn::{Linear, Sequential};
+    use hs_nn::{Layer, Linear, Network as Net, Sequential};
     use hs_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -142,6 +248,67 @@ mod tests {
             .collect();
         let data = Dataset::new(x, Labels::Classes(vec![0, 1, 2]));
         assert_eq!(evaluate_accuracy(&mut net, &data), 1.0);
+    }
+
+    #[test]
+    fn sharded_accuracy_matches_serial_on_many_batches() {
+        // enough samples for several EVAL_BATCH shards
+        let mut net = identity_like_net(4, 4);
+        let n = 3 * EVAL_BATCH + 7;
+        let mut x = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut t = Tensor::zeros(&[4]);
+            t.as_mut_slice()[i % 4] = 1.0;
+            x.push(t);
+            // make roughly a third of the labels wrong so accuracy is not 1.0
+            labels.push(if i % 3 == 0 { (i + 1) % 4 } else { i % 4 });
+        }
+        let data = Dataset::new(x, Labels::Classes(labels.clone()));
+        let sharded = evaluate_accuracy(&mut net, &data);
+
+        // serial reference through the exclusive-access path
+        let mut serial_preds = Vec::new();
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + EVAL_BATCH).min(data.len());
+            let indices: Vec<usize> = (start..end).collect();
+            let (bx, _) = data.batch(&indices);
+            serial_preds.extend(net.predict_classes(&bx));
+            start = end;
+        }
+        assert_eq!(sharded, accuracy(&serial_preds, &labels));
+    }
+
+    #[test]
+    fn unsupported_layers_fall_back_to_serial() {
+        /// A layer without a shared-state eval path.
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+                input.clone()
+            }
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                grad_out.clone()
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Net::new(Sequential::new(vec![
+            Box::new(Opaque),
+            Box::new(Linear::new(2, 2, &mut rng)),
+        ]));
+        assert!(net.forward_eval(&Tensor::ones(&[1, 2])).is_none());
+        let n = 2 * EVAL_BATCH + 3;
+        let data = Dataset::new(
+            vec![Tensor::ones(&[2]); n],
+            Labels::Classes(vec![0; n]),
+        );
+        // must not panic, and must produce a valid accuracy via the fallback
+        let acc = evaluate_accuracy(&mut net, &data);
+        assert!((0.0..=1.0).contains(&acc));
     }
 
     #[test]

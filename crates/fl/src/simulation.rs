@@ -35,6 +35,19 @@ pub struct RoundStats {
     pub participants: Vec<usize>,
 }
 
+impl serde::json::ToJson for RoundStats {
+    fn to_json(&self) -> serde::json::JsonValue {
+        use serde::json::{JsonValue, ToJson};
+        JsonValue::obj(vec![
+            ("round", ToJson::to_json(&self.round)),
+            ("mean_train_loss", ToJson::to_json(&self.mean_train_loss)),
+            ("mean_init_loss", ToJson::to_json(&self.mean_init_loss)),
+            ("loss_ema", ToJson::to_json(&self.loss_ema)),
+            ("participants", ToJson::to_json(&self.participants)),
+        ])
+    }
+}
+
 /// A complete federated-learning simulation: clients, model, local-update
 /// strategy and aggregation rule.
 pub struct FlSimulation {

@@ -49,6 +49,23 @@ impl DegradationMatrix {
         (own - self.accuracy[train][test]) / own
     }
 
+    /// Serialises the matrix (device names, raw accuracies, and the derived
+    /// overall mean degradation) for the experiment binaries' `--json-out`.
+    pub fn to_json(&self) -> serde::json::JsonValue {
+        use serde::json::{JsonValue, ToJson};
+        JsonValue::obj(vec![
+            ("devices", ToJson::to_json(&self.devices)),
+            (
+                "accuracy",
+                JsonValue::Arr(self.accuracy.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "overall_mean_degradation",
+                ToJson::to_json(&self.overall_mean_degradation()),
+            ),
+        ])
+    }
+
     /// The paper's per-row "Mean Others": average degradation over every test
     /// device except the training device itself.
     pub fn mean_others_for_train(&self, train: usize) -> f32 {

@@ -23,6 +23,16 @@ impl GroupAccuracy {
     }
 }
 
+impl serde::json::ToJson for GroupAccuracy {
+    fn to_json(&self) -> serde::json::JsonValue {
+        use serde::json::{JsonValue, ToJson};
+        JsonValue::obj(vec![
+            ("group", ToJson::to_json(&self.group)),
+            ("accuracy", ToJson::to_json(&self.accuracy)),
+        ])
+    }
+}
+
 /// Mean of a slice of values (0.0 for empty input).
 pub fn mean(values: &[f32]) -> f32 {
     if values.is_empty() {

@@ -4,7 +4,16 @@
 //! hard-sigmoid pair introduced by MobileNetV3.
 
 use crate::Layer;
-use hs_tensor::Tensor;
+use hs_tensor::{EpilogueAct, Tensor};
+
+/// Writes `f` applied to every element of `input` into `out` (resized),
+/// the shared allocation-free `forward_into` body of the activations.
+fn map_into<F: Fn(f32) -> f32>(input: &Tensor, out: &mut Tensor, f: F) {
+    out.resize_to(input.dims());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice().iter()) {
+        *o = f(x);
+    }
+}
 
 /// Rectified linear unit: `max(0, x)`.
 pub struct Relu {
@@ -37,8 +46,75 @@ impl Layer for Relu {
         grad_out.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        map_into(input, out, |x| x.max(0.0));
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(|x| x.max(0.0)))
+    }
+
+    fn epilogue_act(&self) -> Option<EpilogueAct> {
+        Some(EpilogueAct::Relu)
+    }
+
     fn name(&self) -> &'static str {
         "relu"
+    }
+}
+
+/// Clipped rectified linear unit: `min(max(0, x), 6)`, the mobile-zoo
+/// activation whose bounded range keeps quantised deployments stable.
+pub struct Relu6 {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu6 {
+    /// Creates a ReLU6 activation layer.
+    pub fn new() -> Self {
+        Relu6 { cached_input: None }
+    }
+}
+
+impl Default for Relu6 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu6 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(|x| x.clamp(0.0, 6.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip(input, |g, x| if x > 0.0 && x < 6.0 { g } else { 0.0 })
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        map_into(input, out, |x| x.clamp(0.0, 6.0));
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(|x| x.clamp(0.0, 6.0)))
+    }
+
+    fn epilogue_act(&self) -> Option<EpilogueAct> {
+        Some(EpilogueAct::Relu6)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu6"
     }
 }
 
@@ -71,6 +147,23 @@ impl Layer for LeakyRelu {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let s = self.slope;
         grad_out.zip(input, |g, x| if x > 0.0 { g } else { s * g })
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        let s = self.slope;
+        map_into(input, out, |x| if x > 0.0 { x } else { s * x });
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let s = self.slope;
+        Some(input.map(|x| if x > 0.0 { x } else { s * x }))
+    }
+
+    fn epilogue_act(&self) -> Option<EpilogueAct> {
+        Some(EpilogueAct::LeakyRelu(self.slope))
     }
 
     fn name(&self) -> &'static str {
@@ -122,6 +215,18 @@ impl Layer for Sigmoid {
         grad_out.zip(out, |g, y| g * y * (1.0 - y))
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(sigmoid_scalar))
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, train);
+        } else {
+            map_into(input, out, sigmoid_scalar);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "sigmoid"
     }
@@ -159,6 +264,18 @@ impl Layer for Tanh {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let out = self.cached_output.as_ref().expect("backward before forward");
         grad_out.zip(out, |g, y| g * (1.0 - y * y))
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(f32::tanh))
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, train);
+        } else {
+            map_into(input, out, f32::tanh);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -208,6 +325,17 @@ impl Layer for HardSigmoid {
         })
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(hard_sigmoid_scalar))
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        map_into(input, out, hard_sigmoid_scalar);
+    }
+
     fn name(&self) -> &'static str {
         "hard_sigmoid"
     }
@@ -253,6 +381,17 @@ impl Layer for HardSwish {
         })
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.map(|x| x * hard_sigmoid_scalar(x)))
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        map_into(input, out, |x| x * hard_sigmoid_scalar(x));
+    }
+
     fn name(&self) -> &'static str {
         "hard_swish"
     }
@@ -293,6 +432,42 @@ mod tests {
     fn relu_gradient() {
         numerical_check(&mut Relu::new(), 0.7);
         numerical_check(&mut Relu::new(), -0.7);
+    }
+
+    #[test]
+    fn relu6_clips_both_ends() {
+        let mut r = Relu6::new();
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 3.0, 9.0], &[3]), false);
+        assert_eq!(y.as_slice(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn relu6_gradient() {
+        numerical_check(&mut Relu6::new(), 0.7);
+        numerical_check(&mut Relu6::new(), -0.7);
+        numerical_check(&mut Relu6::new(), 7.0);
+    }
+
+    #[test]
+    fn forward_into_and_eval_match_forward() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0, 8.0], &[6]);
+        let mut layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Relu::new()),
+            Box::new(Relu6::new()),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Sigmoid::new()),
+            Box::new(Tanh::new()),
+            Box::new(HardSigmoid::new()),
+            Box::new(HardSwish::new()),
+        ];
+        for layer in layers.iter_mut() {
+            let expect = layer.forward(&x, false);
+            let mut out = Tensor::zeros(&[0]);
+            layer.forward_into(&x, &mut out, false);
+            assert_eq!(out.as_slice(), expect.as_slice(), "{}", layer.name());
+            let eval = layer.forward_eval(&x).expect("activations support shared eval");
+            assert_eq!(eval.as_slice(), expect.as_slice(), "{}", layer.name());
+        }
     }
 
     #[test]

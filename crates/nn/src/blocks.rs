@@ -58,6 +58,20 @@ impl Layer for Residual {
         self.body.backward(grad_out).add(grad_out)
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let y = self.body.forward_eval(input)?;
+        assert_eq!(
+            y.dims(),
+            input.dims(),
+            "residual body must preserve the input shape"
+        );
+        Some(y.add(input))
+    }
+
+    fn fuse_inference(&mut self) {
+        self.body.fuse_inference();
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.body.params_mut()
     }
@@ -156,6 +170,30 @@ impl Layer for SqueezeExcite {
             .squeeze
             .backward(&Tensor::from_vec(grad_scale, &[n, c]));
         Tensor::from_vec(grad_direct, dims).add(&grad_through_squeeze)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let scale = self.squeeze.forward_eval(input)?; // [n, c]
+        let s = scale.as_slice();
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; x.len()];
+        let hw = h * w;
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = s[ni * c + ci];
+                let off = (ni * c + ci) * hw;
+                for i in 0..hw {
+                    out[off + i] = x[off + i] * g;
+                }
+            }
+        }
+        Some(Tensor::from_vec(out, dims))
+    }
+
+    fn fuse_inference(&mut self) {
+        self.squeeze.fuse_inference();
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -265,6 +303,15 @@ impl Layer for InvertedResidual {
         }
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let y = self.body.forward_eval(input)?;
+        Some(if self.use_skip { y.add(input) } else { y })
+    }
+
+    fn fuse_inference(&mut self) {
+        self.body.fuse_inference();
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.body.params_mut()
     }
@@ -349,6 +396,19 @@ impl Layer for Fire {
         self.squeeze.backward(&gs1.add(&gs3))
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let squeezed = self.squeeze.forward_eval(input)?;
+        let e1 = self.expand1.forward_eval(&squeezed)?;
+        let e3 = self.expand3.forward_eval(&squeezed)?;
+        Some(concat_channels(&e1, &e3))
+    }
+
+    fn fuse_inference(&mut self) {
+        self.squeeze.fuse_inference();
+        self.expand1.fuse_inference();
+        self.expand3.fuse_inference();
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut p = self.squeeze.params_mut();
         p.extend(self.expand1.params_mut());
@@ -420,6 +480,10 @@ impl Layer for ChannelShuffle {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.permute(grad_out, true)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(self.permute(input, false))
     }
 
     fn name(&self) -> &'static str {
@@ -535,6 +599,31 @@ impl Layer for ShuffleUnit {
                 .backward(&g1);
             let gx2 = self.branch_main.backward(&g2);
             gx1.add(&gx2)
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let out = if self.stride == 1 {
+            let x1 = slice_channels(input, 0, self.half);
+            let x2 = slice_channels(input, self.half, self.half * 2);
+            let y2 = self.branch_main.forward_eval(&x2)?;
+            concat_channels(&x1, &y2)
+        } else {
+            let y1 = self
+                .branch_proj
+                .as_ref()
+                .expect("stride-2 unit has a projection branch")
+                .forward_eval(input)?;
+            let y2 = self.branch_main.forward_eval(input)?;
+            concat_channels(&y1, &y2)
+        };
+        self.shuffle.forward_eval(&out)
+    }
+
+    fn fuse_inference(&mut self) {
+        self.branch_main.fuse_inference();
+        if let Some(proj) = &mut self.branch_proj {
+            proj.fuse_inference();
         }
     }
 

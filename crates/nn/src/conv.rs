@@ -20,8 +20,30 @@
 //! branches were removed: they broke NaN/Inf propagation.)
 
 use crate::{Layer, Param};
-use hs_tensor::{gemm, gemm_acc, he_normal, transpose_into, Tensor};
+use hs_tensor::{
+    gemm, gemm_acc, gemm_epilogue, he_normal, transpose_into, Epilogue, EpilogueAct, Tensor,
+};
 use rand::rngs::StdRng;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable im2col scratch for the shared-state (`&self`) inference
+    /// entry points (`forward_eval`), where no layer-held buffer can be
+    /// borrowed mutably. One per thread: sharded-eval pool workers each
+    /// warm their own and then stop allocating.
+    static EVAL_COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread's eval im2col scratch. The buffer is taken out
+/// of the cell (not borrowed) for the duration of the call: a parallel GEMM
+/// inside may run unrelated queued pool tasks on this thread, and one of
+/// those could re-enter here.
+pub(crate) fn with_eval_col_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    let mut buf = EVAL_COL_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    let result = f(&mut buf);
+    EVAL_COL_SCRATCH.with(|cell| *cell.borrow_mut() = buf);
+    result
+}
 
 /// For one kernel tap offset `k` (row or column) returns the half-open range
 /// of output coordinates whose sampled input coordinate `o*stride + k - pad`
@@ -246,6 +268,12 @@ pub struct Conv2d {
     /// Flat im2col scratch: `[n][groups][wrow * ohw]`, resized per input
     /// geometry and reused across steps.
     col_cache: Vec<f32>,
+    /// Reusable im2col scratch for the exclusive (`&mut`) inference entry
+    /// points. Kept separate from `col_cache` so an eval pass between
+    /// `forward(train)` and `backward` never clobbers cached columns; taken
+    /// out of the struct for the duration of a call so the `&self` inference
+    /// body can borrow the layer freely.
+    eval_col: Vec<f32>,
 }
 
 impl Conv2d {
@@ -287,6 +315,7 @@ impl Conv2d {
             groups,
             cached_input_dims: None,
             col_cache: Vec::new(),
+            eval_col: Vec::new(),
         }
     }
 
@@ -306,6 +335,142 @@ impl Conv2d {
     /// Number of output channels.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// Read-only view of the convolution bias (one entry per output
+    /// channel), used by the fusion pass to fold the bias into a GEMM
+    /// epilogue shift.
+    pub(crate) fn bias_values(&self) -> &[f32] {
+        self.bias.value.as_slice()
+    }
+
+    /// The inference forward pass, writing into `out` (resized in place).
+    ///
+    /// With `ep == Some((scale, shift, act))` the output is
+    /// `act(scale[oc] * conv(input)[oc] + shift[oc])`, applied inside the
+    /// per-group GEMM store loop — the fused `Conv2d -> BatchNorm2d ->
+    /// activation` path. The convolution bias is **not** added in this mode;
+    /// the caller folds it into `shift`. With `ep == None` this is the plain
+    /// convolution with bias.
+    ///
+    /// Reads only shared state (`&self`), so sharded evaluation can run many
+    /// batches against one layer concurrently. `col_scratch` is the
+    /// caller-owned im2col buffer reused across calls; the batch-parallel
+    /// path gives each sample band its own short-lived buffer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input rank/channel mismatches, or if an epilogue's
+    /// scale/shift have fewer entries than output channels.
+    pub(crate) fn infer_into(
+        &self,
+        input: &Tensor,
+        ep: Option<(&[f32], &[f32], EpilogueAct)>,
+        out: &mut Tensor,
+        col_scratch: &mut Vec<f32>,
+    ) {
+        assert_eq!(input.rank(), 4, "Conv2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (oh, ow) = self.out_size(h, w);
+        let cin_g = self.in_channels / self.groups;
+        let cout_g = self.out_channels / self.groups;
+        let k = self.kernel;
+        let wrow = cin_g * k * k;
+        let ohw = oh * ow;
+        let colsz = wrow * ohw;
+        let groups = self.groups;
+        let (stride, padding) = (self.stride, self.padding);
+        if let Some((scale, shift, _)) = ep {
+            assert!(
+                scale.len() >= self.out_channels && shift.len() >= self.out_channels,
+                "epilogue scale/shift need one entry per output channel"
+            );
+        }
+
+        let x = input.as_slice();
+        let wgt = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let out_channels = self.out_channels;
+        out.resize_to(&[n, out_channels, oh, ow]);
+        let out_data = out.as_mut_slice();
+
+        // per-(sample, group) body: im2col into `col`, then one GEMM whose
+        // store loop carries the whole epilogue (or the bias as the GEMM's
+        // initial value on the unfused path)
+        let sample_group = |ni: usize, g: usize, col: &mut [f32], out_sample: &mut [f32]| {
+            let in_offset = ni * c * h * w + g * cin_g * h * w;
+            im2col(
+                &x[in_offset..in_offset + cin_g * h * w],
+                col,
+                cin_g,
+                h,
+                w,
+                k,
+                k,
+                stride,
+                padding,
+                oh,
+                ow,
+            );
+            let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
+            let out_g = &mut out_sample[g * cout_g * ohw..(g + 1) * cout_g * ohw];
+            match ep {
+                Some((scale, shift, act)) => gemm_epilogue(
+                    w_g,
+                    col,
+                    out_g,
+                    cout_g,
+                    wrow,
+                    ohw,
+                    &Epilogue {
+                        scale: &scale[g * cout_g..(g + 1) * cout_g],
+                        shift: &shift[g * cout_g..(g + 1) * cout_g],
+                        act,
+                    },
+                ),
+                None => {
+                    for oc in 0..cout_g {
+                        out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
+                    }
+                    gemm_acc(w_g, col, out_g, cout_g, wrow, ohw);
+                }
+            }
+        };
+
+        let bands = hs_parallel::num_threads().min(n.max(1));
+        if bands <= 1 || hs_parallel::inside_pool() {
+            // single stream (or already on a pool worker, where spawns would
+            // run inline anyway): reuse the caller's scratch so steady-state
+            // inference allocates nothing
+            col_scratch.resize(colsz, 0.0);
+            for (ni, out_sample) in out_data.chunks_mut(out_channels * ohw).enumerate() {
+                for g in 0..groups {
+                    sample_group(ni, g, &mut col_scratch[..colsz], out_sample);
+                }
+            }
+        } else {
+            let band_len = n.div_ceil(bands).max(1);
+            let band_out = band_len * out_channels * ohw;
+            hs_parallel::scope(|s| {
+                for (band, out_band) in out_data.chunks_mut(band_out).enumerate() {
+                    let sample_group = &sample_group;
+                    s.spawn(move || {
+                        let n0 = band * band_len;
+                        let samples = out_band.len() / (out_channels * ohw);
+                        let mut local_col = vec![0.0f32; colsz];
+                        for si in 0..samples {
+                            for g in 0..groups {
+                                let out_sample = &mut out_band
+                                    [si * out_channels * ohw..(si + 1) * out_channels * ohw];
+                                sample_group(n0 + si, g, &mut local_col, out_sample);
+                            }
+                        }
+                    });
+                }
+            });
+        }
     }
 
     /// The seed's scalar forward pass, kept as the reference implementation
@@ -461,6 +626,16 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train {
+            // inference: shared-state body + the layer-held reusable scratch
+            // (taken out of the struct so `infer_into` can borrow `&self`)
+            let mut col = std::mem::take(&mut self.eval_col);
+            let mut out = Tensor::zeros(&[0]);
+            self.infer_into(input, None, &mut out, &mut col);
+            self.eval_col = col;
+            return out;
+        }
+
         assert_eq!(input.rank(), 4, "Conv2d expects a [n, c, h, w] input");
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -475,14 +650,12 @@ impl Layer for Conv2d {
         let groups = self.groups;
         let (stride, padding) = (self.stride, self.padding);
 
-        if train {
-            self.cached_input_dims = Some(dims.to_vec());
-            // one flat scratch for every sample's im2col, reused across
-            // steps; backward consumes it, so ONLY train-mode forwards may
-            // touch it (an eval pass between forward(train) and backward
-            // must not clobber the cached columns)
-            self.col_cache.resize(n * groups * colsz, 0.0);
-        }
+        self.cached_input_dims = Some(dims.to_vec());
+        // one flat scratch for every sample's im2col, reused across
+        // steps; backward consumes it, so ONLY train-mode forwards may
+        // touch it (an eval pass between forward(train) and backward
+        // must not clobber the cached columns)
+        self.col_cache.resize(n * groups * colsz, 0.0);
 
         let x = input.as_slice();
         let wgt = self.weight.value.as_slice();
@@ -520,51 +693,30 @@ impl Layer for Conv2d {
         if bands <= 1 {
             // single band: stay off the pool so the GEMM layer's own
             // row-block parallelism can fan out instead
-            let mut eval_col = Vec::new();
             for (ni, out_sample) in out.chunks_mut(out_channels * ohw).enumerate() {
                 for g in 0..groups {
-                    let col = if train {
-                        &mut self.col_cache[(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz]
-                    } else {
-                        eval_col.resize(colsz, 0.0);
-                        &mut eval_col[..]
-                    };
+                    let col = &mut self.col_cache
+                        [(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz];
                     sample_group(ni, g, col, out_sample);
                 }
             }
         } else {
             let band_len = n.div_ceil(bands).max(1);
             let band_out = band_len * out_channels * ohw;
-            let n_bands = n.div_ceil(band_len);
-            // train: each band writes its slice of col_cache (consumed by
-            // backward); eval: None -> band-local scratch, cache untouched
-            let col_bands: Vec<Option<&mut [f32]>> = if train {
-                self.col_cache
-                    .chunks_mut(band_len * groups * colsz)
-                    .map(Some)
-                    .collect()
-            } else {
-                (0..n_bands).map(|_| None).collect()
-            };
+            // each band writes its slice of col_cache (consumed by backward)
+            let col_bands = self.col_cache.chunks_mut(band_len * groups * colsz);
             hs_parallel::scope(|s| {
-                for ((band, out_band), mut col_band) in
+                for ((band, out_band), col_band) in
                     out.chunks_mut(band_out).enumerate().zip(col_bands)
                 {
                     let sample_group = &sample_group;
                     s.spawn(move || {
                         let n0 = band * band_len;
                         let samples = out_band.len() / (out_channels * ohw);
-                        let mut local_col = Vec::new();
                         for si in 0..samples {
                             for g in 0..groups {
-                                let col: &mut [f32] = match col_band.as_mut() {
-                                    Some(cache) => &mut cache
-                                        [(si * groups + g) * colsz..(si * groups + g + 1) * colsz],
-                                    None => {
-                                        local_col.resize(colsz, 0.0);
-                                        &mut local_col
-                                    }
-                                };
+                                let col = &mut col_band
+                                    [(si * groups + g) * colsz..(si * groups + g + 1) * colsz];
                                 let out_sample = &mut out_band
                                     [si * out_channels * ohw..(si + 1) * out_channels * ohw];
                                 sample_group(n0 + si, g, col, out_sample);
@@ -575,6 +727,26 @@ impl Layer for Conv2d {
             });
         }
         Tensor::from_vec(out, &[n, out_channels, oh, ow])
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            let mut col = std::mem::take(&mut self.eval_col);
+            self.infer_into(input, None, out, &mut col);
+            self.eval_col = col;
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        with_eval_col_scratch(|col| self.infer_into(input, None, &mut out, col));
+        Some(out)
+    }
+
+    fn as_conv2d(&self) -> Option<&Conv2d> {
+        Some(self)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -59,6 +59,20 @@ impl Layer for Dropout {
         }
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            // inference identity: copy into the arena buffer
+            out.resize_to(input.dims());
+            out.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(input.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dropout"
     }

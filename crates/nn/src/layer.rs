@@ -1,8 +1,8 @@
 //! The [`Layer`] trait implemented by every building block of the network
 //! stack.
 
-use crate::Param;
-use hs_tensor::Tensor;
+use crate::{BatchNorm2d, Conv2d, Linear, Param};
+use hs_tensor::{EpilogueAct, Tensor};
 
 /// A differentiable network building block.
 ///
@@ -11,9 +11,23 @@ use hs_tensor::Tensor;
 /// produce the gradient with respect to its input while accumulating
 /// parameter gradients into its [`Param`]s.
 ///
-/// Layers are `Send` so client updates can run on worker threads in the
-/// federated-learning simulator.
-pub trait Layer: Send {
+/// Layers are `Send + Sync` so client updates can run on worker threads in
+/// the federated-learning simulator and evaluation batches can be sharded
+/// across the pool against one shared `&Network`.
+///
+/// Beyond the training pair (`forward`/`backward`), the trait carries three
+/// groups of default-implemented inference hooks, so existing layers keep
+/// working unchanged:
+///
+/// * [`Layer::forward_into`] — allocation-free forward into a caller-owned
+///   arena tensor (the forward-plan path),
+/// * [`Layer::forward_eval`] — `&self` inference for batch-sharded
+///   evaluation,
+/// * [`Layer::fuse_inference`] plus the typed views ([`Layer::as_conv2d`],
+///   [`Layer::as_batch_norm`], [`Layer::as_linear`],
+///   [`Layer::epilogue_act`]) — the hooks the conv/BN/activation fusion pass
+///   uses to pattern-match and rebuild layer runs.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`.
     ///
     /// `train` selects training-time behaviour (e.g. batch-norm batch
@@ -28,6 +42,32 @@ pub trait Layer: Send {
     /// Must be called after a `forward` pass with `train == true`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Writes the layer output for `input` into `out`, resizing it via
+    /// [`Tensor::resize_to`] so a warm arena buffer is reused instead of
+    /// reallocated. `out` never aliases `input`.
+    ///
+    /// The default falls back to [`Layer::forward`] (which allocates);
+    /// layers on the inference hot path override it.
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        *out = self.forward(input, train);
+    }
+
+    /// Inference-mode forward that only reads shared state, so one network
+    /// can evaluate many batches concurrently from `&self`.
+    ///
+    /// Returns `None` when the layer has no shared-state inference path
+    /// (the default); callers must then fall back to the exclusive
+    /// [`Layer::forward`] with `train == false`. Implementations must return
+    /// exactly what `forward(input, false)` would.
+    fn forward_eval(&self, _input: &Tensor) -> Option<Tensor> {
+        None
+    }
+
+    /// Rewrites this layer's children for fused inference (conv/BN/activation
+    /// and linear/activation runs collapse into fused layers; see
+    /// [`crate::fuse`]). Containers recurse; leaves do nothing.
+    fn fuse_inference(&mut self) {}
+
     /// Mutable access to the trainable parameters, outermost layers first.
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
@@ -38,6 +78,31 @@ pub trait Layer: Send {
     /// server.
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         Vec::new()
+    }
+
+    /// Typed view for the fusion pass: `Some` iff this layer is a plain
+    /// [`Conv2d`].
+    fn as_conv2d(&self) -> Option<&Conv2d> {
+        None
+    }
+
+    /// Typed view for the fusion pass: `Some` iff this layer is a plain
+    /// [`BatchNorm2d`].
+    fn as_batch_norm(&self) -> Option<&BatchNorm2d> {
+        None
+    }
+
+    /// Typed view for the fusion pass: `Some` iff this layer is a plain
+    /// [`Linear`].
+    fn as_linear(&self) -> Option<&Linear> {
+        None
+    }
+
+    /// The element-wise activation this layer computes, when it is expressible
+    /// as a GEMM-epilogue activation (ReLU family). `None` for everything
+    /// else, which keeps such layers out of the fusion pass.
+    fn epilogue_act(&self) -> Option<EpilogueAct> {
+        None
     }
 
     /// A short human-readable layer name used in debugging output.
@@ -76,5 +141,24 @@ mod tests {
     #[test]
     fn layers_are_object_safe() {
         let _boxed: Box<dyn Layer> = Box::new(Identity);
+    }
+
+    #[test]
+    fn default_inference_hooks_are_conservative() {
+        let mut id = Identity;
+        let x = Tensor::ones(&[2, 2]);
+        // forward_eval: unsupported by default
+        assert!(id.forward_eval(&x).is_none());
+        // typed views: not a conv/bn/linear/activation
+        assert!(id.as_conv2d().is_none());
+        assert!(id.as_batch_norm().is_none());
+        assert!(id.as_linear().is_none());
+        assert!(id.epilogue_act().is_none());
+        // forward_into falls back to forward
+        let mut out = Tensor::zeros(&[0]);
+        id.forward_into(&x, &mut out, false);
+        assert_eq!(out.as_slice(), x.as_slice());
+        // fuse_inference is a no-op
+        id.fuse_inference();
     }
 }

@@ -40,6 +40,7 @@ mod activation;
 mod blocks;
 mod conv;
 mod dropout;
+pub mod fuse;
 mod layer;
 mod linear;
 mod loss;
@@ -51,7 +52,9 @@ mod param;
 mod pool;
 mod sequential;
 
-pub use activation::{HardSigmoid, HardSwish, LeakyRelu, Relu, Sigmoid, Tanh};
+pub use activation::{HardSigmoid, HardSwish, LeakyRelu, Relu, Relu6, Sigmoid, Tanh};
+pub use fuse::{fuse_sequential, FusedConvBnAct, FusedLinearAct};
+pub use hs_tensor::EpilogueAct;
 pub use blocks::{ChannelShuffle, Fire, InvertedResidual, Residual, ShuffleUnit, SqueezeExcite};
 pub use conv::Conv2d;
 pub use dropout::Dropout;

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use crate::{Layer, Param};
-use hs_tensor::{he_normal, Tensor};
+use hs_tensor::{he_normal, EpilogueAct, Tensor};
 use rand::rngs::StdRng;
 
 /// A fully-connected layer computing `y = x W^T + b`.
@@ -37,6 +37,38 @@ impl Linear {
     /// Number of output features.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Inference forward into `out` (resized in place): `y = x W^T + b`
+    /// followed by `act`, with the bias add and activation fused into one
+    /// pass over the output instead of two separate tensor traversals.
+    /// Reads only shared state, so sharded evaluation can call it from
+    /// `&self`.
+    pub(crate) fn infer_into(&self, input: &Tensor, act: EpilogueAct, out: &mut Tensor) {
+        assert_eq!(input.rank(), 2, "Linear expects a [n, features] input");
+        assert_eq!(
+            input.dims()[1],
+            self.in_features,
+            "Linear expects {} input features, got {}",
+            self.in_features,
+            input.dims()[1]
+        );
+        let n = input.dims()[0];
+        out.resize_to(&[n, self.out_features]);
+        hs_tensor::gemm_nt(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            out.as_mut_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        let b = self.bias.value.as_slice();
+        for row in out.as_mut_slice().chunks_mut(self.out_features) {
+            for (o, &bv) in row.iter_mut().zip(b.iter()) {
+                *o = act.apply(*o + bv);
+            }
+        }
     }
 }
 
@@ -74,6 +106,24 @@ impl Layer for Linear {
         self.bias.accumulate_grad(&grad_b);
         // grad_input = grad_out x W -> [n, in]
         grad_out.matmul(&self.weight.value)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            self.infer_into(input, EpilogueAct::None, out);
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.infer_into(input, EpilogueAct::None, &mut out);
+        Some(out)
+    }
+
+    fn as_linear(&self) -> Option<&Linear> {
+        Some(self)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -4,23 +4,84 @@
 use crate::{Layer, Loss, Param, Sequential, Target};
 use hs_tensor::Tensor;
 
+/// The per-network inference arena: two ping-pong activation buffers that
+/// layers write into via [`Layer::forward_into`]. Sized lazily by the first
+/// forward for each (batch, shape); after that warm-up, planned inference
+/// reuses the buffers and allocates nothing in the layers that implement
+/// `forward_into` natively.
+struct ForwardPlan {
+    front: Tensor,
+    back: Tensor,
+}
+
+impl ForwardPlan {
+    fn new() -> Self {
+        ForwardPlan {
+            front: Tensor::zeros(&[0]),
+            back: Tensor::zeros(&[0]),
+        }
+    }
+}
+
 /// A trainable model: a [`Sequential`] stack plus the weight-vector plumbing
 /// needed by federated learning (flatten / restore all parameters and
 /// batch-norm buffers).
 pub struct Network {
     layers: Sequential,
+    plan: ForwardPlan,
 }
 
 impl Network {
     /// Wraps a sequential layer stack into a network.
     pub fn new(layers: Sequential) -> Self {
-        Network { layers }
+        Network {
+            layers,
+            plan: ForwardPlan::new(),
+        }
     }
 
     /// Runs a forward pass. `train` enables training-time behaviour
     /// (batch statistics, dropout, gradient caches).
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         self.layers.forward(x, train)
+    }
+
+    /// The planned inference forward: drives every top-level layer through
+    /// [`Layer::forward_into`] over the network's ping-pong arena, so after
+    /// warm-up a steady-state inference pass performs no output-tensor
+    /// allocations in the planned layers. Returns a reference into the arena
+    /// (clone it if the result must outlive the next forward).
+    ///
+    /// Numerically identical to `forward(x, false)`.
+    pub fn infer(&mut self, x: &Tensor) -> &Tensor {
+        let plan = &mut self.plan;
+        match self.layers.layers_mut() {
+            [] => plan.front = x.clone(),
+            [first, rest @ ..] => {
+                first.forward_into(x, &mut plan.front, false);
+                for layer in rest {
+                    layer.forward_into(&plan.front, &mut plan.back, false);
+                    std::mem::swap(&mut plan.front, &mut plan.back);
+                }
+            }
+        }
+        &plan.front
+    }
+
+    /// Inference forward that only reads shared state, so whole evaluation
+    /// batches can be sharded across threads against one `&Network`.
+    /// `None` when some layer lacks a shared-state path (see
+    /// [`Layer::forward_eval`]); callers then fall back to [`Network::forward`].
+    pub fn forward_eval(&self, x: &Tensor) -> Option<Tensor> {
+        self.layers.forward_eval(x)
+    }
+
+    /// Rewrites the layer stack for fused inference: conv/BN/activation and
+    /// linear/activation runs collapse into fused layers (recursively, so
+    /// the model-zoo blocks fuse their inner stacks). Training behaviour and
+    /// the flattened weight layout are unchanged; see [`crate::fuse`].
+    pub fn fuse_inference(&mut self) {
+        self.layers.fuse_inference();
     }
 
     /// Back-propagates the loss gradient through every layer, accumulating
@@ -123,16 +184,17 @@ impl Network {
     }
 
     /// Evaluates the mean loss on a batch without touching gradients or
-    /// batch-norm running statistics.
+    /// batch-norm running statistics. Runs on the allocation-free plan path
+    /// ([`Network::infer`]).
     pub fn eval_loss(&mut self, x: &Tensor, target: &Target, loss: &dyn Loss) -> f32 {
-        let out = self.forward(x, false);
-        let (l, _) = loss.forward(&out, target);
+        let (l, _) = loss.forward(self.infer(x), target);
         l
     }
 
-    /// Predicted class indices for a batch (inference mode).
+    /// Predicted class indices for a batch (inference mode). Runs on the
+    /// allocation-free plan path ([`Network::infer`]).
     pub fn predict_classes(&mut self, x: &Tensor) -> Vec<usize> {
-        self.forward(x, false).argmax_rows()
+        self.infer(x).argmax_rows()
     }
 }
 

@@ -46,10 +46,63 @@ impl BatchNorm2d {
     pub fn channels(&self) -> usize {
         self.channels
     }
+
+    /// Folds the inference normalisation into a per-channel affine
+    /// `y = scale[c] * x + shift[c]` with `scale = gamma / sqrt(var + eps)`
+    /// and `shift = beta - mean * scale`, writing into the caller's reusable
+    /// vectors. This is the form the fusion pass feeds into the GEMM
+    /// epilogue (after also folding the convolution bias into `shift`).
+    pub(crate) fn fold_inference(&self, scale: &mut Vec<f32>, shift: &mut Vec<f32>) {
+        scale.clear();
+        shift.clear();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mean = self.running_mean.as_slice();
+        let var = self.running_var.as_slice();
+        for c in 0..self.channels {
+            let s = gamma[c] / (var[c] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(beta[c] - mean[c] * s);
+        }
+    }
+
+    /// Inference forward into `out` (resized in place): a single fused
+    /// per-channel affine pass over the input using running statistics.
+    /// Unlike the training path this allocates no normalised-value cache and
+    /// never touches layer state.
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let hw = h * w;
+        let x = input.as_slice();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mean = self.running_mean.as_slice();
+        let var = self.running_var.as_slice();
+        out.resize_to(dims);
+        let o = out.as_mut_slice();
+        for ci in 0..c {
+            let s = gamma[ci] / (var[ci] + self.eps).sqrt();
+            let t = beta[ci] - mean[ci] * s;
+            for ni in 0..n {
+                let off = (ni * c + ci) * hw;
+                for (ov, &xv) in o[off..off + hw].iter_mut().zip(x[off..off + hw].iter()) {
+                    *ov = s * xv + t;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train {
+            let mut out = Tensor::zeros(&[0]);
+            self.infer_into(input, &mut out);
+            return out;
+        }
         assert_eq!(input.rank(), 4, "BatchNorm2d expects a [n, c, h, w] input");
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -63,31 +116,23 @@ impl Layer for BatchNorm2d {
         let mut std_inv = vec![0.0f32; c];
 
         for ci in 0..c {
-            let (mean, var) = if train {
-                let mut mean = 0.0f32;
-                for ni in 0..n {
-                    let off = ni * c * hw + ci * hw;
-                    mean += x[off..off + hw].iter().sum::<f32>();
-                }
-                mean /= count;
-                let mut var = 0.0f32;
-                for ni in 0..n {
-                    let off = ni * c * hw + ci * hw;
-                    var += x[off..off + hw].iter().map(|&v| (v - mean).powi(2)).sum::<f32>();
-                }
-                var /= count;
-                // update running statistics
-                let rm = self.running_mean.as_mut_slice();
-                let rv = self.running_var.as_mut_slice();
-                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
-                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
-                (mean, var)
-            } else {
-                (
-                    self.running_mean.as_slice()[ci],
-                    self.running_var.as_slice()[ci],
-                )
-            };
+            let mut mean = 0.0f32;
+            for ni in 0..n {
+                let off = ni * c * hw + ci * hw;
+                mean += x[off..off + hw].iter().sum::<f32>();
+            }
+            mean /= count;
+            let mut var = 0.0f32;
+            for ni in 0..n {
+                let off = ni * c * hw + ci * hw;
+                var += x[off..off + hw].iter().map(|&v| (v - mean).powi(2)).sum::<f32>();
+            }
+            var /= count;
+            // update running statistics
+            let rm = self.running_mean.as_mut_slice();
+            let rv = self.running_var.as_mut_slice();
+            rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+            rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
             let inv = 1.0 / (var + self.eps).sqrt();
             std_inv[ci] = inv;
             let g = self.gamma.value.as_slice()[ci];
@@ -102,12 +147,28 @@ impl Layer for BatchNorm2d {
             }
         }
 
-        if train {
-            self.cached_normalized = Some(Tensor::from_vec(normalized, dims));
-            self.cached_std_inv = Some(std_inv);
-            self.cached_dims = Some(dims.to_vec());
-        }
+        self.cached_normalized = Some(Tensor::from_vec(normalized, dims));
+        self.cached_std_inv = Some(std_inv);
+        self.cached_dims = Some(dims.to_vec());
         Tensor::from_vec(out, dims)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            self.infer_into(input, out);
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.infer_into(input, &mut out);
+        Some(out)
+    }
+
+    fn as_batch_norm(&self) -> Option<&BatchNorm2d> {
+        Some(self)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -24,6 +24,35 @@ impl MaxPool2d {
             cached_in_dims: None,
         }
     }
+
+    /// Inference pooling into `out` (resized): no argmax bookkeeping, no
+    /// state writes.
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.rank(), 4, "MaxPool2d expects a [n, c, h, w] input");
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        let x = input.as_slice();
+        out.resize_to(&[n, c, oh, ow]);
+        let o = out.as_mut_slice();
+        for nc in 0..n * c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for di in 0..s {
+                        for dj in 0..s {
+                            let v = x[(nc * h + oi * s + di) * w + oj * s + dj];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    o[(nc * oh + oi) * ow + oj] = best;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for MaxPool2d {
@@ -73,6 +102,20 @@ impl Layer for MaxPool2d {
         Tensor::from_vec(grad_in, &in_dims)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            self.infer_into(input, out);
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.infer_into(input, &mut out);
+        Some(out)
+    }
+
     fn name(&self) -> &'static str {
         "max_pool2d"
     }
@@ -98,10 +141,9 @@ impl AvgPool2d {
             cached_in_dims: None,
         }
     }
-}
 
-impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// The stateless pooling computation shared by every forward variant.
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 4, "AvgPool2d expects a [n, c, h, w] input");
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -110,27 +152,33 @@ impl Layer for AvgPool2d {
         let x = input.as_slice();
         let mut out = vec![0.0f32; n * c * oh * ow];
         let norm = 1.0 / (s * s) as f32;
-        for ni in 0..n {
-            for ci in 0..c {
-                for oi in 0..oh {
-                    for oj in 0..ow {
-                        let o_idx = ((ni * c + ci) * oh + oi) * ow + oj;
-                        let mut acc = 0.0;
-                        for di in 0..s {
-                            for dj in 0..s {
-                                let i_idx = ((ni * c + ci) * h + oi * s + di) * w + oj * s + dj;
-                                acc += x[i_idx];
-                            }
+        for nc in 0..n * c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for di in 0..s {
+                        for dj in 0..s {
+                            acc += x[(nc * h + oi * s + di) * w + oj * s + dj];
                         }
-                        out[o_idx] = acc * norm;
                     }
+                    out[(nc * oh + oi) * ow + oj] = acc * norm;
                 }
             }
         }
-        if train {
-            self.cached_in_dims = Some(dims.to_vec());
-        }
         Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_in_dims = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(self.infer(input))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -184,8 +232,9 @@ impl Default for GlobalAvgPool {
     }
 }
 
-impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+impl GlobalAvgPool {
+    /// The stateless pooling computation shared by every forward variant.
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 4, "GlobalAvgPool expects a [n, c, h, w] input");
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -198,10 +247,20 @@ impl Layer for GlobalAvgPool {
                 out[ni * c + ci] = x[off..off + h * w].iter().sum::<f32>() / hw;
             }
         }
-        if train {
-            self.cached_in_dims = Some(dims.to_vec());
-        }
         Tensor::from_vec(out, &[n, c])
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_in_dims = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        Some(self.infer(input))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -262,6 +321,23 @@ impl Layer for Flatten {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let in_dims = self.cached_in_dims.clone().expect("backward before forward");
         grad_out.reshape(&in_dims)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+        } else {
+            let dims = input.dims();
+            let rest: usize = dims[1..].iter().product();
+            out.resize_to(&[dims[0], rest]);
+            out.as_mut_slice().copy_from_slice(input.as_slice());
+        }
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let dims = input.dims();
+        let rest: usize = dims[1..].iter().product();
+        Some(input.reshape(&[dims[0], rest]))
     }
 
     fn name(&self) -> &'static str {

@@ -34,6 +34,19 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Mutable access to the layer list (used by the network-level forward
+    /// plan to drive `forward_into` layer by layer).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Read-only access to the layer list (test-only: used by the fusion
+    /// pass's structural assertions).
+    #[cfg(test)]
+    pub(crate) fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
 }
 
 impl Layer for Sequential {
@@ -51,6 +64,20 @@ impl Layer for Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
+        let mut x: Option<Tensor> = None;
+        for layer in &self.layers {
+            let cur = x.as_ref().unwrap_or(input);
+            x = Some(layer.forward_eval(cur)?);
+        }
+        Some(x.unwrap_or_else(|| input.clone()))
+    }
+
+    fn fuse_inference(&mut self) {
+        let layers = std::mem::take(&mut self.layers);
+        self.layers = crate::fuse::fuse_layers(layers);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

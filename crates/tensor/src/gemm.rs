@@ -45,6 +45,110 @@
 use std::arch::x86_64::*;
 use std::cell::RefCell;
 
+/// Activation applied by a GEMM [`Epilogue`] after the scale/shift step.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum EpilogueAct {
+    /// Identity: the affine result is stored unchanged.
+    #[default]
+    None,
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for positive inputs, `slope * x` otherwise.
+    LeakyRelu(f32),
+    /// `min(max(0, x), 6)` — the mobile-zoo clipped ReLU.
+    Relu6,
+}
+
+impl EpilogueAct {
+    /// Applies the activation to a single value (the scalar reference the
+    /// SIMD store loops must match, including on NaN: ReLU maps NaN to 0
+    /// like `f32::max`, LeakyReLU and ReLU6 propagate it like the
+    /// corresponding unfused activation layers).
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            EpilogueAct::None => v,
+            EpilogueAct::Relu => v.max(0.0),
+            EpilogueAct::LeakyRelu(slope) => {
+                if v > 0.0 {
+                    v
+                } else {
+                    slope * v
+                }
+            }
+            EpilogueAct::Relu6 => v.clamp(0.0, 6.0),
+        }
+    }
+}
+
+/// A fused GEMM epilogue: per-output-row affine transform followed by an
+/// activation, applied inside the micro-kernel store loop on the final `k`
+/// panel, so `y[i][j] = act(scale[i] * (A*B)[i][j] + shift[i])` costs no
+/// extra pass over the output.
+///
+/// This is exactly the shape of an inference `Conv2d -> BatchNorm2d ->
+/// activation` stack expressed as a GEMM over the im2col matrix: rows are
+/// output channels, `scale = gamma / sqrt(var + eps)` and
+/// `shift = beta - mean * scale + scale * bias` fold the batch-norm (and the
+/// convolution bias) into the store.
+#[derive(Clone, Copy)]
+pub struct Epilogue<'a> {
+    /// Per-output-row multiplier (`len >= m`).
+    pub scale: &'a [f32],
+    /// Per-output-row addend (`len >= m`).
+    pub shift: &'a [f32],
+    /// Activation applied after the affine step.
+    pub act: EpilogueAct,
+}
+
+impl<'a> Epilogue<'a> {
+    /// The epilogue re-based so row `rows` becomes row 0 (used when output
+    /// row bands are dispatched to pool tasks that index from zero).
+    fn offset_rows(&self, rows: usize) -> Epilogue<'a> {
+        Epilogue {
+            scale: &self.scale[rows..],
+            shift: &self.shift[rows..],
+            act: self.act,
+        }
+    }
+
+    /// Applies the epilogue to one scalar at output row `row`.
+    #[inline]
+    fn apply_scalar(&self, row: usize, v: f32) -> f32 {
+        self.act.apply(v * self.scale[row] + self.shift[row])
+    }
+}
+
+/// Accumulates one bounce-buffer row into `dst`, applying the epilogue for
+/// output row `row` when present — the shared store step of every
+/// ragged-tile path (where the kernels cannot be handed a full `MR` rows of
+/// scale/shift).
+#[inline]
+fn store_edge_row(dst: &mut [f32], src: &[f32], row: usize, ep: Option<Epilogue<'_>>) {
+    match ep {
+        None => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        Some(e) => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = e.apply_scalar(row, *d + s);
+            }
+        }
+    }
+}
+
+/// Tile-local epilogue view handed to the SIMD micro-kernels: raw pointers
+/// pre-offset to the tile's first output row, valid for `MR` rows.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+struct KernelEpilogue {
+    scale: *const f32,
+    shift: *const f32,
+    act: EpilogueAct,
+}
+
 /// Rows per micro-kernel tile.
 pub const MR: usize = 8;
 /// Columns per micro-kernel tile.
@@ -127,13 +231,15 @@ fn isa() -> Isa {
 
 /// AVX-512 micro-kernel reading `B` directly at row stride `ldb` (no
 /// packing when `ldb` is the source stride; the packed path passes
-/// `ldb = NR`).
+/// `ldb = NR`). When `ep` is present the store loop applies the fused
+/// per-row scale/shift + activation epilogue instead of a plain store.
 ///
 /// # Safety
 ///
 /// Caller must ensure `avx512f` is available, `apack` holds `kc * MR`
-/// floats, rows `b[p*ldb .. p*ldb+NR]` for `p < kc` are in bounds, and
-/// `out` rows `out[i*ldc .. i*ldc+NR]` for `i < MR` are in bounds.
+/// floats, rows `b[p*ldb .. p*ldb+NR]` for `p < kc` are in bounds,
+/// `out` rows `out[i*ldc .. i*ldc+NR]` for `i < MR` are in bounds, and
+/// `ep`'s scale/shift pointers (when present) are valid for `MR` reads.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn kernel_avx512_direct(
@@ -143,6 +249,7 @@ unsafe fn kernel_avx512_direct(
     out: *mut f32,
     kc: usize,
     ldc: usize,
+    ep: Option<KernelEpilogue>,
 ) {
     let mut acc = [[_mm512_setzero_ps(); 3]; MR];
     let mut ap = apack;
@@ -160,10 +267,46 @@ unsafe fn kernel_avx512_direct(
         ap = ap.add(MR);
         bp = bp.add(ldb);
     }
-    for (i, acc_row) in acc.iter().enumerate() {
-        for (v, acc_v) in acc_row.iter().enumerate() {
-            let ptr = out.add(i * ldc + v * 16);
-            _mm512_storeu_ps(ptr, _mm512_add_ps(_mm512_loadu_ps(ptr), *acc_v));
+    match ep {
+        None => {
+            for (i, acc_row) in acc.iter().enumerate() {
+                for (v, acc_v) in acc_row.iter().enumerate() {
+                    let ptr = out.add(i * ldc + v * 16);
+                    _mm512_storeu_ps(ptr, _mm512_add_ps(_mm512_loadu_ps(ptr), *acc_v));
+                }
+            }
+        }
+        Some(e) => {
+            let zero = _mm512_setzero_ps();
+            for (i, acc_row) in acc.iter().enumerate() {
+                let sc = _mm512_set1_ps(*e.scale.add(i));
+                let sh = _mm512_set1_ps(*e.shift.add(i));
+                for (v, acc_v) in acc_row.iter().enumerate() {
+                    let ptr = out.add(i * ldc + v * 16);
+                    let sum = _mm512_add_ps(_mm512_loadu_ps(ptr), *acc_v);
+                    let mut val = _mm512_fmadd_ps(sum, sc, sh);
+                    // branch-faithful forms of EpilogueAct::apply, so NaN
+                    // behaves identically to the scalar path (compares are
+                    // ordered: NaN lanes keep the "else" value)
+                    val = match e.act {
+                        EpilogueAct::None => val,
+                        EpilogueAct::Relu => _mm512_max_ps(val, zero),
+                        EpilogueAct::LeakyRelu(slope) => {
+                            let gt = _mm512_cmp_ps_mask(val, zero, _CMP_GT_OQ);
+                            let neg = _mm512_mul_ps(val, _mm512_set1_ps(slope));
+                            _mm512_mask_blend_ps(gt, neg, val)
+                        }
+                        EpilogueAct::Relu6 => {
+                            let six = _mm512_set1_ps(6.0);
+                            let lt = _mm512_cmp_ps_mask(val, zero, _CMP_LT_OQ);
+                            let gt = _mm512_cmp_ps_mask(val, six, _CMP_GT_OQ);
+                            let clamped = _mm512_mask_blend_ps(lt, val, zero);
+                            _mm512_mask_blend_ps(gt, clamped, six)
+                        }
+                    };
+                    _mm512_storeu_ps(ptr, val);
+                }
+            }
         }
     }
 }
@@ -182,6 +325,7 @@ unsafe fn kernel_avx2_direct(
     out: *mut f32,
     kc: usize,
     ldc: usize,
+    ep: Option<KernelEpilogue>,
 ) {
     for half in 0..2 {
         let mut acc = [[_mm256_setzero_ps(); 6]; 4];
@@ -197,17 +341,61 @@ unsafe fn kernel_avx2_direct(
             ap = ap.add(MR);
             bp = bp.add(ldb);
         }
-        for (i, acc_row) in acc.iter().enumerate() {
-            for (v, acc_v) in acc_row.iter().enumerate() {
-                let ptr = out.add((half * 4 + i) * ldc + v * 8);
-                _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), *acc_v));
+        match ep {
+            None => {
+                for (i, acc_row) in acc.iter().enumerate() {
+                    for (v, acc_v) in acc_row.iter().enumerate() {
+                        let ptr = out.add((half * 4 + i) * ldc + v * 8);
+                        _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), *acc_v));
+                    }
+                }
+            }
+            Some(e) => {
+                let zero = _mm256_setzero_ps();
+                for (i, acc_row) in acc.iter().enumerate() {
+                    let row = half * 4 + i;
+                    let sc = _mm256_set1_ps(*e.scale.add(row));
+                    let sh = _mm256_set1_ps(*e.shift.add(row));
+                    for (v, acc_v) in acc_row.iter().enumerate() {
+                        let ptr = out.add(row * ldc + v * 8);
+                        let sum = _mm256_add_ps(_mm256_loadu_ps(ptr), *acc_v);
+                        let mut val = _mm256_fmadd_ps(sum, sc, sh);
+                        // branch-faithful forms of EpilogueAct::apply (see
+                        // the AVX-512 kernel for the NaN rationale)
+                        val = match e.act {
+                            EpilogueAct::None => val,
+                            EpilogueAct::Relu => _mm256_max_ps(val, zero),
+                            EpilogueAct::LeakyRelu(slope) => {
+                                let gt = _mm256_cmp_ps(val, zero, _CMP_GT_OQ);
+                                let neg = _mm256_mul_ps(val, _mm256_set1_ps(slope));
+                                _mm256_blendv_ps(neg, val, gt)
+                            }
+                            EpilogueAct::Relu6 => {
+                                let six = _mm256_set1_ps(6.0);
+                                let lt = _mm256_cmp_ps(val, zero, _CMP_LT_OQ);
+                                let gt = _mm256_cmp_ps(val, six, _CMP_GT_OQ);
+                                let clamped = _mm256_blendv_ps(val, zero, lt);
+                                _mm256_blendv_ps(clamped, six, gt)
+                            }
+                        };
+                        _mm256_storeu_ps(ptr, val);
+                    }
+                }
             }
         }
     }
 }
 
 /// Portable twin of [`kernel_avx512_direct`].
-fn kernel_portable_direct(apack: &[f32], b: &[f32], ldb: usize, out: &mut [f32], kc: usize, ldc: usize) {
+fn kernel_portable_direct(
+    apack: &[f32],
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    kc: usize,
+    ldc: usize,
+    ep: Option<Epilogue<'_>>,
+) {
     let mut acc = [[0.0f32; NR]; MR];
     let apack = &apack[..kc * MR];
     for p in 0..kc {
@@ -220,15 +408,31 @@ fn kernel_portable_direct(apack: &[f32], b: &[f32], ldb: usize, out: &mut [f32],
             }
         }
     }
-    for (i, acc_row) in acc.iter().enumerate() {
-        let out_row = &mut out[i * ldc..i * ldc + NR];
-        for j in 0..NR {
-            out_row[j] += acc_row[j];
+    match ep {
+        None => {
+            for (i, acc_row) in acc.iter().enumerate() {
+                let out_row = &mut out[i * ldc..i * ldc + NR];
+                for j in 0..NR {
+                    out_row[j] += acc_row[j];
+                }
+            }
+        }
+        Some(e) => {
+            for (i, acc_row) in acc.iter().enumerate() {
+                let (sc, sh) = (e.scale[i], e.shift[i]);
+                let out_row = &mut out[i * ldc..i * ldc + NR];
+                for j in 0..NR {
+                    out_row[j] = e.act.apply((out_row[j] + acc_row[j]) * sc + sh);
+                }
+            }
         }
     }
 }
 
-/// Bounds-asserting dispatcher for the direct-`B` kernels.
+/// Bounds-asserting dispatcher for the direct-`B` kernels. `ep`, when
+/// present, must be pre-offset so its row 0 is this tile's first output row
+/// and carry at least `MR` scale/shift entries.
+#[allow(clippy::too_many_arguments)]
 #[inline]
 fn run_kernel_direct(
     which: Isa,
@@ -238,6 +442,7 @@ fn run_kernel_direct(
     out: &mut [f32],
     kc: usize,
     ldc: usize,
+    ep: Option<Epilogue<'_>>,
 ) {
     assert!(apack.len() >= kc * MR, "A pack too short");
     assert!(
@@ -248,26 +453,66 @@ fn run_kernel_direct(
         out.len() >= (MR - 1) * ldc + NR,
         "output window too short for an MRxNR tile"
     );
+    if let Some(e) = ep {
+        assert!(
+            e.scale.len() >= MR && e.shift.len() >= MR,
+            "epilogue scale/shift too short for an MR-row tile"
+        );
+    }
     match which {
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 => unsafe {
-            // SAFETY: avx512f verified by `isa()`; lengths asserted above.
-            kernel_avx512_direct(apack.as_ptr(), b.as_ptr(), ldb, out.as_mut_ptr(), kc, ldc)
+            // SAFETY: avx512f verified by `isa()`; lengths asserted above
+            // (including MR epilogue rows when `ep` is present).
+            kernel_avx512_direct(
+                apack.as_ptr(),
+                b.as_ptr(),
+                ldb,
+                out.as_mut_ptr(),
+                kc,
+                ldc,
+                ep.map(|e| KernelEpilogue {
+                    scale: e.scale.as_ptr(),
+                    shift: e.shift.as_ptr(),
+                    act: e.act,
+                }),
+            )
         },
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => unsafe {
-            // SAFETY: avx2+fma verified by `isa()`; lengths asserted above.
-            kernel_avx2_direct(apack.as_ptr(), b.as_ptr(), ldb, out.as_mut_ptr(), kc, ldc)
+            // SAFETY: avx2+fma verified by `isa()`; lengths asserted above
+            // (including MR epilogue rows when `ep` is present).
+            kernel_avx2_direct(
+                apack.as_ptr(),
+                b.as_ptr(),
+                ldb,
+                out.as_mut_ptr(),
+                kc,
+                ldc,
+                ep.map(|e| KernelEpilogue {
+                    scale: e.scale.as_ptr(),
+                    shift: e.shift.as_ptr(),
+                    act: e.act,
+                }),
+            )
         },
-        Isa::Portable => kernel_portable_direct(apack, b, ldb, out, kc, ldc),
+        Isa::Portable => kernel_portable_direct(apack, b, ldb, out, kc, ldc, ep),
     }
 }
 
 /// Packed-panel kernel dispatch: the packed layout is simply the direct
 /// layout with row stride `NR`.
 #[inline]
-fn run_kernel(which: Isa, apack: &[f32], bpack: &[f32], out: &mut [f32], kc: usize, ldc: usize) {
-    run_kernel_direct(which, apack, bpack, NR, out, kc, ldc);
+fn run_kernel(
+    which: Isa,
+    apack: &[f32],
+    bpack: &[f32],
+    out: &mut [f32],
+    kc: usize,
+    ldc: usize,
+    ep: Option<Epilogue<'_>>,
+) {
+    run_kernel_direct(which, apack, bpack, NR, out, kc, ldc, ep);
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +559,8 @@ fn pack_a(a: &[f32], apack: &mut Vec<f32>, row0: usize, rows: usize, pc: usize, 
 
 /// Runs the packed tiles of one `A` block against every `B` strip,
 /// accumulating into `out` (which must already hold the desired base value).
+/// `ep` (pre-offset to `out`'s row coordinates) is applied at store time and
+/// must only be passed on the final `k` panel.
 #[allow(clippy::too_many_arguments)]
 fn block_multiply(
     which: Isa,
@@ -325,6 +572,7 @@ fn block_multiply(
     rows: usize,
     kc: usize,
     n: usize,
+    ep: Option<Epilogue<'_>>,
 ) {
     let m_tiles = rows.div_ceil(MR);
     let n_strips = n.div_ceil(NR);
@@ -337,19 +585,27 @@ fn block_multiply(
             let nr = NR.min(n - j0);
             let bp = &bpack[js * kc * NR..(js + 1) * kc * NR];
             if mr == MR && nr == NR {
-                run_kernel(which, ap, bp, &mut out[i0 * n + j0..], kc, n);
+                run_kernel(
+                    which,
+                    ap,
+                    bp,
+                    &mut out[i0 * n + j0..],
+                    kc,
+                    n,
+                    ep.map(|e| e.offset_rows(i0)),
+                );
             } else {
                 // partial tile: run full width into a bounce buffer, then
-                // copy out the live mr x nr corner
+                // copy out the live mr x nr corner (epilogue applied
+                // scalar-wise here, since the kernel would read MR rows of
+                // scale/shift that a ragged edge does not have)
                 edge.clear();
                 edge.resize(MR * NR, 0.0);
-                run_kernel(which, ap, bp, edge, kc, NR);
+                run_kernel(which, ap, bp, edge, kc, NR, None);
                 for i in 0..mr {
                     let src = &edge[i * NR..i * NR + nr];
                     let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + j0 + nr];
-                    for (d, s) in dst.iter_mut().zip(src.iter()) {
-                        *d += s;
-                    }
+                    store_edge_row(dst, src, i0 + i, ep);
                 }
             }
         }
@@ -401,6 +657,50 @@ pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
     gemm_acc_impl(a, b, out, m, k, n, parallel);
 }
 
+/// `out = act(scale ⊙ (A * B) + shift)` with the per-row affine + activation
+/// applied in the micro-kernel store loop of the final `k` panel — the fused
+/// inference path for `Conv2d -> BatchNorm2d -> activation` stacks.
+///
+/// Overwrites `out` (any stale contents are ignored). Shares every other
+/// property with [`gemm`]: slice-based, thread-local packing scratch,
+/// row-block parallelism on big problems.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract or the
+/// epilogue's scale/shift hold fewer than `m` entries.
+pub fn gemm_epilogue(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
+    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    assert!(ep.scale.len() >= m, "epilogue scale needs {m} entries");
+    assert!(ep.shift.len() >= m, "epilogue shift needs {m} entries");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // A*B is all zeros; the epilogue still applies
+        for (i, row) in out[..m * n].chunks_mut(n).enumerate() {
+            row.fill(ep.apply_scalar(i, 0.0));
+        }
+        return;
+    }
+    out[..m * n].fill(0.0);
+    let parallel = 2 * m * k * n >= PARALLEL_FLOP_THRESHOLD
+        && m >= 2 * MR
+        && hs_parallel::num_threads() > 1
+        && !hs_parallel::inside_pool();
+    gemm_impl(a, b, out, m, k, n, parallel, Some(*ep));
+}
+
 /// Internal implementation with an explicit parallel/serial switch so tests
 /// can exercise both paths regardless of the host's core count.
 pub(crate) fn gemm_acc_impl(
@@ -412,19 +712,37 @@ pub(crate) fn gemm_acc_impl(
     n: usize,
     parallel: bool,
 ) {
+    gemm_impl(a, b, out, m, k, n, parallel, None);
+}
+
+/// The blocked GEMM core behind [`gemm_acc`] and [`gemm_epilogue`]. `ep` is
+/// applied at store time on the final `k` panel only, so every output
+/// element is transformed exactly once.
+#[allow(clippy::too_many_arguments)]
+fn gemm_impl(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    parallel: bool,
+    ep: Option<Epilogue<'_>>,
+) {
     let which = isa();
     // balance the k panels: k = 288 runs as 144+144, not 256+32 (a short
     // trailing panel wastes micro-kernel efficiency on its store phase)
     let kc_target = k.div_ceil(k.div_ceil(KC)).max(1);
     if !parallel {
         if m <= DIRECT_M_MAX {
-            gemm_small_m(which, a, b, out, m, k, n, kc_target);
+            gemm_small_m(which, a, b, out, m, k, n, kc_target, ep);
         } else {
             SCRATCH.with(|cell| {
                 let scratch = &mut *cell.borrow_mut();
                 let mut pc = 0;
                 while pc < k {
                     let kc = kc_target.min(k - pc);
+                    let ep_panel = if pc + kc >= k { ep } else { None };
                     pack_b(b, &mut scratch.bpack, pc, kc, n);
                     let mut row0 = 0;
                     while row0 < m {
@@ -441,6 +759,7 @@ pub(crate) fn gemm_acc_impl(
                             rows,
                             kc,
                             n,
+                            ep_panel,
                         );
                         row0 += rows;
                     }
@@ -462,6 +781,7 @@ pub(crate) fn gemm_acc_impl(
     let mut pc = 0;
     while pc < k {
         let kc = kc_target.min(k - pc);
+        let ep_panel = if pc + kc >= k { ep } else { None };
         pack_b(b, &mut bpack_shared, pc, kc, n);
         let bpack = &bpack_shared;
         hs_parallel::scope(|s| {
@@ -469,6 +789,9 @@ pub(crate) fn gemm_acc_impl(
                 s.spawn(move || {
                     let row0 = band_idx * band_rows;
                     let rows = out_band.len() / n;
+                    // bands index their output from row 0, so the epilogue's
+                    // row coordinates are re-based to the band start
+                    let ep_band = ep_panel.map(|e| e.offset_rows(row0));
                     let mut apack = Vec::new();
                     let mut edge = Vec::new();
                     let mut r = 0;
@@ -476,7 +799,9 @@ pub(crate) fn gemm_acc_impl(
                         let block = (MC_TILES * MR).min(rows - r);
                         pack_a(a, &mut apack, row0 + r, block, pc, kc, k);
                         // out_band is indexed from its own row 0
-                        block_multiply(which, &apack, bpack, &mut edge, out_band, r, block, kc, n);
+                        block_multiply(
+                            which, &apack, bpack, &mut edge, out_band, r, block, kc, n, ep_band,
+                        );
                         r += block;
                     }
                 });
@@ -499,6 +824,7 @@ fn gemm_small_m(
     k: usize,
     n: usize,
     kc_target: usize,
+    ep: Option<Epilogue<'_>>,
 ) {
     SCRATCH.with(|cell| {
         let scratch = &mut *cell.borrow_mut();
@@ -508,6 +834,7 @@ fn gemm_small_m(
         let mut pc = 0;
         while pc < k {
             let kc = kc_target.min(k - pc);
+            let ep_panel = if pc + kc >= k { ep } else { None };
             pack_a(a, &mut scratch.apack, 0, m, pc, kc, k);
             // ragged right edge of B: pack once per panel, zero-padded
             if n_edge > 0 {
@@ -529,17 +856,24 @@ fn gemm_small_m(
                     let ap = &scratch.apack[it * kc * MR..(it + 1) * kc * MR];
                     let bwin = &b[pc * n + j0..];
                     if mr == MR {
-                        run_kernel_direct(which, ap, bwin, n, &mut out[i0 * n + j0..], kc, n);
+                        run_kernel_direct(
+                            which,
+                            ap,
+                            bwin,
+                            n,
+                            &mut out[i0 * n + j0..],
+                            kc,
+                            n,
+                            ep_panel.map(|e| e.offset_rows(i0)),
+                        );
                     } else {
                         scratch.edge.clear();
                         scratch.edge.resize(MR * NR, 0.0);
-                        run_kernel_direct(which, ap, bwin, n, &mut scratch.edge, kc, NR);
+                        run_kernel_direct(which, ap, bwin, n, &mut scratch.edge, kc, NR, None);
                         for i in 0..mr {
                             let src = &scratch.edge[i * NR..i * NR + NR];
                             let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + j0 + NR];
-                            for (d, s) in dst.iter_mut().zip(src.iter()) {
-                                *d += s;
-                            }
+                            store_edge_row(dst, src, i0 + i, ep_panel);
                         }
                     }
                 }
@@ -552,13 +886,11 @@ fn gemm_small_m(
                     let ap = &scratch.apack[it * kc * MR..(it + 1) * kc * MR];
                     scratch.edge.clear();
                     scratch.edge.resize(MR * NR, 0.0);
-                    run_kernel(which, ap, &scratch.bpack, &mut scratch.edge, kc, NR);
+                    run_kernel(which, ap, &scratch.bpack, &mut scratch.edge, kc, NR, None);
                     for i in 0..mr {
                         let src = &scratch.edge[i * NR..i * NR + n_edge];
                         let dst = &mut out[(i0 + i) * n + j0..(i0 + i) * n + n];
-                        for (d, s) in dst.iter_mut().zip(src.iter()) {
-                            *d += s;
-                        }
+                        store_edge_row(dst, src, i0 + i, ep_panel);
                     }
                 }
             }
@@ -764,6 +1096,189 @@ mod tests {
         let mut out = vec![5.0f32; 6];
         gemm(&[], &[], &mut out, 2, 0, 3);
         assert_eq!(out, vec![0.0; 6]);
+    }
+
+    /// Scalar reference for [`gemm_epilogue`]: naive matmul, then the
+    /// per-row affine + activation applied element-wise.
+    fn epilogue_reference(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        ep: &Epilogue<'_>,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        matmul_naive(a, b, &mut out, m, k, n);
+        for i in 0..m {
+            for v in out[i * n..(i + 1) * n].iter_mut() {
+                *v = ep.act.apply(*v * ep.scale[i] + ep.shift[i]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn epilogue_matches_reference_across_shapes_and_activations() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let acts = [
+            EpilogueAct::None,
+            EpilogueAct::Relu,
+            EpilogueAct::LeakyRelu(0.1),
+            EpilogueAct::Relu6,
+        ];
+        // shapes covering: full/partial tiles, full/edge strips, the
+        // small-m direct path (m <= 64), the packed big-m path, and
+        // multi-panel k (> KC)
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (MR, 17, NR),
+            (MR + 3, KC + 9, NR + 5),
+            (64, 32, 96),
+            (65, 40, 50),
+            (100, 2 * KC + 5, 2 * NR + 7),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let scale = random_matrix(&mut rng, m);
+            let shift = random_matrix(&mut rng, m);
+            for act in acts {
+                let ep = Epilogue {
+                    scale: &scale,
+                    shift: &shift,
+                    act,
+                };
+                let expect = epilogue_reference(&a, &b, m, k, n, &ep);
+                // stale output contents must be ignored (overwrite semantics)
+                let mut got = vec![777.0; m * n];
+                gemm_epilogue(&a, &b, &mut got, m, k, n, &ep);
+                assert_close(&expect, &got, 1e-4, &format!("{m}x{k}x{n} {act:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_parallel_path_matches_serial_path() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for (m, k, n) in [(37usize, 65usize, 83usize), (128, 300, 61)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let scale = random_matrix(&mut rng, m);
+            let shift = random_matrix(&mut rng, m);
+            let ep = Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act: EpilogueAct::LeakyRelu(0.2),
+            };
+            let mut serial = vec![0.0; m * n];
+            gemm_impl(&a, &b, &mut serial, m, k, n, false, Some(ep));
+            let mut parallel = vec![0.0; m * n];
+            gemm_impl(&a, &b, &mut parallel, m, k, n, true, Some(ep));
+            assert_eq!(serial, parallel, "{m}x{k}x{n} epilogue parallel/serial divergence");
+        }
+    }
+
+    #[test]
+    fn epilogue_nan_semantics_match_scalar_reference_on_full_and_ragged_tiles() {
+        // a NaN in A poisons whole output rows; the SIMD store loops (full
+        // tiles) and the scalar bounce path (ragged edge rows/cols) must
+        // treat it exactly like EpilogueAct::apply — ReLU maps NaN to 0,
+        // LeakyReLU and ReLU6 propagate it
+        let mut rng = StdRng::seed_from_u64(42);
+        // m = MR+1: rows 0..8 hit the SIMD kernel, row 8 the bounce path;
+        // n = NR+1 adds a ragged column strip
+        let (m, k, n) = (MR + 1, 19, NR + 1);
+        let mut a = random_matrix(&mut rng, m * k);
+        a[3 * k + 5] = f32::NAN; // poison row 3 (full tile)
+        a[MR * k] = f32::NAN; // poison row 8 (edge tile)
+        let b = random_matrix(&mut rng, k * n);
+        let scale = random_matrix(&mut rng, m);
+        let shift = random_matrix(&mut rng, m);
+        for act in [
+            EpilogueAct::None,
+            EpilogueAct::Relu,
+            EpilogueAct::LeakyRelu(0.1),
+            EpilogueAct::Relu6,
+        ] {
+            let ep = Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act,
+            };
+            let expect = epilogue_reference(&a, &b, m, k, n, &ep);
+            let mut got = vec![0.0; m * n];
+            gemm_epilogue(&a, &b, &mut got, m, k, n, &ep);
+            for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    e.is_nan(),
+                    g.is_nan(),
+                    "{act:?}: element {i} ({},{}): NaN divergence {e} vs {g}",
+                    i / n,
+                    i % n
+                );
+                if !e.is_nan() {
+                    assert!(
+                        (e - g).abs() <= 1e-4 * e.abs().max(g.abs()).max(1.0),
+                        "{act:?}: element {i}: {e} vs {g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_with_zero_k_applies_shift_and_activation() {
+        let scale = vec![2.0f32, 2.0];
+        let shift = vec![-1.0f32, 3.0];
+        let mut out = vec![9.0f32; 6];
+        gemm_epilogue(
+            &[],
+            &[],
+            &mut out,
+            2,
+            0,
+            3,
+            &Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act: EpilogueAct::Relu,
+            },
+        );
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn epilogue_activations_match_scalar_definition() {
+        // one value per interesting regime, through the full GEMM path
+        let a = vec![1.0f32; 4]; // 4x1
+        let b = vec![1.0f32]; // 1x1
+        for (act, input, expect) in [
+            (EpilogueAct::Relu, -2.0f32, 0.0f32),
+            (EpilogueAct::Relu, 2.0, 2.0),
+            (EpilogueAct::LeakyRelu(0.5), -2.0, -1.0),
+            (EpilogueAct::Relu6, 9.0, 6.0),
+        ] {
+            let scale = vec![input; 4];
+            let shift = vec![0.0f32; 4];
+            let mut out = vec![0.0f32; 4];
+            gemm_epilogue(
+                &a,
+                &b,
+                &mut out,
+                4,
+                1,
+                1,
+                &Epilogue {
+                    scale: &scale,
+                    shift: &shift,
+                    act,
+                },
+            );
+            for v in out {
+                assert_eq!(v, expect, "{act:?}({input})");
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{gemm, gemm_acc, gemm_nt, gemm_tn, transpose_into};
+pub use gemm::{gemm, gemm_acc, gemm_epilogue, gemm_nt, gemm_tn, transpose_into, Epilogue, EpilogueAct};
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use naive::matmul_naive;
 pub use shape::Shape;

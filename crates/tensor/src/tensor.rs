@@ -194,6 +194,17 @@ impl Tensor {
     // Shape manipulation
     // ---------------------------------------------------------------------
 
+    /// Reshapes this tensor in place to `dims`, resizing the backing buffer
+    /// while reusing its capacity. Existing element values are unspecified
+    /// afterwards (grown regions are zero-filled) — this is the arena
+    /// primitive behind the inference forward plan: after warm-up a
+    /// `resize_to` to a previously seen size allocates nothing.
+    pub fn resize_to(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        self.data.resize(shape.num_elements(), 0.0);
+        self.shape = shape;
+    }
+
     /// Returns a tensor with the same data reinterpreted under a new shape.
     ///
     /// # Panics

@@ -11,7 +11,12 @@
 //!   criterion-like `time: [low median high]` line;
 //! * `--test` (the Cargo bench smoke-mode flag) runs each benchmark exactly
 //!   once and reports `ok`, so CI can validate benches cheaply;
-//! * positional CLI arguments act as substring filters on benchmark names.
+//! * positional CLI arguments act as substring filters on benchmark names;
+//! * every timed benchmark is additionally recorded to a JSON results file
+//!   (`<target>/bench-results.json`, overridable via `HS_BENCH_JSON`),
+//!   merged by name across bench binaries, so CI can archive numbers and
+//!   fail on regressions against a checked-in baseline (see the
+//!   `bench_check` binary in `hs-bench`).
 //!
 //! Other criterion CLI flags (`--save-baseline`, `--noplot`, ...) are
 //! accepted and ignored.
@@ -20,7 +25,124 @@
 #![forbid(unsafe_code)]
 
 pub use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// One timed benchmark's summary, as written to the JSON results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (e.g. `nn/matmul_256x256x256`).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    ///
+    /// Baseline-file entries with [`BenchRecord::ratio_vs`] set reinterpret
+    /// this field as the dimensionless baseline ratio
+    /// `median(name) / median(ratio_vs)` instead — wall-clock-free, so the
+    /// regression gate survives moving between machines.
+    pub median_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub low_ns: f64,
+    /// Slowest sample in nanoseconds.
+    pub high_ns: f64,
+    /// Baseline-file only: the reference bench this entry is a ratio
+    /// against (e.g. the `*_naive` or `*_unfused` twin). Never set on
+    /// measured results.
+    pub ratio_vs: Option<String>,
+}
+
+impl serde::json::ToJson for BenchRecord {
+    fn to_json(&self) -> serde::json::JsonValue {
+        use serde::json::{JsonValue, ToJson};
+        let mut pairs = vec![
+            ("name", ToJson::to_json(&self.name)),
+            ("median_ns", ToJson::to_json(&self.median_ns)),
+            ("low_ns", ToJson::to_json(&self.low_ns)),
+            ("high_ns", ToJson::to_json(&self.high_ns)),
+        ];
+        if let Some(r) = &self.ratio_vs {
+            pairs.push(("ratio_vs", ToJson::to_json(r)));
+        }
+        JsonValue::obj(pairs)
+    }
+}
+
+/// Resolves the JSON results path: `HS_BENCH_JSON` if set, else
+/// `bench-results.json` inside the nearest `target/` directory above the
+/// current working directory (cargo runs bench binaries from the package
+/// root, which for workspace members is not where `target/` lives).
+pub fn results_path() -> PathBuf {
+    if let Ok(p) = std::env::var("HS_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for dir in cwd.ancestors() {
+        let target = dir.join("target");
+        if target.is_dir() {
+            return target.join("bench-results.json");
+        }
+    }
+    cwd.join("bench-results.json")
+}
+
+/// Parses a results/baseline JSON file produced by [`write_results`]. The
+/// scanner only understands this crate's own output format (flat records
+/// with `name`/`median_ns`/`low_ns`/`high_ns` fields), which is all the
+/// regression tooling needs.
+pub fn parse_results(text: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("{\"name\":\"") {
+        rest = &rest[start + 9..];
+        let Some(name_end) = rest.find('"') else { break };
+        let name = rest[..name_end].to_string();
+        let Some(entry_end) = rest.find('}') else { break };
+        let entry = &rest[name_end..entry_end];
+        let field = |key: &str| -> Option<f64> {
+            let pat = format!("\"{key}\":");
+            let at = entry.find(&pat)? + pat.len();
+            let tail = &entry[at..];
+            let end = tail
+                .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            tail[..end].parse().ok()
+        };
+        let ratio_vs = entry.find("\"ratio_vs\":\"").and_then(|at| {
+            let tail = &entry[at + 12..];
+            tail.find('"').map(|end| tail[..end].to_string())
+        });
+        if let (Some(median_ns), Some(low_ns), Some(high_ns)) =
+            (field("median_ns"), field("low_ns"), field("high_ns"))
+        {
+            out.push(BenchRecord {
+                name,
+                median_ns,
+                low_ns,
+                high_ns,
+                ratio_vs,
+            });
+        }
+        rest = &rest[entry_end..];
+    }
+    out
+}
+
+/// Merges `new` records into the results file at `path` (existing entries
+/// with the same name are replaced, others kept, so several bench binaries
+/// accumulate into one file) and writes it back as JSON.
+pub fn write_results(path: &PathBuf, new: &[BenchRecord]) -> std::io::Result<()> {
+    let mut merged = std::fs::read_to_string(path)
+        .map(|t| parse_results(&t))
+        .unwrap_or_default();
+    for record in new {
+        match merged.iter_mut().find(|r| r.name == record.name) {
+            Some(existing) => *existing = record.clone(),
+            None => merged.push(record.clone()),
+        }
+    }
+    use serde::json::{JsonValue, ToJson};
+    let doc = JsonValue::obj(vec![("benches", ToJson::to_json(&merged))]);
+    serde::json::write_file(path, &doc)
+}
 
 /// Minimum duration of one timed sample; iterations are batched up to this.
 const MIN_SAMPLE: Duration = Duration::from_millis(8);
@@ -32,6 +154,7 @@ pub struct Criterion {
     sample_size: usize,
     test_mode: bool,
     filters: Vec<String>,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -55,6 +178,22 @@ impl Default for Criterion {
             sample_size: 20,
             test_mode,
             filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    /// Persists the timed results to the JSON results file when the group
+    /// finishes (merged by name, so every bench binary of a run accumulates
+    /// into one artifact).
+    fn drop(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = results_path();
+        if let Err(err) = write_results(&path, &self.results) {
+            eprintln!("warning: could not write bench results to {}: {err}", path.display());
         }
     }
 }
@@ -94,6 +233,9 @@ impl Criterion {
         if self.test_mode {
             println!("test {name} ... ok");
         } else {
+            if let Some(record) = bencher.record(name) {
+                self.results.push(record);
+            }
             bencher.report(name);
         }
         self
@@ -146,16 +288,33 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    /// Sorted (low, median, high) per-iteration seconds, if any samples ran.
+    fn stats(&self) -> Option<(f64, f64, f64)> {
         if self.samples.is_empty() {
-            println!("{name:<44} (no samples)");
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = sorted[sorted.len() / 2];
-        let lo = sorted[0];
-        let hi = sorted[sorted.len() - 1];
+        Some((sorted[0], sorted[sorted.len() / 2], sorted[sorted.len() - 1]))
+    }
+
+    /// Builds the JSON record for this benchmark's samples.
+    fn record(&self, name: &str) -> Option<BenchRecord> {
+        let (lo, median, hi) = self.stats()?;
+        Some(BenchRecord {
+            name: name.to_string(),
+            median_ns: median * 1e9,
+            low_ns: lo * 1e9,
+            high_ns: hi * 1e9,
+            ratio_vs: None,
+        })
+    }
+
+    fn report(&self, name: &str) {
+        let Some((lo, median, hi)) = self.stats() else {
+            println!("{name:<44} (no samples)");
+            return;
+        };
         println!(
             "{name:<44} time: [{} {} {}]",
             fmt_time(lo),
@@ -204,4 +363,59 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, median: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            median_ns: median,
+            low_ns: median * 0.9,
+            high_ns: median * 1.1,
+            ratio_vs: None,
+        }
+    }
+
+    #[test]
+    fn ratio_entries_round_trip() {
+        let path = std::env::temp_dir().join("hs_criterion_ratio_test/results.json");
+        let _ = std::fs::remove_file(&path);
+        let mut entry = rec("fused", 0.37);
+        entry.ratio_vs = Some("unfused".to_string());
+        write_results(&path, &[entry.clone()]).unwrap();
+        let parsed = parse_results(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed, vec![entry]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn results_round_trip_through_json() {
+        let path = std::env::temp_dir().join("hs_criterion_test/results.json");
+        let _ = std::fs::remove_file(&path);
+        write_results(&path, &[rec("a/b", 1234.5), rec("c", 7.0)]).unwrap();
+        let parsed = parse_results(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed, vec![rec("a/b", 1234.5), rec("c", 7.0)]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn write_results_merges_by_name() {
+        let path = std::env::temp_dir().join("hs_criterion_merge_test/results.json");
+        let _ = std::fs::remove_file(&path);
+        write_results(&path, &[rec("keep", 10.0), rec("update", 20.0)]).unwrap();
+        write_results(&path, &[rec("update", 30.0), rec("new", 40.0)]).unwrap();
+        let parsed = parse_results(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed, vec![rec("keep", 10.0), rec("update", 30.0), rec("new", 40.0)]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn parser_ignores_garbage() {
+        assert!(parse_results("").is_empty());
+        assert!(parse_results("{\"benches\":[]}").is_empty());
+        assert!(parse_results("not json at all").is_empty());
+    }
 }

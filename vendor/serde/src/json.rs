@@ -1,0 +1,228 @@
+//! A minimal JSON writer backing the serde stand-in.
+//!
+//! The derive macros in this offline stand-in still expand to nothing (see
+//! the crate docs), but result types that need to reach disk — round
+//! statistics, degradation matrices, bench results — implement [`ToJson`]
+//! explicitly and serialise through [`JsonValue`]. The value model is the
+//! standard JSON one; rendering escapes strings per RFC 8259 and emits
+//! numbers via Rust's shortest-roundtrip float formatting.
+//!
+//! Swapping the directory for real `serde` + `serde_json` keeps these call
+//! sites mechanical to port: `to_json()` becomes `serde_json::to_value`.
+
+use std::io::Write;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (non-finite floats render as `null`, as
+    /// `serde_json` does by default).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    // integral values print without a trailing ".0", like
+                    // serde_json's integer types
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that can serialise themselves to a [`JsonValue`].
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+macro_rules! num_to_json {
+    ($($t:ty),+) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Num(*self as f64)
+            }
+        })+
+    };
+}
+num_to_json!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+/// Renders `value` to a compact JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// Writes `value` as JSON to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_file<T: ToJson + ?Sized>(path: &std::path::Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_string(value).as_bytes())?;
+    file.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_strings() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42usize), "42");
+        assert_eq!(to_string(&1.5f32), "1.5");
+        assert_eq!(to_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::obj(vec![
+            ("name", JsonValue::Str("round".into())),
+            ("values", vec![1.0f32, 2.5].to_json()),
+            ("missing", Option::<usize>::None.to_json()),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"round","values":[1,2.5],"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn write_file_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("hs_serde_json_test");
+        let path = dir.join("nested/out.json");
+        write_file(&path, &vec![1usize, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.trim(), "[1,2,3]");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

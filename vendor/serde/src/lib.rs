@@ -7,14 +7,17 @@
 //! derive macros (re-exported from the local `serde_derive` proc-macro crate)
 //! expand to nothing.
 //!
-//! No serialisation actually happens anywhere in the workspace today — the
-//! derives exist so the data types keep their (de)serialisable contract for
-//! the day a real serialisation backend is wired in. Swapping this directory
-//! for the crates.io `serde` restores full functionality without touching any
-//! annotated type.
+//! The derive macros still expand to nothing, but the [`json`] module
+//! provides a real (minimal) JSON writer: result types that must reach disk
+//! (round statistics, degradation matrices, bench results) implement
+//! [`json::ToJson`] explicitly. Swapping this directory for the crates.io
+//! `serde` (+`serde_json`) restores full derive-driven functionality without
+//! touching any annotated type.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -23,7 +23,10 @@ fn bench_client_updates(c: &mut Criterion) {
     let data = &clients[0].data;
 
     let trainers: Vec<(&str, Box<dyn ClientTrainer>)> = vec![
-        ("fedavg", Box::new(FedAvgTrainer::new(LossKind::CrossEntropy))),
+        (
+            "fedavg",
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+        ),
         (
             "heteroswitch",
             Box::new(HeteroSwitchTrainer::new(

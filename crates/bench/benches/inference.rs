@@ -55,7 +55,8 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| fused.infer(black_box(&x)).len())
     });
 
-    // a mobile-zoo model: fusion reaches the nested block Sequentials
+    // a mobile-zoo model: fusion reaches the nested block Sequentials, and
+    // the conv-backend dispatch layer picks Winograd / direct-depthwise
     let cfg = VisionConfig::new(3, 12, 16);
     let (mut unfused, mut fused) = model_pair(ModelKind::MobileNetV3Small, cfg);
     let x = Tensor::rand_uniform(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
@@ -64,6 +65,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     c.bench_function("inference/mobilenet_b8_fused_plan", |b| {
         b.iter(|| fused.infer(black_box(&x)).len())
+    });
+    // the PR 2 execution strategy (im2col→GEMM on every conv) on the same
+    // fused+planned network: the same-run denominator for the CI-gated
+    // backend-dispatch speedup ratio
+    let (_, mut fused_im2col) = model_pair(ModelKind::MobileNetV3Small, cfg);
+    fused_im2col.force_conv_algo(Some(hs_nn::ConvAlgo::Im2colGemm));
+    c.bench_function("inference/mobilenet_b8_fused_plan_im2col", |b| {
+        b.iter(|| fused_im2col.infer(black_box(&x)).len())
+    });
+    // ...and without the forward plan: layer-at-a-time through the blocks'
+    // allocating forward, i.e. the closest same-run stand-in for the PR 2
+    // fused path (whose plan arena did not reach inside composite blocks)
+    c.bench_function("inference/mobilenet_b8_fused_im2col", |b| {
+        b.iter(|| fused_im2col.forward(black_box(&x), false))
     });
 }
 
@@ -80,6 +95,21 @@ fn bench_sharded_eval(c: &mut Criterion) {
     c.bench_function("inference/eval_accuracy_256_simple_cnn", |b| {
         b.iter(|| evaluate_accuracy(&mut fused, black_box(&data)))
     });
+
+    // eval-scaling sweep: the same sharded evaluation at a 1/2/4-thread
+    // parallelism target, recorded in one process via the runtime override
+    // (`hs_parallel::set_num_threads`). On a single-core host the three
+    // rungs collapse to the serial path and should read within noise of
+    // each other; on a multi-core host they trace the scaling curve that
+    // docs/PERF.md tabulates.
+    for threads in [1usize, 2, 4] {
+        hs_parallel::set_num_threads(Some(threads));
+        c.bench_function(
+            &format!("inference/eval_accuracy_256_simple_cnn_t{threads}"),
+            |b| b.iter(|| evaluate_accuracy(&mut fused, black_box(&data))),
+        );
+    }
+    hs_parallel::set_num_threads(None);
 }
 
 criterion_group! {

@@ -16,7 +16,8 @@ fn structured_raw(size: usize) -> RawImage {
     let mut raw = RawImage::flat(size, size, 0.0, BayerPattern::Rggb);
     for r in 0..size {
         for c in 0..size {
-            let v = 0.4 + 0.3 * ((r as f32 / 5.0).sin() * (c as f32 / 7.0).cos())
+            let v = 0.4
+                + 0.3 * ((r as f32 / 5.0).sin() * (c as f32 / 7.0).cos())
                 + rng.gen_range(-0.05..0.05);
             raw.set(r, c, v.clamp(0.0, 1.0));
         }

@@ -43,11 +43,15 @@ fn load(path: &PathBuf) -> Vec<BenchRecord> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone())
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        })
     };
-    let results_file = flag("--results").map(PathBuf::from).unwrap_or_else(results_path);
+    let results_file = flag("--results")
+        .map(PathBuf::from)
+        .unwrap_or_else(results_path);
     let baseline_file = flag("--baseline")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("crates/bench/bench-baseline.json"));
@@ -59,7 +63,10 @@ fn main() {
     let results = load(&results_file);
     let baseline = load(&baseline_file);
     if baseline.is_empty() {
-        eprintln!("bench_check: baseline {} has no entries", baseline_file.display());
+        eprintln!(
+            "bench_check: baseline {} has no entries",
+            baseline_file.display()
+        );
         std::process::exit(2);
     }
 
@@ -74,21 +81,26 @@ fn main() {
     for base in &baseline {
         // measured value: either an absolute median, or a same-run ratio
         // against the entry's reference bench
-        let measured = results.iter().find(|r| r.name == base.name).and_then(|r| {
-            match &base.ratio_vs {
-                None => Some(r.median_ns),
-                Some(reference) => results
-                    .iter()
-                    .find(|d| &d.name == reference)
-                    .map(|d| r.median_ns / d.median_ns),
-            }
-        });
+        let measured =
+            results
+                .iter()
+                .find(|r| r.name == base.name)
+                .and_then(|r| match &base.ratio_vs {
+                    None => Some(r.median_ns),
+                    Some(reference) => results
+                        .iter()
+                        .find(|d| &d.name == reference)
+                        .map(|d| r.median_ns / d.median_ns),
+                });
         match measured {
             None => {
                 println!(
                     "MISSING   {:<44} (bench{} not found in results)",
                     base.name,
-                    base.ratio_vs.as_deref().map(|r| format!(" or its reference {r}")).unwrap_or_default()
+                    base.ratio_vs
+                        .as_deref()
+                        .map(|r| format!(" or its reference {r}"))
+                        .unwrap_or_default()
                 );
                 failures += 1;
             }

@@ -25,7 +25,10 @@ fn main() {
     }
     if let Some(path) = json_out_path(&args) {
         serde::json::write_file(&path, &results).expect("failed to write --json-out file");
-        println!("\nWrote JSON results (incl. per-round stats) to {}", path.display());
+        println!(
+            "\nWrote JSON results (incl. per-round stats) to {}",
+            path.display()
+        );
     }
     println!("\nPer-device detail is available via --verbose in the EXPERIMENTS.md workflow.");
 }

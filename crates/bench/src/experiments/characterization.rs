@@ -8,7 +8,9 @@ use hs_data::{
     SceneGenerator,
 };
 use hs_device::{paper_devices, DeviceProfile, SensorModel};
-use hs_fl::{evaluate_accuracy, AggregationMethod, ClientData, FedAvgTrainer, FlSimulation, LossKind};
+use hs_fl::{
+    evaluate_accuracy, AggregationMethod, ClientData, FedAvgTrainer, FlSimulation, LossKind,
+};
 use hs_isp::{IspConfig, IspStage};
 use hs_metrics::DegradationMatrix;
 use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
@@ -89,11 +91,7 @@ pub struct IspAblationRow {
 
 /// Captures a train/test dataset pair for one neutral sensor with an
 /// arbitrary ISP configuration.
-fn capture_with_isp(
-    scale: &Scale,
-    isp: IspConfig,
-    seed: u64,
-) -> (Dataset, Dataset) {
+fn capture_with_isp(scale: &Scale, isp: IspConfig, seed: u64) -> (Dataset, Dataset) {
     let cfg = scale.imagenet;
     let generator = SceneGenerator::new(cfg.num_classes, cfg.scene_size);
     let device = DeviceProfile {

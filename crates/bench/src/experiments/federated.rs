@@ -92,7 +92,11 @@ impl Method {
                 AggregationMethod::FedAvg,
             ),
             Method::IspTransformation => (
-                Box::new(HeteroSwitchTrainer::new(hs_cfg, loss, Policy::AlwaysTransform)),
+                Box::new(HeteroSwitchTrainer::new(
+                    hs_cfg,
+                    loss,
+                    Policy::AlwaysTransform,
+                )),
                 AggregationMethod::FedAvg,
             ),
             Method::IspTransformationSwad => (
@@ -109,10 +113,7 @@ impl Method {
             ),
             Method::QFedAvg => (
                 Box::new(FedAvgTrainer::new(loss)),
-                AggregationMethod::QFedAvg {
-                    q: 1e-6,
-                    lr: fl.lr,
-                },
+                AggregationMethod::QFedAvg { q: 1e-6, lr: fl.lr },
             ),
             Method::FedProx => (
                 Box::new(FedProxTrainer::new(loss, 0.1)),
@@ -211,8 +212,11 @@ pub fn run_fl_method(
     clients: Vec<ClientData>,
     tests: &[(String, Dataset)],
 ) -> MethodResult {
-    let (trainer, aggregation) =
-        method.build(LossKind::CrossEntropy, TransformKind::paper_vision(), &scale.fl);
+    let (trainer, aggregation) = method.build(
+        LossKind::CrossEntropy,
+        TransformKind::paper_vision(),
+        &scale.fl,
+    );
     let mut sim = FlSimulation::new(
         scale.fl,
         clients,
@@ -289,8 +293,7 @@ pub fn dg_leave_one_out(scale: &Scale) -> Vec<(String, f32, f32)> {
                 .collect();
             let (clients, _) = population_from_datasets(&remaining, scale, false);
             let tests = vec![(held_out.device.clone(), held_out.test.clone())];
-            let result =
-                run_fl_method(scale, Method::FedAvg, scale.model, vision, clients, &tests);
+            let result = run_fl_method(scale, Method::FedAvg, scale.model, vision, clients, &tests);
             let excluded_acc = result.per_device[0].accuracy;
             let baseline_acc = baseline
                 .per_device
@@ -309,14 +312,23 @@ pub fn dg_leave_one_out(scale: &Scale) -> Vec<(String, f32, f32)> {
 }
 
 /// Paper Table 5: FedAvg vs HeteroSwitch across model architectures.
-pub fn table5_models(scale: &Scale, models: &[ModelKind]) -> Vec<(ModelKind, MethodResult, MethodResult)> {
+pub fn table5_models(
+    scale: &Scale,
+    models: &[ModelKind],
+) -> Vec<(ModelKind, MethodResult, MethodResult)> {
     let vision = VisionConfig::new(3, scale.imagenet.num_classes, scale.imagenet.image_size);
     let (clients, tests) = build_fl_population(scale);
     models
         .iter()
         .map(|&model| {
-            let fedavg =
-                run_fl_method(scale, Method::FedAvg, model, vision, clients.clone(), &tests);
+            let fedavg = run_fl_method(
+                scale,
+                Method::FedAvg,
+                model,
+                vision,
+                clients.clone(),
+                &tests,
+            );
             let hetero = run_fl_method(
                 scale,
                 Method::HeteroSwitch,
@@ -436,11 +448,8 @@ pub fn ecg_study(scale: &Scale) -> Vec<EcgResult> {
     [Method::FedAvg, Method::HeteroSwitch]
         .iter()
         .map(|&method| {
-            let (trainer, aggregation) = method.build(
-                LossKind::Mse,
-                TransformKind::paper_ecg(),
-                &scale.fl,
-            );
+            let (trainer, aggregation) =
+                method.build(LossKind::Mse, TransformKind::paper_ecg(), &scale.fl);
             let mut sim = FlSimulation::new(
                 scale.fl,
                 clients.clone(),

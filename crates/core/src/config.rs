@@ -121,6 +121,9 @@ mod tests {
             HeteroSwitchConfig::default().transform,
             TransformKind::paper_vision()
         );
-        assert_eq!(HeteroSwitchConfig::ecg().transform, TransformKind::paper_ecg());
+        assert_eq!(
+            HeteroSwitchConfig::ecg().transform,
+            TransformKind::paper_ecg()
+        );
     }
 }

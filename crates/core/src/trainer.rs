@@ -180,9 +180,19 @@ mod tests {
 
         let mut net_a = toy_net(3);
         let global = net_a.weights();
-        let a = trainer.client_update(&mut net_a, &data, &ctx(&global, f32::NAN), &mut StdRng::seed_from_u64(1));
+        let a = trainer.client_update(
+            &mut net_a,
+            &data,
+            &ctx(&global, f32::NAN),
+            &mut StdRng::seed_from_u64(1),
+        );
         let mut net_b = toy_net(3);
-        let b = fedavg.client_update(&mut net_b, &data, &ctx(&global, f32::NAN), &mut StdRng::seed_from_u64(1));
+        let b = fedavg.client_update(
+            &mut net_b,
+            &data,
+            &ctx(&global, f32::NAN),
+            &mut StdRng::seed_from_u64(1),
+        );
         assert_eq!(a.weights, b.weights);
     }
 
@@ -197,11 +207,19 @@ mod tests {
         );
         let mut net_a = toy_net(3);
         let global = net_a.weights();
-        let switched =
-            trainer.client_update(&mut net_a, &data, &ctx(&global, 1e6), &mut StdRng::seed_from_u64(1));
+        let switched = trainer.client_update(
+            &mut net_a,
+            &data,
+            &ctx(&global, 1e6),
+            &mut StdRng::seed_from_u64(1),
+        );
         let mut net_b = toy_net(3);
-        let plain =
-            trainer.client_update(&mut net_b, &data, &ctx(&global, f32::NAN), &mut StdRng::seed_from_u64(1));
+        let plain = trainer.client_update(
+            &mut net_b,
+            &data,
+            &ctx(&global, f32::NAN),
+            &mut StdRng::seed_from_u64(1),
+        );
         assert_ne!(switched.weights, plain.weights);
         assert!(switched.train_loss.is_finite());
     }
@@ -214,10 +232,18 @@ mod tests {
         let data = toy_image_data(5, 12);
         let global = toy_net(3).weights();
         let run = |policy: Policy| {
-            let trainer =
-                HeteroSwitchTrainer::new(HeteroSwitchConfig::default(), LossKind::CrossEntropy, policy);
+            let trainer = HeteroSwitchTrainer::new(
+                HeteroSwitchConfig::default(),
+                LossKind::CrossEntropy,
+                policy,
+            );
             let mut net = toy_net(3);
-            trainer.client_update(&mut net, &data, &ctx(&global, f32::NAN), &mut StdRng::seed_from_u64(2))
+            trainer.client_update(
+                &mut net,
+                &data,
+                &ctx(&global, f32::NAN),
+                &mut StdRng::seed_from_u64(2),
+            )
         };
         let transform_only = run(Policy::AlwaysTransform);
         let with_swad = run(Policy::AlwaysTransformAndSwad);
@@ -236,7 +262,12 @@ mod tests {
             Policy::AlwaysTransformAndSwad,
         );
         let mut net = toy_net(3);
-        let averaged = trainer.client_update(&mut net, &data, &ctx(&global, f32::NAN), &mut StdRng::seed_from_u64(3));
+        let averaged = trainer.client_update(
+            &mut net,
+            &data,
+            &ctx(&global, f32::NAN),
+            &mut StdRng::seed_from_u64(3),
+        );
         let final_weights = net.weights();
         let dist = |a: &[f32], b: &[f32]| {
             a.iter()
@@ -253,8 +284,12 @@ mod tests {
 
     #[test]
     fn trainer_names_follow_the_policy() {
-        let make = |p| HeteroSwitchTrainer::new(HeteroSwitchConfig::default(), LossKind::CrossEntropy, p);
-        assert_eq!(ClientTrainer::name(&make(Policy::Selective)), "HeteroSwitch");
+        let make =
+            |p| HeteroSwitchTrainer::new(HeteroSwitchConfig::default(), LossKind::CrossEntropy, p);
+        assert_eq!(
+            ClientTrainer::name(&make(Policy::Selective)),
+            "HeteroSwitch"
+        );
         assert_eq!(
             ClientTrainer::name(&make(Policy::AlwaysTransform)),
             "ISP Transformation"

@@ -31,8 +31,7 @@ pub fn random_white_balance(image: &Tensor, degree: f32, rng: &mut StdRng) -> Te
 /// Random gamma (paper Eq. 3): `img_out = img_in ^ γ` with
 /// `γ ~ U(1 − degree, 1 + degree)`, applied to all channels.
 pub fn random_gamma(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor {
-    let gamma = rng
-        .gen_range((1.0 - degree).max(0.05)..(1.0 + degree).max(0.05 + f32::EPSILON));
+    let gamma = rng.gen_range((1.0 - degree).max(0.05)..(1.0 + degree).max(0.05 + f32::EPSILON));
     image.map(|v| v.clamp(0.0, 1.0).powf(gamma))
 }
 
@@ -97,7 +96,11 @@ pub fn affine_transform(image: &Tensor, degree: f32, rng: &mut StdRng) -> Tensor
 /// Random Gaussian filtering of a 1-D signal tensor — the transformation
 /// HeteroSwitch uses for the ECG modality (paper Sec. 6.6). The filter
 /// standard deviation (in samples) is drawn uniformly from `sigma_range`.
-pub fn gaussian_filter_signal(signal: &Tensor, sigma_range: (f32, f32), rng: &mut StdRng) -> Tensor {
+pub fn gaussian_filter_signal(
+    signal: &Tensor,
+    sigma_range: (f32, f32),
+    rng: &mut StdRng,
+) -> Tensor {
     assert_eq!(signal.rank(), 1, "expected a [n] signal tensor");
     let sigma = rng.gen_range(sigma_range.0..sigma_range.1.max(sigma_range.0 + f32::EPSILON));
     let radius = (3.0 * sigma).ceil() as isize;
@@ -168,7 +171,9 @@ mod tests {
         let hw = 64;
         for ch in 0..3 {
             let ratios: Vec<f32> = (0..hw)
-                .filter(|&i| img.as_slice()[ch * hw + i] > 0.05 && out.as_slice()[ch * hw + i] < 1.0)
+                .filter(|&i| {
+                    img.as_slice()[ch * hw + i] > 0.05 && out.as_slice()[ch * hw + i] < 1.0
+                })
                 .map(|i| out.as_slice()[ch * hw + i] / img.as_slice()[ch * hw + i])
                 .collect();
             let first = ratios[0];
@@ -246,10 +251,7 @@ mod tests {
 
     #[test]
     fn transform_dataset_keeps_labels_and_shapes() {
-        let data = Dataset::new(
-            vec![image(10), image(11)],
-            Labels::Classes(vec![3, 5]),
-        );
+        let data = Dataset::new(vec![image(10), image(11)], Labels::Classes(vec![3, 5]));
         let mut rng = StdRng::seed_from_u64(12);
         let out = transform_dataset(&data, TransformKind::paper_vision(), &mut rng);
         assert_eq!(out.len(), 2);

@@ -96,7 +96,10 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .sum::<f32>()
             / a.len() as f32;
-        assert!(diff > 0.01, "system-induced heterogeneity should be visible, diff {diff}");
+        assert!(
+            diff > 0.01,
+            "system-induced heterogeneity should be visible, diff {diff}"
+        );
     }
 
     #[test]

@@ -62,7 +62,8 @@ fn to_tensor(img: &ImageBuf) -> Tensor {
 /// Builds one train/test dataset per synthetic (jittered) device type.
 pub fn build_jitter_datasets(cfg: CifarSynthConfig, seed: u64) -> Vec<DeviceDataset> {
     let generator = SceneGenerator::new(cfg.num_classes, cfg.image_size);
-    let profiles: Vec<JitterProfile> = random_jitter_profiles(cfg.num_device_types, seed ^ 0xC1FA_0100);
+    let profiles: Vec<JitterProfile> =
+        random_jitter_profiles(cfg.num_device_types, seed ^ 0xC1FA_0100);
     build_with_profiles(&generator, &profiles, cfg, seed)
 }
 

@@ -166,7 +166,10 @@ mod tests {
         let a = generator.generate(0, &mut rng);
         let mut rng = StdRng::seed_from_u64(1);
         let b = generator.generate(7, &mut rng);
-        assert!(a.mean_abs_diff(&b) > 0.05, "classes must be visually distinct");
+        assert!(
+            a.mean_abs_diff(&b) > 0.05,
+            "classes must be visually distinct"
+        );
     }
 
     #[test]

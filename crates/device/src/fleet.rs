@@ -66,7 +66,10 @@ impl DeviceId {
 
     /// Index of this device within [`DeviceId::all`].
     pub fn index(&self) -> usize {
-        DeviceId::all().iter().position(|d| d == self).expect("device in list")
+        DeviceId::all()
+            .iter()
+            .position(|d| d == self)
+            .expect("device in list")
     }
 }
 
@@ -128,64 +131,217 @@ pub fn device_profile(id: DeviceId) -> DeviceProfile {
             Vendor::Google,
             Tier::High,
             0.01,
-            sensor(48, [1.05, 1.0, 0.95], 1.0, 0.005, 0.010, 0.05, 0.10, 12, BayerPattern::Rggb),
-            isp(DenoiseMethod::Fbdd, DemosaicMethod::Ppg, WbMethod::GrayWorld, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(90)),
+            sensor(
+                48,
+                [1.05, 1.0, 0.95],
+                1.0,
+                0.005,
+                0.010,
+                0.05,
+                0.10,
+                12,
+                BayerPattern::Rggb,
+            ),
+            isp(
+                DenoiseMethod::Fbdd,
+                DemosaicMethod::Ppg,
+                WbMethod::GrayWorld,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(90),
+            ),
         ),
         DeviceId::Pixel2 => (
             Vendor::Google,
             Tier::Mid,
             0.03,
-            sensor(40, [1.08, 1.0, 0.92], 0.97, 0.010, 0.020, 0.08, 0.15, 10, BayerPattern::Rggb),
-            isp(DenoiseMethod::Fbdd, DemosaicMethod::Ppg, WbMethod::GrayWorld, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(85)),
+            sensor(
+                40,
+                [1.08, 1.0, 0.92],
+                0.97,
+                0.010,
+                0.020,
+                0.08,
+                0.15,
+                10,
+                BayerPattern::Rggb,
+            ),
+            isp(
+                DenoiseMethod::Fbdd,
+                DemosaicMethod::Ppg,
+                WbMethod::GrayWorld,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(85),
+            ),
         ),
         DeviceId::Nexus5X => (
             Vendor::Google,
             Tier::Low,
             0.04,
-            sensor(32, [1.15, 1.0, 0.85], 0.90, 0.020, 0.040, 0.15, 0.30, 10, BayerPattern::Rggb),
-            isp(DenoiseMethod::None, DemosaicMethod::PixelBinning, WbMethod::GrayWorld, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(70)),
+            sensor(
+                32,
+                [1.15, 1.0, 0.85],
+                0.90,
+                0.020,
+                0.040,
+                0.15,
+                0.30,
+                10,
+                BayerPattern::Rggb,
+            ),
+            isp(
+                DenoiseMethod::None,
+                DemosaicMethod::PixelBinning,
+                WbMethod::GrayWorld,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(70),
+            ),
         ),
         DeviceId::Velvet => (
             Vendor::Lg,
             Tier::High,
             0.02,
-            sensor(48, [0.95, 1.0, 1.08], 1.05, 0.006, 0.012, 0.06, 0.10, 12, BayerPattern::Grbg),
-            isp(DenoiseMethod::WaveletBayesShrink, DemosaicMethod::Ahd, WbMethod::WhitePatch, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(88)),
+            sensor(
+                48,
+                [0.95, 1.0, 1.08],
+                1.05,
+                0.006,
+                0.012,
+                0.06,
+                0.10,
+                12,
+                BayerPattern::Grbg,
+            ),
+            isp(
+                DenoiseMethod::WaveletBayesShrink,
+                DemosaicMethod::Ahd,
+                WbMethod::WhitePatch,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(88),
+            ),
         ),
         DeviceId::G7 => (
             Vendor::Lg,
             Tier::Mid,
             0.05,
-            sensor(40, [0.90, 1.0, 1.12], 1.10, 0.012, 0.025, 0.10, 0.20, 10, BayerPattern::Grbg),
-            isp(DenoiseMethod::WaveletBayesShrink, DemosaicMethod::Ppg, WbMethod::WhitePatch, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(80)),
+            sensor(
+                40,
+                [0.90, 1.0, 1.12],
+                1.10,
+                0.012,
+                0.025,
+                0.10,
+                0.20,
+                10,
+                BayerPattern::Grbg,
+            ),
+            isp(
+                DenoiseMethod::WaveletBayesShrink,
+                DemosaicMethod::Ppg,
+                WbMethod::WhitePatch,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(80),
+            ),
         ),
         DeviceId::G4 => (
             Vendor::Lg,
             Tier::Low,
             0.08,
-            sensor(32, [0.85, 1.0, 1.20], 1.15, 0.025, 0.050, 0.18, 0.35, 10, BayerPattern::Grbg),
-            isp(DenoiseMethod::None, DemosaicMethod::PixelBinning, WbMethod::WhitePatch, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(65)),
+            sensor(
+                32,
+                [0.85, 1.0, 1.20],
+                1.15,
+                0.025,
+                0.050,
+                0.18,
+                0.35,
+                10,
+                BayerPattern::Grbg,
+            ),
+            isp(
+                DenoiseMethod::None,
+                DemosaicMethod::PixelBinning,
+                WbMethod::WhitePatch,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(65),
+            ),
         ),
         DeviceId::S22 => (
             Vendor::Samsung,
             Tier::High,
             0.12,
-            sensor(48, [1.20, 1.0, 1.10], 1.20, 0.004, 0.008, 0.03, 0.05, 12, BayerPattern::Bggr),
-            isp(DenoiseMethod::WaveletBayesShrink, DemosaicMethod::Ahd, WbMethod::GrayWorld, GamutMethod::Prophoto, ToneMethod::GammaEqualization, Jpeg(92)),
+            sensor(
+                48,
+                [1.20, 1.0, 1.10],
+                1.20,
+                0.004,
+                0.008,
+                0.03,
+                0.05,
+                12,
+                BayerPattern::Bggr,
+            ),
+            isp(
+                DenoiseMethod::WaveletBayesShrink,
+                DemosaicMethod::Ahd,
+                WbMethod::GrayWorld,
+                GamutMethod::Prophoto,
+                ToneMethod::GammaEqualization,
+                Jpeg(92),
+            ),
         ),
         DeviceId::S9 => (
             Vendor::Samsung,
             Tier::Mid,
             0.27,
-            sensor(40, [1.12, 1.0, 1.02], 1.10, 0.010, 0.020, 0.07, 0.15, 10, BayerPattern::Bggr),
-            isp(DenoiseMethod::Fbdd, DemosaicMethod::Ahd, WbMethod::GrayWorld, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(85)),
+            sensor(
+                40,
+                [1.12, 1.0, 1.02],
+                1.10,
+                0.010,
+                0.020,
+                0.07,
+                0.15,
+                10,
+                BayerPattern::Bggr,
+            ),
+            isp(
+                DenoiseMethod::Fbdd,
+                DemosaicMethod::Ahd,
+                WbMethod::GrayWorld,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(85),
+            ),
         ),
         DeviceId::S6 => (
             Vendor::Samsung,
             Tier::Low,
             0.38,
-            sensor(32, [1.10, 1.0, 0.95], 1.00, 0.020, 0.045, 0.12, 0.30, 10, BayerPattern::Bggr),
-            isp(DenoiseMethod::Fbdd, DemosaicMethod::PixelBinning, WbMethod::GrayWorld, GamutMethod::Srgb, ToneMethod::SrgbGamma, Jpeg(75)),
+            sensor(
+                32,
+                [1.10, 1.0, 0.95],
+                1.00,
+                0.020,
+                0.045,
+                0.12,
+                0.30,
+                10,
+                BayerPattern::Bggr,
+            ),
+            isp(
+                DenoiseMethod::Fbdd,
+                DemosaicMethod::PixelBinning,
+                WbMethod::GrayWorld,
+                GamutMethod::Srgb,
+                ToneMethod::SrgbGamma,
+                Jpeg(75),
+            ),
         ),
     };
     DeviceProfile {
@@ -201,7 +357,10 @@ pub fn device_profile(id: DeviceId) -> DeviceProfile {
 /// Returns the full nine-device fleet (paper Table 1) in
 /// [`DeviceId::all`] order.
 pub fn paper_devices() -> Vec<DeviceProfile> {
-    DeviceId::all().iter().map(|&id| device_profile(id)).collect()
+    DeviceId::all()
+        .iter()
+        .map(|&id| device_profile(id))
+        .collect()
 }
 
 /// Generates a synthetic long-tail fleet of `n` device types, used for the
@@ -241,11 +400,7 @@ pub fn synthetic_fleet(n: usize, seed: u64) -> Vec<DeviceProfile> {
                 width: res,
                 height: res,
                 pattern,
-                color_response: [
-                    rng.gen_range(0.8..1.25),
-                    1.0,
-                    rng.gen_range(0.8..1.25),
-                ],
+                color_response: [rng.gen_range(0.8..1.25), 1.0, rng.gen_range(0.8..1.25)],
                 exposure: rng.gen_range(0.85..1.2),
                 read_noise: rng.gen_range(0.002..0.03) * noise_scale,
                 shot_noise: rng.gen_range(0.005..0.05) * noise_scale,
@@ -345,7 +500,10 @@ mod tests {
         let dist = |a: DeviceId, b: DeviceId| {
             let pa = device_profile(a).sensor.color_response;
             let pb = device_profile(b).sensor.color_response;
-            pa.iter().zip(pb.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>()
+            pa.iter()
+                .zip(pb.iter())
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f32>()
         };
         assert!(dist(DeviceId::Pixel5, DeviceId::Pixel2) < dist(DeviceId::Pixel5, DeviceId::G4));
         assert!(dist(DeviceId::Pixel5, DeviceId::Pixel2) < dist(DeviceId::Pixel5, DeviceId::S22));
@@ -385,8 +543,7 @@ mod tests {
         let b = synthetic_fleet(20, 7);
         assert_eq!(a.len(), 20);
         assert_eq!(a, b);
-        let resolutions: std::collections::HashSet<_> =
-            a.iter().map(|d| d.sensor.width).collect();
+        let resolutions: std::collections::HashSet<_> = a.iter().map(|d| d.sensor.width).collect();
         assert!(resolutions.len() > 1, "fleet should span multiple tiers");
     }
 }

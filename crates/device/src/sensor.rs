@@ -118,7 +118,12 @@ fn blur3(img: &ImageBuf, strength: f32) -> ImageBuf {
                 let right = img.get(c, r, (col + 1).min(img.width - 1));
                 let centre = img.get(c, r, col);
                 let neighbour_mean = (up + down + left + right) / 4.0;
-                out.set(c, r, col, centre * (1.0 - strength) + neighbour_mean * strength);
+                out.set(
+                    c,
+                    r,
+                    col,
+                    centre * (1.0 - strength) + neighbour_mean * strength,
+                );
             }
         }
     }
@@ -175,10 +180,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = noisy.capture(&scene(), &mut rng);
         let b = noisy.capture(&scene(), &mut rng);
-        let diff: f32 =
-            a.data.iter().zip(b.data.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>()
-                / a.data.len() as f32;
-        assert!(diff > 0.01, "noise should decorrelate captures, diff {diff}");
+        let diff: f32 = a
+            .data
+            .iter()
+            .zip(b.data.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.data.len() as f32;
+        assert!(
+            diff > 0.01,
+            "noise should decorrelate captures, diff {diff}"
+        );
     }
 
     #[test]
@@ -212,9 +224,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let a = sharp.capture(&scene(), &mut rng);
         let b = soft.capture(&scene(), &mut rng);
-        let diff: f32 =
-            a.data.iter().zip(b.data.iter()).map(|(x, y)| (x - y).abs()).sum::<f32>()
-                / a.data.len() as f32;
+        let diff: f32 = a
+            .data
+            .iter()
+            .zip(b.data.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.data.len() as f32;
         assert!(diff > 0.005);
     }
 }

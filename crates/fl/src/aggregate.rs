@@ -140,10 +140,7 @@ mod tests {
         let global = vec![1.0];
         // the low-loss client pulls the weight up (and more strongly), the
         // high-loss client pulls it down
-        let updates = vec![
-            update(vec![1.2], 10, 0.1),
-            update(vec![0.9], 10, 2.0),
-        ];
+        let updates = vec![update(vec![1.2], 10, 0.1), update(vec![0.9], 10, 2.0)];
         let plain = AggregationMethod::QFedAvg { q: 1e-6, lr: 0.1 }.aggregate(&global, &updates);
         let fair = AggregationMethod::QFedAvg { q: 2.0, lr: 0.1 }.aggregate(&global, &updates);
         // with q ≈ 0 the stronger (low-loss) pull wins; with a large q the
@@ -161,6 +158,9 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(AggregationMethod::FedAvg.name(), "FedAvg");
-        assert_eq!(AggregationMethod::QFedAvg { q: 1.0, lr: 0.1 }.name(), "q-FedAvg");
+        assert_eq!(
+            AggregationMethod::QFedAvg { q: 1.0, lr: 0.1 }.name(),
+            "q-FedAvg"
+        );
     }
 }

@@ -58,10 +58,7 @@ mod tests {
 
     #[test]
     fn client_data_holds_its_dataset() {
-        let data = Dataset::new(
-            vec![Tensor::zeros(&[4]); 3],
-            Labels::Classes(vec![0, 1, 0]),
-        );
+        let data = Dataset::new(vec![Tensor::zeros(&[4]); 3], Labels::Classes(vec![0, 1, 0]));
         let client = ClientData {
             id: 7,
             device: "Pixel5".into(),

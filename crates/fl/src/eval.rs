@@ -17,7 +17,12 @@ const EVAL_BATCH: usize = 32;
 
 /// Stacks the samples `start..end` and runs the shared-state inference
 /// forward.
-fn batch_logits(net: &Network, data: &Dataset, start: usize, end: usize) -> Option<hs_tensor::Tensor> {
+fn batch_logits(
+    net: &Network,
+    data: &Dataset,
+    start: usize,
+    end: usize,
+) -> Option<hs_tensor::Tensor> {
     let indices: Vec<usize> = (start..end).collect();
     let (x, _) = data.batch(&indices);
     net.forward_eval(&x)
@@ -47,16 +52,29 @@ where
     if n_batches <= 1 {
         return true;
     }
-    if hs_parallel::num_threads() > 1 && !hs_parallel::inside_pool() {
+    // the remaining batches are sharded into at most `num_threads()`
+    // contiguous groups (one pool task each, batches within a group run
+    // serially), so the concurrency is bounded by the parallelism target —
+    // which makes `hs_parallel::set_num_threads` an effective knob for the
+    // eval-scaling bench — and spawn overhead stays O(threads), not
+    // O(batches)
+    let rest = n_batches - 1;
+    let groups = hs_parallel::num_threads().min(rest);
+    if groups > 1 && !hs_parallel::inside_pool() {
+        let per_group = rest.div_ceil(groups);
         hs_parallel::scope(|s| {
-            for b in 1..n_batches {
+            for group in 0..groups {
                 let consume = &consume;
                 s.spawn(move || {
-                    let start = b * EVAL_BATCH;
-                    let end = (start + EVAL_BATCH).min(n);
-                    let logits = batch_logits(net, data, start, end)
-                        .expect("shared-state eval support cannot vary across batches");
-                    consume(start, &logits);
+                    let b_lo = 1 + group * per_group;
+                    let b_hi = (b_lo + per_group).min(n_batches);
+                    for b in b_lo..b_hi {
+                        let start = b * EVAL_BATCH;
+                        let end = (start + EVAL_BATCH).min(n);
+                        let logits = batch_logits(net, data, start, end)
+                            .expect("shared-state eval support cannot vary across batches");
+                        consume(start, &logits);
+                    }
                 });
             }
         });
@@ -302,10 +320,7 @@ mod tests {
         ]));
         assert!(net.forward_eval(&Tensor::ones(&[1, 2])).is_none());
         let n = 2 * EVAL_BATCH + 3;
-        let data = Dataset::new(
-            vec![Tensor::ones(&[2]); n],
-            Labels::Classes(vec![0; n]),
-        );
+        let data = Dataset::new(vec![Tensor::ones(&[2]); n], Labels::Classes(vec![0; n]));
         // must not panic, and must produce a valid accuracy via the fallback
         let acc = evaluate_accuracy(&mut net, &data);
         assert!((0.0..=1.0).contains(&acc));
@@ -328,7 +343,10 @@ mod tests {
     fn heart_rate_evaluation_denormalises() {
         let mut net = identity_like_net(1, 1);
         let data = Dataset::new(
-            vec![Tensor::from_vec(vec![0.4], &[1]), Tensor::from_vec(vec![0.3], &[1])],
+            vec![
+                Tensor::from_vec(vec![0.4], &[1]),
+                Tensor::from_vec(vec![0.3], &[1]),
+            ],
             Labels::Values(vec![0.4, 0.3]),
         );
         let (preds, actual) = evaluate_heart_rate(&mut net, &data, 200.0);

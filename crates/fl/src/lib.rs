@@ -37,4 +37,6 @@ pub use eval::{
     evaluate_accuracy, evaluate_average_precision, evaluate_heart_rate, per_device_accuracy,
 };
 pub use simulation::{FlSimulation, ModelFactory, RoundStats};
-pub use trainer::{sgd_local_update, ClientTrainer, FedAvgTrainer, FedProxTrainer, LossKind, ScaffoldTrainer};
+pub use trainer::{
+    sgd_local_update, ClientTrainer, FedAvgTrainer, FedProxTrainer, LossKind, ScaffoldTrainer,
+};

@@ -20,7 +20,11 @@ use std::sync::Mutex;
 pub type ModelFactory = Box<dyn Fn(u64) -> Network + Send + Sync>;
 
 /// Summary statistics of one communication round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The JSON shape (field order = declaration order) comes from
+/// `#[derive(serde::ToJson)]` — the derive that replaced the hand-written
+/// impl; `round_stats_json_shape_is_stable` pins the output.
+#[derive(Debug, Clone, Serialize, Deserialize, serde::ToJson)]
 pub struct RoundStats {
     /// Round index (0-based).
     pub round: usize,
@@ -33,19 +37,6 @@ pub struct RoundStats {
     pub loss_ema: f32,
     /// Ids of the clients that participated.
     pub participants: Vec<usize>,
-}
-
-impl serde::json::ToJson for RoundStats {
-    fn to_json(&self) -> serde::json::JsonValue {
-        use serde::json::{JsonValue, ToJson};
-        JsonValue::obj(vec![
-            ("round", ToJson::to_json(&self.round)),
-            ("mean_train_loss", ToJson::to_json(&self.mean_train_loss)),
-            ("mean_init_loss", ToJson::to_json(&self.mean_init_loss)),
-            ("loss_ema", ToJson::to_json(&self.loss_ema)),
-            ("participants", ToJson::to_json(&self.participants)),
-        ])
-    }
 }
 
 /// A complete federated-learning simulation: clients, model, local-update
@@ -194,7 +185,11 @@ impl FlSimulation {
 
         self.global_weights = self.aggregation.aggregate(&self.global_weights, &updates);
 
-        let total: f32 = updates.iter().map(|u| u.num_samples as f32).sum::<f32>().max(1.0);
+        let total: f32 = updates
+            .iter()
+            .map(|u| u.num_samples as f32)
+            .sum::<f32>()
+            .max(1.0);
         let mean_train_loss = updates
             .iter()
             .map(|u| u.train_loss * u.num_samples as f32)
@@ -365,6 +360,23 @@ mod tests {
             factory(),
             Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
             AggregationMethod::FedAvg,
+        );
+    }
+
+    #[test]
+    fn round_stats_json_shape_is_stable() {
+        // pins that the derived ToJson matches the previously hand-written
+        // impl byte for byte (field order and names)
+        let stats = RoundStats {
+            round: 3,
+            mean_train_loss: 0.5,
+            mean_init_loss: 1.5,
+            loss_ema: 0.75,
+            participants: vec![1, 4],
+        };
+        assert_eq!(
+            serde::json::to_string(&stats),
+            r#"{"round":3,"mean_train_loss":0.5,"mean_init_loss":1.5,"loss_ema":0.75,"participants":[1,4]}"#
         );
     }
 }

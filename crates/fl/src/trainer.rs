@@ -7,11 +7,11 @@
 use crate::{ClientContext, ClientUpdate};
 use hs_data::Dataset;
 use hs_nn::{BceWithLogitsLoss, CrossEntropyLoss, Loss, MseLoss, Network, Sgd};
-use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Which loss the local objective uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -279,7 +279,8 @@ impl ClientTrainer for ScaffoldTrainer {
             }
         }
         self.client_controls
-            .lock().unwrap()
+            .lock()
+            .unwrap()
             .insert(ctx.client_id, new_client_c);
 
         ClientUpdate {
@@ -344,7 +345,12 @@ mod tests {
         let global = net.weights();
         let data = toy_data(1, 18);
         let trainer = FedAvgTrainer::new(LossKind::CrossEntropy);
-        let update = trainer.client_update(&mut net, &data, &ctx(&global, 0), &mut StdRng::seed_from_u64(2));
+        let update = trainer.client_update(
+            &mut net,
+            &data,
+            &ctx(&global, 0),
+            &mut StdRng::seed_from_u64(2),
+        );
         assert_eq!(update.weights.len(), global.len());
         assert!(update.train_loss < update.init_loss);
         assert_eq!(update.num_samples, 18);
@@ -356,8 +362,12 @@ mod tests {
         let run = |trainer: &dyn ClientTrainer| {
             let mut net = toy_net(0);
             let global = net.weights();
-            let update =
-                trainer.client_update(&mut net, &data, &ctx(&global, 0), &mut StdRng::seed_from_u64(4));
+            let update = trainer.client_update(
+                &mut net,
+                &data,
+                &ctx(&global, 0),
+                &mut StdRng::seed_from_u64(4),
+            );
             let drift: f32 = update
                 .weights
                 .iter()

@@ -42,7 +42,11 @@ pub fn jpeg_compress(img: &ImageBuf, method: CompressMethod) -> ImageBuf {
 /// libjpeg convention.
 fn scaled_table(quality: u8) -> [[f32; 8]; 8] {
     let q = quality.clamp(1, 100) as f32;
-    let scale = if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q };
+    let scale = if q < 50.0 {
+        5000.0 / q
+    } else {
+        200.0 - 2.0 * q
+    };
     let mut table = [[0.0f32; 8]; 8];
     for i in 0..8 {
         for j in 0..8 {

@@ -79,7 +79,12 @@ where
     if band >= n {
         // single band (small image): skip pool dispatch entirely — this is
         // the dataset-generation hot path at 16-32 px
-        for (i, ((rv, gv), bv)) in rp.iter_mut().zip(gp.iter_mut()).zip(bp.iter_mut()).enumerate() {
+        for (i, ((rv, gv), bv)) in rp
+            .iter_mut()
+            .zip(gp.iter_mut())
+            .zip(bp.iter_mut())
+            .enumerate()
+        {
             let [pr, pg, pb] = per_pixel(i / w, i % w);
             *rv = pr;
             *gv = pg;
@@ -201,7 +206,11 @@ fn pixel_binning(raw: &RawImage) -> ImageBuf {
                 }
             }
             for ch in 0..3 {
-                let v = if counts[ch] > 0.0 { sums[ch] / counts[ch] } else { 0.0 };
+                let v = if counts[ch] > 0.0 {
+                    sums[ch] / counts[ch]
+                } else {
+                    0.0
+                };
                 small.set(ch, r, c, v);
             }
         }

@@ -50,7 +50,8 @@ fn fbdd(img: &ImageBuf) -> ImageBuf {
                         let rr = (r as i32 + dr).clamp(0, h as i32 - 1) as usize;
                         let cc = (col as i32 + dc).clamp(0, w as i32 - 1) as usize;
                         let v = img.get(c, rr, cc);
-                        let wgt = (-((v - centre) * (v - centre)) / (2.0 * sigma_r * sigma_r)).exp();
+                        let wgt =
+                            (-((v - centre) * (v - centre)) / (2.0 * sigma_r * sigma_r)).exp();
                         sum += wgt * v;
                         weight += wgt;
                     }

@@ -25,11 +25,7 @@ const SRGB_MATRIX: [[f32; 3]; 3] = [
 
 /// ProPhoto: a wide gamut, so camera colours become *less* saturated when
 /// expressed in it (the matrix pulls channels towards their mean).
-const PROPHOTO_MATRIX: [[f32; 3]; 3] = [
-    [0.80, 0.15, 0.05],
-    [0.10, 0.80, 0.10],
-    [0.05, 0.15, 0.80],
-];
+const PROPHOTO_MATRIX: [[f32; 3]; 3] = [[0.80, 0.15, 0.05], [0.10, 0.80, 0.10], [0.05, 0.15, 0.80]];
 
 /// Applies the selected gamut mapping.
 pub fn map_gamut(img: &ImageBuf, method: GamutMethod) -> ImageBuf {

@@ -238,11 +238,23 @@ mod tests {
         }
         let cfg = IspConfig::baseline();
         let base = cfg.process(&raw);
-        let d_wb = base.mean_abs_diff(&cfg.with_stage_option1(IspStage::ColorTransformation).process(&raw));
-        let d_tone = base.mean_abs_diff(&cfg.with_stage_option1(IspStage::ToneTransformation).process(&raw));
-        let d_comp = base.mean_abs_diff(&cfg.with_stage_option1(IspStage::ImageCompression).process(&raw));
+        let d_wb = base.mean_abs_diff(
+            &cfg.with_stage_option1(IspStage::ColorTransformation)
+                .process(&raw),
+        );
+        let d_tone = base.mean_abs_diff(
+            &cfg.with_stage_option1(IspStage::ToneTransformation)
+                .process(&raw),
+        );
+        let d_comp = base.mean_abs_diff(
+            &cfg.with_stage_option1(IspStage::ImageCompression)
+                .process(&raw),
+        );
         assert!(d_wb > d_comp, "WB ablation {d_wb} vs compression {d_comp}");
-        assert!(d_tone > d_comp, "tone ablation {d_tone} vs compression {d_comp}");
+        assert!(
+            d_tone > d_comp,
+            "tone ablation {d_tone} vs compression {d_comp}"
+        );
     }
 
     #[test]

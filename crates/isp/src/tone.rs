@@ -151,12 +151,7 @@ mod tests {
 
     #[test]
     fn tone_variants_differ() {
-        let img = ImageBuf::from_planar(
-            4,
-            4,
-            3,
-            (0..48).map(|i| 0.1 + 0.015 * i as f32).collect(),
-        );
+        let img = ImageBuf::from_planar(4, 4, 3, (0..48).map(|i| 0.1 + 0.015 * i as f32).collect());
         let a = tone_map(&img, ToneMethod::SrgbGamma);
         let b = tone_map(&img, ToneMethod::GammaEqualization);
         let c = tone_map(&img, ToneMethod::None);

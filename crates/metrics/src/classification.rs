@@ -30,7 +30,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
 ///
 /// Panics if the slices have different lengths or contain out-of-range
 /// classes.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predictions.len(), labels.len());
     let mut matrix = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels.iter()) {

@@ -11,7 +11,13 @@ use serde::{Deserialize, Serialize};
 /// to the same row's diagonal (accuracy on the training device), matching the
 /// paper's "model quality degradation ... compared to the training device
 /// type".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation: prefer the inherent [`DegradationMatrix::to_json`], which
+/// appends the derived `overall_mean_degradation` entry the experiment
+/// outputs carry; the derived `ToJson` trait impl (what generic callers like
+/// `serde::json::write_file(&matrix)` would reach) holds the plain fields
+/// only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, serde::ToJson)]
 pub struct DegradationMatrix {
     devices: Vec<String>,
     accuracy: Vec<Vec<f32>>,
@@ -25,7 +31,11 @@ impl DegradationMatrix {
     ///
     /// Panics if `accuracy` is not `devices.len() × devices.len()`.
     pub fn new(devices: Vec<String>, accuracy: Vec<Vec<f32>>) -> Self {
-        assert_eq!(accuracy.len(), devices.len(), "row count must match devices");
+        assert_eq!(
+            accuracy.len(),
+            devices.len(),
+            "row count must match devices"
+        );
         for row in &accuracy {
             assert_eq!(row.len(), devices.len(), "column count must match devices");
         }
@@ -51,19 +61,21 @@ impl DegradationMatrix {
 
     /// Serialises the matrix (device names, raw accuracies, and the derived
     /// overall mean degradation) for the experiment binaries' `--json-out`.
+    ///
+    /// The field serialisation comes from `#[derive(serde::ToJson)]`; only
+    /// the computed `overall_mean_degradation` entry — which no derive can
+    /// produce — is appended here. The combined shape is pinned against the
+    /// previously hand-written impl by `json_shape_is_stable`.
     pub fn to_json(&self) -> serde::json::JsonValue {
         use serde::json::{JsonValue, ToJson};
-        JsonValue::obj(vec![
-            ("devices", ToJson::to_json(&self.devices)),
-            (
-                "accuracy",
-                JsonValue::Arr(self.accuracy.iter().map(ToJson::to_json).collect()),
-            ),
-            (
-                "overall_mean_degradation",
-                ToJson::to_json(&self.overall_mean_degradation()),
-            ),
-        ])
+        let mut value = <Self as ToJson>::to_json(self);
+        if let JsonValue::Obj(pairs) = &mut value {
+            pairs.push((
+                "overall_mean_degradation".to_string(),
+                self.overall_mean_degradation().to_json(),
+            ));
+        }
+        value
     }
 
     /// The paper's per-row "Mean Others": average degradation over every test
@@ -118,13 +130,19 @@ impl DegradationMatrix {
                     out.push_str(&format!("\t{:.1}%", self.degradation(i, j) * 100.0));
                 }
             }
-            out.push_str(&format!("\t{:.1}%\n", self.mean_others_for_train(i) * 100.0));
+            out.push_str(&format!(
+                "\t{:.1}%\n",
+                self.mean_others_for_train(i) * 100.0
+            ));
         }
         out.push_str("MeanOthers");
         for j in 0..self.devices.len() {
             out.push_str(&format!("\t{:.1}%", self.mean_others_for_test(j) * 100.0));
         }
-        out.push_str(&format!("\t{:.1}%\n", self.overall_mean_degradation() * 100.0));
+        out.push_str(&format!(
+            "\t{:.1}%\n",
+            self.overall_mean_degradation() * 100.0
+        ));
         out
     }
 }
@@ -187,5 +205,27 @@ mod tests {
     #[should_panic(expected = "row count")]
     fn rejects_non_square_input() {
         DegradationMatrix::new(vec!["A".into()], vec![vec![0.5], vec![0.5]]);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        // pins that derive(ToJson) + the appended derived statistic matches
+        // the previously hand-written impl byte for byte
+        // values chosen exactly representable in f32 so the f32→f64
+        // widening in the number rendering stays byte-stable
+        let m = DegradationMatrix::new(
+            vec!["A".into(), "B".into()],
+            vec![vec![0.5, 0.25], vec![0.25, 1.0]],
+        );
+        let expect = format!(
+            r#"{{"devices":["A","B"],"accuracy":[[0.5,0.25],[0.25,1]],"overall_mean_degradation":{}}}"#,
+            serde::json::to_string(&m.overall_mean_degradation())
+        );
+        assert_eq!(m.to_json().render(), expect);
+        // the derived impl alone carries exactly the plain fields
+        assert_eq!(
+            serde::json::to_string(&m),
+            r#"{"devices":["A","B"],"accuracy":[[0.5,0.25],[0.25,1]]}"#
+        );
     }
 }

@@ -21,7 +21,11 @@ pub fn average_precision(scores: &[f32], relevant: &[bool]) -> f32 {
     }
     // rank labels by descending score
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut hits = 0usize;
     let mut ap = 0.0f32;
     for (rank, &idx) in order.iter().enumerate() {

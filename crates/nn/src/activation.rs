@@ -211,7 +211,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let out = self.cached_output.as_ref().expect("backward before forward");
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward");
         grad_out.zip(out, |g, y| g * y * (1.0 - y))
     }
 
@@ -262,7 +265,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let out = self.cached_output.as_ref().expect("backward before forward");
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward");
         grad_out.zip(out, |g, y| g * (1.0 - y * y))
     }
 
@@ -316,13 +322,16 @@ impl Layer for HardSigmoid {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        grad_out.zip(input, |g, x| {
-            if x > -3.0 && x < 3.0 {
-                g / 6.0
-            } else {
-                0.0
-            }
-        })
+        grad_out.zip(
+            input,
+            |g, x| {
+                if x > -3.0 && x < 3.0 {
+                    g / 6.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
@@ -465,7 +474,9 @@ mod tests {
             let mut out = Tensor::zeros(&[0]);
             layer.forward_into(&x, &mut out, false);
             assert_eq!(out.as_slice(), expect.as_slice(), "{}", layer.name());
-            let eval = layer.forward_eval(&x).expect("activations support shared eval");
+            let eval = layer
+                .forward_eval(&x)
+                .expect("activations support shared eval");
             assert_eq!(eval.as_slice(), expect.as_slice(), "{}", layer.name());
         }
     }

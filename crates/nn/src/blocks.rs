@@ -11,22 +11,52 @@ use rand::rngs::StdRng;
 
 /// Extracts channels `[from, to)` of a `[n, c, h, w]` tensor.
 fn slice_channels(x: &Tensor, from: usize, to: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[0]);
+    slice_channels_into(x, from, to, &mut out);
+    out
+}
+
+/// [`slice_channels`] into a caller-owned arena tensor (resized in place),
+/// the allocation-free body behind the planned-inference block paths.
+fn slice_channels_into(x: &Tensor, from: usize, to: usize, out: &mut Tensor) {
     let dims = x.dims();
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    assert!(from < to && to <= c, "invalid channel slice {from}..{to} of {c}");
+    assert!(
+        from < to && to <= c,
+        "invalid channel slice {from}..{to} of {c}"
+    );
     let hw = h * w;
     let data = x.as_slice();
-    let mut out = Vec::with_capacity(n * (to - from) * hw);
+    out.resize_to(&[n, to - from, h, w]);
+    let o = out.as_mut_slice();
+    let span = (to - from) * hw;
     for ni in 0..n {
         let base = ni * c * hw;
-        out.extend_from_slice(&data[base + from * hw..base + to * hw]);
+        o[ni * span..(ni + 1) * span].copy_from_slice(&data[base + from * hw..base + to * hw]);
     }
-    Tensor::from_vec(out, &[n, to - from, h, w])
 }
 
 /// Concatenates two `[n, c, h, w]` tensors along the channel axis.
 fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::concat(&[a, b], 1)
+}
+
+/// [`concat_channels`] into a caller-owned arena tensor (resized in place).
+fn concat_channels_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (da, db) = (a.dims(), b.dims());
+    assert_eq!(da[0], db[0], "concat batch mismatch");
+    assert_eq!(&da[2..], &db[2..], "concat spatial mismatch");
+    let (n, ca, cb) = (da[0], da[1], db[1]);
+    let hw = da[2] * da[3];
+    out.resize_to(&[n, ca + cb, da[2], da[3]]);
+    let o = out.as_mut_slice();
+    let (xa, xb) = (a.as_slice(), b.as_slice());
+    let span = (ca + cb) * hw;
+    for ni in 0..n {
+        o[ni * span..ni * span + ca * hw].copy_from_slice(&xa[ni * ca * hw..(ni + 1) * ca * hw]);
+        o[ni * span + ca * hw..(ni + 1) * span]
+            .copy_from_slice(&xb[ni * cb * hw..(ni + 1) * cb * hw]);
+    }
 }
 
 /// A residual connection `y = body(x) + x`.
@@ -58,6 +88,24 @@ impl Layer for Residual {
         self.body.backward(grad_out).add(grad_out)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        // the body writes straight into `out`; the skip connection folds the
+        // input in afterwards, in place — no extra arena needed
+        self.body.forward_into(input, out, false);
+        assert_eq!(
+            out.dims(),
+            input.dims(),
+            "residual body must preserve the input shape"
+        );
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o += x;
+        }
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let y = self.body.forward_eval(input)?;
         assert_eq!(
@@ -70,6 +118,10 @@ impl Layer for Residual {
 
     fn fuse_inference(&mut self) {
         self.body.fuse_inference();
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.body.for_each_conv2d_mut(f);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -93,6 +145,8 @@ pub struct SqueezeExcite {
     squeeze: Sequential,
     cached_input: Option<Tensor>,
     cached_scale: Option<Tensor>,
+    /// Arena for the per-channel gates on the planned-inference path.
+    scale_arena: Tensor,
 }
 
 impl SqueezeExcite {
@@ -111,6 +165,7 @@ impl SqueezeExcite {
             squeeze,
             cached_input: None,
             cached_scale: None,
+            scale_arena: Tensor::zeros(&[0]),
         }
     }
 }
@@ -172,6 +227,31 @@ impl Layer for SqueezeExcite {
         Tensor::from_vec(grad_direct, dims).add(&grad_through_squeeze)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        let dims = input.dims();
+        let (n, c) = (dims[0], dims[1]);
+        let hw = dims[2] * dims[3];
+        self.squeeze
+            .forward_into(input, &mut self.scale_arena, false); // [n, c]
+        let s = self.scale_arena.as_slice();
+        out.resize_to(dims);
+        let o = out.as_mut_slice();
+        let x = input.as_slice();
+        for nc in 0..n * c {
+            let g = s[nc];
+            for (ov, &xv) in o[nc * hw..(nc + 1) * hw]
+                .iter_mut()
+                .zip(x[nc * hw..(nc + 1) * hw].iter())
+            {
+                *ov = xv * g;
+            }
+        }
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -194,6 +274,10 @@ impl Layer for SqueezeExcite {
 
     fn fuse_inference(&mut self) {
         self.squeeze.fuse_inference();
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.squeeze.for_each_conv2d_mut(f);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -303,6 +387,26 @@ impl Layer for InvertedResidual {
         }
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        // the body writes straight into `out`; the skip connection folds the
+        // input in afterwards, in place
+        self.body.forward_into(input, out, false);
+        if self.use_skip {
+            assert_eq!(
+                out.dims(),
+                input.dims(),
+                "skip connection requires shape-preserving body"
+            );
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                *o += x;
+            }
+        }
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let y = self.body.forward_eval(input)?;
         Some(if self.use_skip { y.add(input) } else { y })
@@ -310,6 +414,10 @@ impl Layer for InvertedResidual {
 
     fn fuse_inference(&mut self) {
         self.body.fuse_inference();
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.body.for_each_conv2d_mut(f);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -334,6 +442,10 @@ pub struct Fire {
     expand1_channels: usize,
     expand3_channels: usize,
     cached_squeezed: Option<Tensor>,
+    /// Arenas (squeezed, expand1, expand3) for the planned-inference path.
+    sq_arena: Tensor,
+    e1_arena: Tensor,
+    e3_arena: Tensor,
 }
 
 impl Fire {
@@ -350,11 +462,27 @@ impl Fire {
             Box::new(Relu::new()),
         ]);
         let expand1 = Sequential::new(vec![
-            Box::new(Conv2d::new(squeeze_channels, expand1_channels, 1, 1, 0, 1, rng)),
+            Box::new(Conv2d::new(
+                squeeze_channels,
+                expand1_channels,
+                1,
+                1,
+                0,
+                1,
+                rng,
+            )),
             Box::new(Relu::new()),
         ]);
         let expand3 = Sequential::new(vec![
-            Box::new(Conv2d::new(squeeze_channels, expand3_channels, 3, 1, 1, 1, rng)),
+            Box::new(Conv2d::new(
+                squeeze_channels,
+                expand3_channels,
+                3,
+                1,
+                1,
+                1,
+                rng,
+            )),
             Box::new(Relu::new()),
         ]);
         Fire {
@@ -364,6 +492,9 @@ impl Fire {
             expand1_channels,
             expand3_channels,
             cached_squeezed: None,
+            sq_arena: Tensor::zeros(&[0]),
+            e1_arena: Tensor::zeros(&[0]),
+            e3_arena: Tensor::zeros(&[0]),
         }
     }
 
@@ -396,6 +527,19 @@ impl Layer for Fire {
         self.squeeze.backward(&gs1.add(&gs3))
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        self.squeeze.forward_into(input, &mut self.sq_arena, false);
+        self.expand1
+            .forward_into(&self.sq_arena, &mut self.e1_arena, false);
+        self.expand3
+            .forward_into(&self.sq_arena, &mut self.e3_arena, false);
+        concat_channels_into(&self.e1_arena, &self.e3_arena, out);
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let squeezed = self.squeeze.forward_eval(input)?;
         let e1 = self.expand1.forward_eval(&squeezed)?;
@@ -407,6 +551,12 @@ impl Layer for Fire {
         self.squeeze.fuse_inference();
         self.expand1.fuse_inference();
         self.expand3.fuse_inference();
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.squeeze.for_each_conv2d_mut(f);
+        self.expand1.for_each_conv2d_mut(f);
+        self.expand3.for_each_conv2d_mut(f);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -446,6 +596,14 @@ impl ChannelShuffle {
     }
 
     fn permute(&self, x: &Tensor, inverse: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.permute_into(x, inverse, &mut out);
+        out
+    }
+
+    /// [`ChannelShuffle::permute`] into a caller-owned arena tensor (resized
+    /// in place) — the allocation-free planned-inference body.
+    fn permute_into(&self, x: &Tensor, inverse: bool, out: &mut Tensor) {
         let dims = x.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let g = self.groups;
@@ -453,7 +611,8 @@ impl ChannelShuffle {
         let cpg = c / g;
         let hw = h * w;
         let data = x.as_slice();
-        let mut out = vec![0.0f32; data.len()];
+        out.resize_to(dims);
+        let o = out.as_mut_slice();
         for ni in 0..n {
             for gi in 0..g {
                 for j in 0..cpg {
@@ -465,11 +624,10 @@ impl ChannelShuffle {
                     };
                     let src_off = (ni * c + src) * hw;
                     let dst_off = (ni * c + dst) * hw;
-                    out[dst_off..dst_off + hw].copy_from_slice(&data[src_off..src_off + hw]);
+                    o[dst_off..dst_off + hw].copy_from_slice(&data[src_off..src_off + hw]);
                 }
             }
         }
-        Tensor::from_vec(out, dims)
     }
 }
 
@@ -480,6 +638,10 @@ impl Layer for ChannelShuffle {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.permute(grad_out, true)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        self.permute_into(input, false, out);
     }
 
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
@@ -504,6 +666,12 @@ pub struct ShuffleUnit {
     branch_proj: Option<Sequential>,
     shuffle: ChannelShuffle,
     cached_input: Option<Tensor>,
+    /// Arenas (branch inputs/outputs + pre-shuffle concat) for the
+    /// planned-inference path.
+    split_arena: Tensor,
+    y1_arena: Tensor,
+    y2_arena: Tensor,
+    cat_arena: Tensor,
 }
 
 impl ShuffleUnit {
@@ -548,6 +716,10 @@ impl ShuffleUnit {
             branch_proj,
             shuffle: ChannelShuffle::new(2),
             cached_input: None,
+            split_arena: Tensor::zeros(&[0]),
+            y1_arena: Tensor::zeros(&[0]),
+            y2_arena: Tensor::zeros(&[0]),
+            cat_arena: Tensor::zeros(&[0]),
         }
     }
 
@@ -602,6 +774,29 @@ impl Layer for ShuffleUnit {
         }
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        if self.stride == 1 {
+            // identity half into y1, processed half through the main branch
+            slice_channels_into(input, 0, self.half, &mut self.y1_arena);
+            slice_channels_into(input, self.half, self.half * 2, &mut self.split_arena);
+            self.branch_main
+                .forward_into(&self.split_arena, &mut self.y2_arena, false);
+        } else {
+            self.branch_proj
+                .as_mut()
+                .expect("stride-2 unit has a projection branch")
+                .forward_into(input, &mut self.y1_arena, false);
+            self.branch_main
+                .forward_into(input, &mut self.y2_arena, false);
+        }
+        concat_channels_into(&self.y1_arena, &self.y2_arena, &mut self.cat_arena);
+        self.shuffle.permute_into(&self.cat_arena, false, out);
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let out = if self.stride == 1 {
             let x1 = slice_channels(input, 0, self.half);
@@ -624,6 +819,13 @@ impl Layer for ShuffleUnit {
         self.branch_main.fuse_inference();
         if let Some(proj) = &mut self.branch_proj {
             proj.fuse_inference();
+        }
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.branch_main.for_each_conv2d_mut(f);
+        if let Some(proj) = &mut self.branch_proj {
+            proj.for_each_conv2d_mut(f);
         }
     }
 

@@ -1,11 +1,31 @@
-//! 2-D convolution with optional grouping (covers depthwise convolution).
+//! 2-D convolution with optional grouping (covers depthwise convolution),
+//! executed through a pluggable backend-dispatch layer.
 //!
-//! Forward and backward are expressed as GEMM over the im2col matrix and run
-//! on the `hs-tensor` kernel layer:
+//! **Inference** no longer hardwires one execution strategy: a
+//! shape/stride/groups-driven heuristic ([`ConvAlgo::select`]) picks one of
+//! three interchangeable backends at plan time, all sharing the same parity
+//! contract (identical output, same fused-epilogue semantics):
 //!
-//! * forward: per group, `out = W_g (cout_g x wrow) * col (wrow x ohw)`,
-//! * weight gradient: `dW_g += dOut_g * col^T`,
-//! * input gradient: `dCol = W_g^T * dOut_g`, folded back by col2im.
+//! * [`ConvAlgo::Im2colGemm`] — the PR 1 path: per group,
+//!   `out = W_g (cout_g x wrow) * col (wrow x ohw)` over the im2col matrix
+//!   (with a zero-copy fast path for 1×1 stride-1 unpadded convolutions,
+//!   whose im2col is the identity);
+//! * [`ConvAlgo::Winograd`] — F(2×2, 3×3) tile transforms + batched
+//!   tile-GEMM for dense 3×3 stride-1 convolutions
+//!   ([`hs_tensor::winograd_conv3x3`]);
+//! * [`ConvAlgo::DirectDepthwise`] — a direct spatial micro-kernel for
+//!   depthwise convolutions ([`hs_tensor::depthwise_conv2d`]), which have
+//!   per-channel GEMMs too tiny for im2col to pay off.
+//!
+//! The choice can be forced per layer ([`Conv2d::force_algo`], used by the
+//! parity tests and backend benches) or process-wide via the `HS_CONV_ALGO`
+//! environment variable (`im2col` | `winograd` | `depthwise`); a forced
+//! backend that cannot execute the layer's geometry falls back to im2col so
+//! forcing is always safe.
+//!
+//! **Training** keeps the im2col→GEMM path unconditionally: backward
+//! consumes the cached column matrices
+//! (`dW_g += dOut_g * col^T`, `dCol = W_g^T * dOut_g` folded by col2im).
 //!
 //! The im2col matrices are written into one flat scratch buffer owned by the
 //! layer (`col_cache`), resized once per input geometry and reused across
@@ -21,10 +41,91 @@
 
 use crate::{Layer, Param};
 use hs_tensor::{
-    gemm, gemm_acc, gemm_epilogue, he_normal, transpose_into, Epilogue, EpilogueAct, Tensor,
+    depthwise_conv2d, gemm, gemm_acc, gemm_epilogue, he_normal, transpose_into, valid_out_range,
+    winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
 };
 use rand::rngs::StdRng;
 use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// An inference execution backend for [`Conv2d`].
+///
+/// Every backend satisfies the same contract: given identical inputs and
+/// weights it produces the same output (to ≤1e-3 relative error for
+/// [`ConvAlgo::Winograd`], whose transforms re-associate the arithmetic) and
+/// supports the fused per-channel scale/shift + activation epilogue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConvAlgo {
+    /// im2col followed by a blocked GEMM per (sample, group) — the general
+    /// backend, valid for every geometry.
+    Im2colGemm,
+    /// Winograd F(2×2, 3×3): valid for dense (`groups == 1`) 3×3 stride-1
+    /// convolutions.
+    Winograd,
+    /// Direct spatial micro-kernel: valid for depthwise convolutions
+    /// (`groups == in_channels == out_channels`).
+    DirectDepthwise,
+}
+
+impl ConvAlgo {
+    /// Parses a backend name as used by the `HS_CONV_ALGO` environment
+    /// override. Accepts `im2col`/`gemm`, `winograd`, `depthwise`/`direct`.
+    pub fn parse(name: &str) -> Option<ConvAlgo> {
+        match name.to_ascii_lowercase().as_str() {
+            "im2col" | "gemm" => Some(ConvAlgo::Im2colGemm),
+            "winograd" => Some(ConvAlgo::Winograd),
+            "depthwise" | "direct" => Some(ConvAlgo::DirectDepthwise),
+            _ => None,
+        }
+    }
+
+    /// The heuristic backend choice for a convolution geometry, used when no
+    /// override is in force. Rationale and per-backend measurements are in
+    /// `docs/PERF.md` ("Conv backend selection").
+    ///
+    /// Depthwise convolutions always take the direct kernel (their
+    /// per-channel GEMMs are 1 × k² × ohw — im2col loses at every zoo
+    /// size). Dense convolutions stay on im2col→GEMM: on the AVX-512/AVX2
+    /// reference hardware the blocked GEMM runs close enough to peak that
+    /// Winograd's 2.25× multiply reduction never recovers its tile-transform
+    /// cost (measured 1.1–2.5× slower from 8×8 to 128×128 channels), so
+    /// [`ConvAlgo::Winograd`] is selected only explicitly — the expected win
+    /// on NEON-class kernels can flip this choice per ISA later without
+    /// touching any call site.
+    pub fn select(
+        _kernel: usize,
+        _stride: usize,
+        groups: usize,
+        in_channels: usize,
+        out_channels: usize,
+    ) -> ConvAlgo {
+        if groups == in_channels && groups == out_channels {
+            ConvAlgo::DirectDepthwise
+        } else {
+            ConvAlgo::Im2colGemm
+        }
+    }
+}
+
+/// The process-wide backend override from `HS_CONV_ALGO`, read once.
+///
+/// # Panics
+///
+/// Panics on an unrecognised value: the variable exists to force a backend
+/// in benches and parity sweeps, where a typo silently falling back to the
+/// heuristic would make the run measure or test the wrong thing.
+fn env_forced_algo() -> Option<ConvAlgo> {
+    static FORCED: OnceLock<Option<ConvAlgo>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("HS_CONV_ALGO").ok().map(|v| {
+            ConvAlgo::parse(&v).unwrap_or_else(|| {
+                panic!(
+                    "HS_CONV_ALGO={v:?} is not a conv backend (use im2col, winograd or depthwise)"
+                )
+            })
+        })
+    })
+}
 
 thread_local! {
     /// Reusable im2col scratch for the shared-state (`&self`) inference
@@ -43,20 +144,6 @@ pub(crate) fn with_eval_col_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R 
     let result = f(&mut buf);
     EVAL_COL_SCRATCH.with(|cell| *cell.borrow_mut() = buf);
     result
-}
-
-/// For one kernel tap offset `k` (row or column) returns the half-open range
-/// of output coordinates whose sampled input coordinate `o*stride + k - pad`
-/// lands inside `[0, extent)`.
-#[inline]
-fn valid_out_range(extent: usize, k: usize, stride: usize, pad: usize, out_len: usize) -> (usize, usize) {
-    let lo = pad.saturating_sub(k).div_ceil(stride);
-    let hi = if extent + pad > k {
-        ((extent + pad - k).div_ceil(stride)).min(out_len)
-    } else {
-        0
-    };
-    (lo.min(hi), hi)
 }
 
 /// Unfolds a single-sample channel block `[c, h, w]` into a column matrix
@@ -274,6 +361,9 @@ pub struct Conv2d {
     /// out of the struct for the duration of a call so the `&self` inference
     /// body can borrow the layer freely.
     eval_col: Vec<f32>,
+    /// Per-layer backend override (tests/benches); `None` defers to
+    /// `HS_CONV_ALGO` and then the [`ConvAlgo::select`] heuristic.
+    forced_algo: Option<ConvAlgo>,
 }
 
 impl Conv2d {
@@ -294,8 +384,15 @@ impl Conv2d {
     ) -> Self {
         assert!(groups >= 1, "groups must be at least 1");
         assert_eq!(in_channels % groups, 0, "in_channels must divide by groups");
-        assert_eq!(out_channels % groups, 0, "out_channels must divide by groups");
-        assert!(kernel >= 1 && stride >= 1, "kernel and stride must be positive");
+        assert_eq!(
+            out_channels % groups,
+            0,
+            "out_channels must divide by groups"
+        );
+        assert!(
+            kernel >= 1 && stride >= 1,
+            "kernel and stride must be positive"
+        );
         let cin_g = in_channels / groups;
         let fan_in = cin_g * kernel * kernel;
         let weight = Param::new(he_normal(
@@ -316,12 +413,19 @@ impl Conv2d {
             cached_input_dims: None,
             col_cache: Vec::new(),
             eval_col: Vec::new(),
+            forced_algo: None,
         }
     }
 
     /// Convenience constructor for a depthwise convolution
     /// (`groups == in_channels == out_channels`).
-    pub fn depthwise(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut StdRng) -> Self {
+    pub fn depthwise(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Conv2d::new(channels, channels, kernel, stride, padding, channels, rng)
     }
 
@@ -335,6 +439,49 @@ impl Conv2d {
     /// Number of output channels.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// Forces the inference backend for this layer (`None` restores the
+    /// `HS_CONV_ALGO`-then-heuristic default). A forced backend that cannot
+    /// execute this layer's geometry (e.g. Winograd on a strided
+    /// convolution) falls back to [`ConvAlgo::Im2colGemm`], so sweeping a
+    /// forced backend over arbitrary layers is always safe.
+    pub fn force_algo(&mut self, algo: Option<ConvAlgo>) {
+        self.forced_algo = algo;
+    }
+
+    /// Whether this layer is a depthwise convolution
+    /// (`groups == in_channels == out_channels`).
+    fn is_depthwise(&self) -> bool {
+        self.groups == self.in_channels && self.groups == self.out_channels
+    }
+
+    /// Whether the Winograd backend can execute this layer's geometry.
+    fn winograd_applicable(&self) -> bool {
+        self.kernel == 3 && self.stride == 1 && self.groups == 1
+    }
+
+    /// The backend the next inference forward will run on: the layer force,
+    /// else the `HS_CONV_ALGO` override, else the shape heuristic — clamped
+    /// to a backend that supports this geometry.
+    pub fn planned_algo(&self) -> ConvAlgo {
+        let requested = self
+            .forced_algo
+            .or_else(env_forced_algo)
+            .unwrap_or_else(|| {
+                ConvAlgo::select(
+                    self.kernel,
+                    self.stride,
+                    self.groups,
+                    self.in_channels,
+                    self.out_channels,
+                )
+            });
+        match requested {
+            ConvAlgo::Winograd if !self.winograd_applicable() => ConvAlgo::Im2colGemm,
+            ConvAlgo::DirectDepthwise if !self.is_depthwise() => ConvAlgo::Im2colGemm,
+            algo => algo,
+        }
     }
 
     /// Read-only view of the convolution bias (one entry per output
@@ -395,31 +542,98 @@ impl Conv2d {
         let out_channels = self.out_channels;
         out.resize_to(&[n, out_channels, oh, ow]);
         let out_data = out.as_mut_slice();
+        let epilogue = ep.map(|(scale, shift, act)| Epilogue { scale, shift, act });
 
-        // per-(sample, group) body: im2col into `col`, then one GEMM whose
-        // store loop carries the whole epilogue (or the bias as the GEMM's
-        // initial value on the unfused path)
+        match self.planned_algo() {
+            ConvAlgo::Winograd => {
+                // whole-batch tile transforms + 16 batched tile-GEMMs; the
+                // caller's scratch buffer holds the transform slabs
+                winograd_conv3x3(
+                    x,
+                    wgt,
+                    bias,
+                    epilogue,
+                    out_data,
+                    n,
+                    c,
+                    out_channels,
+                    h,
+                    w,
+                    padding,
+                    col_scratch,
+                );
+                return;
+            }
+            ConvAlgo::DirectDepthwise => {
+                // one spatial micro-kernel per (sample, channel): no column
+                // matrix, no scratch at all
+                let chw = c * h * w;
+                let out_chw = out_channels * ohw;
+                let sample = |ni: usize, out_sample: &mut [f32]| {
+                    depthwise_conv2d(
+                        &x[ni * chw..(ni + 1) * chw],
+                        wgt,
+                        bias,
+                        epilogue,
+                        out_sample,
+                        c,
+                        h,
+                        w,
+                        k,
+                        stride,
+                        padding,
+                    );
+                };
+                let bands = hs_parallel::num_threads().min(n.max(1));
+                if bands <= 1 || hs_parallel::inside_pool() {
+                    for (ni, out_sample) in out_data.chunks_mut(out_chw).enumerate() {
+                        sample(ni, out_sample);
+                    }
+                } else {
+                    let band_len = n.div_ceil(bands).max(1);
+                    hs_parallel::scope(|s| {
+                        for (band, out_band) in out_data.chunks_mut(band_len * out_chw).enumerate()
+                        {
+                            let sample = &sample;
+                            s.spawn(move || {
+                                let n0 = band * band_len;
+                                for (si, out_sample) in out_band.chunks_mut(out_chw).enumerate() {
+                                    sample(n0 + si, out_sample);
+                                }
+                            });
+                        }
+                    });
+                }
+                return;
+            }
+            ConvAlgo::Im2colGemm => {}
+        }
+
+        // im2col→GEMM backend. A 1×1 stride-1 unpadded convolution's im2col
+        // is the identity, so the GEMM reads the input block in place and no
+        // column scratch is touched at all.
+        let identity_col = k == 1 && stride == 1 && padding == 0;
+        let colsz_eff = if identity_col { 0 } else { colsz };
+
+        // per-(sample, group) body: im2col into `col` (unless the identity
+        // fast path applies), then one GEMM whose store loop carries the
+        // whole epilogue (or the bias as the GEMM's initial value on the
+        // unfused path)
         let sample_group = |ni: usize, g: usize, col: &mut [f32], out_sample: &mut [f32]| {
             let in_offset = ni * c * h * w + g * cin_g * h * w;
-            im2col(
-                &x[in_offset..in_offset + cin_g * h * w],
-                col,
-                cin_g,
-                h,
-                w,
-                k,
-                k,
-                stride,
-                padding,
-                oh,
-                ow,
-            );
+            let input_block = &x[in_offset..in_offset + cin_g * h * w];
+            let col_ref: &[f32] = if identity_col {
+                input_block
+            } else {
+                im2col(input_block, col, cin_g, h, w, k, k, stride, padding, oh, ow);
+                col
+            };
             let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
             let out_g = &mut out_sample[g * cout_g * ohw..(g + 1) * cout_g * ohw];
             match ep {
                 Some((scale, shift, act)) => gemm_epilogue(
                     w_g,
-                    col,
+                    col_ref,
                     out_g,
                     cout_g,
                     wrow,
@@ -434,7 +648,7 @@ impl Conv2d {
                     for oc in 0..cout_g {
                         out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
                     }
-                    gemm_acc(w_g, col, out_g, cout_g, wrow, ohw);
+                    gemm_acc(w_g, col_ref, out_g, cout_g, wrow, ohw);
                 }
             }
         };
@@ -444,10 +658,12 @@ impl Conv2d {
             // single stream (or already on a pool worker, where spawns would
             // run inline anyway): reuse the caller's scratch so steady-state
             // inference allocates nothing
-            col_scratch.resize(colsz, 0.0);
+            if col_scratch.len() < colsz_eff {
+                col_scratch.resize(colsz_eff, 0.0);
+            }
             for (ni, out_sample) in out_data.chunks_mut(out_channels * ohw).enumerate() {
                 for g in 0..groups {
-                    sample_group(ni, g, &mut col_scratch[..colsz], out_sample);
+                    sample_group(ni, g, &mut col_scratch[..colsz_eff], out_sample);
                 }
             }
         } else {
@@ -459,7 +675,7 @@ impl Conv2d {
                     s.spawn(move || {
                         let n0 = band * band_len;
                         let samples = out_band.len() / (out_channels * ohw);
-                        let mut local_col = vec![0.0f32; colsz];
+                        let mut local_col = vec![0.0f32; colsz_eff];
                         for si in 0..samples {
                             for g in 0..groups {
                                 let out_sample = &mut out_band
@@ -544,7 +760,11 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics on shape mismatches between `input`, `grad_out` and the layer.
-    pub fn backward_reference(&self, input: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor, Tensor) {
+    pub fn backward_reference(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (oh, ow) = self.out_size(h, w);
@@ -749,6 +969,10 @@ impl Layer for Conv2d {
         Some(self)
     }
 
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(self);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let in_dims = self
             .cached_input_dims
@@ -793,57 +1017,59 @@ impl Layer for Conv2d {
         let wt = &wt;
         // one sample band: bias/weight gradients into the band's partial
         // buffers, input gradients into its disjoint grad_in window
-        let band_body = |n0: usize, gin_band: &mut [f32], gw_part: &mut [f32], gb_part: &mut [f32]| {
-            let samples = gin_band.len() / (c * h * w);
-            let mut grad_col = vec![0.0f32; colsz];
-            let mut col_t = vec![0.0f32; colsz];
-            for si in 0..samples {
-                let ni = n0 + si;
-                for g in 0..groups {
-                    let col = &col_cache[(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz];
-                    let go_off = ni * out_channels * ohw + g * cout_g * ohw;
-                    let go_g = &go[go_off..go_off + cout_g * ohw];
-                    // bias gradient
-                    for oc in 0..cout_g {
-                        gb_part[g * cout_g + oc] +=
-                            go_g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+        let band_body =
+            |n0: usize, gin_band: &mut [f32], gw_part: &mut [f32], gb_part: &mut [f32]| {
+                let samples = gin_band.len() / (c * h * w);
+                let mut grad_col = vec![0.0f32; colsz];
+                let mut col_t = vec![0.0f32; colsz];
+                for si in 0..samples {
+                    let ni = n0 + si;
+                    for g in 0..groups {
+                        let col =
+                            &col_cache[(ni * groups + g) * colsz..(ni * groups + g + 1) * colsz];
+                        let go_off = ni * out_channels * ohw + g * cout_g * ohw;
+                        let go_g = &go[go_off..go_off + cout_g * ohw];
+                        // bias gradient
+                        for oc in 0..cout_g {
+                            gb_part[g * cout_g + oc] +=
+                                go_g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+                        }
+                        // weight gradient: dW_g += dOut_g * col^T
+                        transpose_into(col, &mut col_t, wrow, ohw);
+                        gemm_acc(
+                            go_g,
+                            &col_t,
+                            &mut gw_part[g * cout_g * wrow..(g + 1) * cout_g * wrow],
+                            cout_g,
+                            ohw,
+                            wrow,
+                        );
+                        // input gradient: dCol = W_g^T * dOut_g, then col2im
+                        gemm(
+                            &wt[g * wrow * cout_g..(g + 1) * wrow * cout_g],
+                            go_g,
+                            &mut grad_col,
+                            wrow,
+                            cout_g,
+                            ohw,
+                        );
+                        let in_offset = si * c * h * w + g * cin_g * h * w;
+                        col2im(
+                            &grad_col,
+                            &mut gin_band[in_offset..in_offset + cin_g * h * w],
+                            cin_g,
+                            h,
+                            w,
+                            k,
+                            k,
+                            stride,
+                            padding,
+                            oh,
+                            ow,
+                        );
                     }
-                    // weight gradient: dW_g += dOut_g * col^T
-                    transpose_into(col, &mut col_t, wrow, ohw);
-                    gemm_acc(
-                        go_g,
-                        &col_t,
-                        &mut gw_part[g * cout_g * wrow..(g + 1) * cout_g * wrow],
-                        cout_g,
-                        ohw,
-                        wrow,
-                    );
-                    // input gradient: dCol = W_g^T * dOut_g, then col2im
-                    gemm(
-                        &wt[g * wrow * cout_g..(g + 1) * wrow * cout_g],
-                        go_g,
-                        &mut grad_col,
-                        wrow,
-                        cout_g,
-                        ohw,
-                    );
-                    let in_offset = si * c * h * w + g * cin_g * h * w;
-                    col2im(
-                        &grad_col,
-                        &mut gin_band[in_offset..in_offset + cin_g * h * w],
-                        cin_g,
-                        h,
-                        w,
-                        k,
-                        k,
-                        stride,
-                        padding,
-                        oh,
-                        ow,
-                    );
                 }
-            }
-        };
+            };
 
         if n_bands <= 1 {
             // stay off the pool so the per-group GEMMs can use the kernel
@@ -946,7 +1172,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         // (cin, cout, kernel, stride, pad, groups, h, w)
         for (cin, cout, k, s, p, g, h, w) in [
-            (3usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize),
+            (
+                3usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize,
+            ),
             (4, 6, 3, 2, 1, 2, 8, 10),
             (6, 6, 3, 1, 1, 6, 7, 7), // depthwise
             (2, 4, 5, 2, 2, 1, 11, 13),
@@ -970,7 +1198,9 @@ mod tests {
     fn backward_matches_reference() {
         let mut rng = StdRng::seed_from_u64(12);
         for (cin, cout, k, s, p, g, h, w) in [
-            (3usize, 4usize, 3usize, 1usize, 1usize, 1usize, 8usize, 8usize),
+            (
+                3usize, 4usize, 3usize, 1usize, 1usize, 1usize, 8usize, 8usize,
+            ),
             (4, 4, 3, 2, 1, 2, 9, 9),
             (5, 5, 3, 1, 1, 5, 6, 6), // depthwise
         ] {
@@ -1073,15 +1303,24 @@ mod tests {
 
         let (ref_gin, ref_gw, ref_gb) = conv.backward_reference(&x_train, &grad_out);
         for (a, b) in grad_in.as_slice().iter().zip(ref_gin.as_slice()) {
-            assert!((a - b).abs() < 1e-3, "grad_in clobbered by eval pass: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-3,
+                "grad_in clobbered by eval pass: {a} vs {b}"
+            );
         }
         let gw = conv.params_mut()[0].grad.clone();
         for (a, b) in gw.as_slice().iter().zip(ref_gw.as_slice()) {
-            assert!((a - b).abs() < 1e-2, "grad_w clobbered by eval pass: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-2,
+                "grad_w clobbered by eval pass: {a} vs {b}"
+            );
         }
         let gb = conv.params_mut()[1].grad.clone();
         for (a, b) in gb.as_slice().iter().zip(ref_gb.as_slice()) {
-            assert!((a - b).abs() < 1e-2, "grad_b clobbered by eval pass: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-2,
+                "grad_b clobbered by eval pass: {a} vs {b}"
+            );
         }
     }
 

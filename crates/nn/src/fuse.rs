@@ -93,7 +93,11 @@ impl FusedConvBnAct {
     ///
     /// Panics if the typed views of the provided layers do not match those
     /// expectations.
-    pub fn new(conv: Box<dyn Layer>, bn: Option<Box<dyn Layer>>, act: Option<Box<dyn Layer>>) -> Self {
+    pub fn new(
+        conv: Box<dyn Layer>,
+        bn: Option<Box<dyn Layer>>,
+        act: Option<Box<dyn Layer>>,
+    ) -> Self {
         assert!(conv.as_conv2d().is_some(), "FusedConvBnAct needs a Conv2d");
         if let Some(bn) = &bn {
             assert!(
@@ -207,6 +211,10 @@ impl Layer for FusedConvBnAct {
         Some(out)
     }
 
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        self.conv.for_each_conv2d_mut(f);
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut p = self.conv.params_mut();
         if let Some(bn) = &mut self.bn {
@@ -251,7 +259,10 @@ impl FusedLinearAct {
     ///
     /// Panics if the typed views of the provided layers do not match.
     pub fn new(linear: Box<dyn Layer>, act: Box<dyn Layer>) -> Self {
-        assert!(linear.as_linear().is_some(), "FusedLinearAct needs a Linear");
+        assert!(
+            linear.as_linear().is_some(),
+            "FusedLinearAct needs a Linear"
+        );
         let act_kind = act
             .epilogue_act()
             .expect("FusedLinearAct activation must be a ReLU-family layer");

@@ -86,6 +86,12 @@ pub trait Layer: Send + Sync {
         None
     }
 
+    /// Visits every [`Conv2d`] reachable from this layer (containers and
+    /// fused layers recurse; leaves other than `Conv2d` do nothing). Used to
+    /// force a convolution backend network-wide in tests and the backend
+    /// benches — see [`crate::ConvAlgo`].
+    fn for_each_conv2d_mut(&mut self, _f: &mut dyn FnMut(&mut Conv2d)) {}
+
     /// Typed view for the fusion pass: `Some` iff this layer is a plain
     /// [`BatchNorm2d`].
     fn as_batch_norm(&self) -> Option<&BatchNorm2d> {

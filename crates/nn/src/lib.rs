@@ -53,11 +53,11 @@ mod pool;
 mod sequential;
 
 pub use activation::{HardSigmoid, HardSwish, LeakyRelu, Relu, Relu6, Sigmoid, Tanh};
+pub use blocks::{ChannelShuffle, Fire, InvertedResidual, Residual, ShuffleUnit, SqueezeExcite};
+pub use conv::{Conv2d, ConvAlgo};
+pub use dropout::Dropout;
 pub use fuse::{fuse_sequential, FusedConvBnAct, FusedLinearAct};
 pub use hs_tensor::EpilogueAct;
-pub use blocks::{ChannelShuffle, Fire, InvertedResidual, Residual, ShuffleUnit, SqueezeExcite};
-pub use conv::Conv2d;
-pub use dropout::Dropout;
 pub use layer::Layer;
 pub use linear::Linear;
 pub use loss::{BceWithLogitsLoss, CrossEntropyLoss, Loss, MseLoss, Target};

@@ -105,7 +105,10 @@ mod tests {
         assert_eq!(y.dims(), &[2, 12], "{kind:?} logits shape");
         let g = net.backward(&Tensor::ones(&[2, 12]));
         assert_eq!(g.dims(), &[2, 3, 32, 32], "{kind:?} input gradient shape");
-        assert!(net.num_weights() > 1000, "{kind:?} should have real capacity");
+        assert!(
+            net.num_weights() > 1000,
+            "{kind:?} should have real capacity"
+        );
     }
 
     #[test]

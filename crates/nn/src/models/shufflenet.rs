@@ -1,9 +1,7 @@
 //! Scaled-down ShuffleNetV2-style architecture.
 
 use super::VisionConfig;
-use crate::{
-    BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Network, Relu, Sequential, ShuffleUnit,
-};
+use crate::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Network, Relu, Sequential, ShuffleUnit};
 use rand::rngs::StdRng;
 
 /// Builds the ShuffleNetV2-style network evaluated in Table 5.

@@ -84,6 +84,16 @@ impl Network {
         self.layers.fuse_inference();
     }
 
+    /// Forces the convolution inference backend on every [`crate::Conv2d`]
+    /// in the network (recursing through blocks and fused layers); `None`
+    /// restores the per-layer default (env override, then heuristic). Used
+    /// by the backend parity tests and the conv-backend benches — see
+    /// [`crate::ConvAlgo`].
+    pub fn force_conv_algo(&mut self, algo: Option<crate::ConvAlgo>) {
+        self.layers
+            .for_each_conv2d_mut(&mut |conv| conv.force_algo(algo));
+    }
+
     /// Back-propagates the loss gradient through every layer, accumulating
     /// parameter gradients.
     pub fn backward(&mut self, grad: &Tensor) -> Tensor {

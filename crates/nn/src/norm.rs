@@ -125,7 +125,10 @@ impl Layer for BatchNorm2d {
             let mut var = 0.0f32;
             for ni in 0..n {
                 let off = ni * c * hw + ci * hw;
-                var += x[off..off + hw].iter().map(|&v| (v - mean).powi(2)).sum::<f32>();
+                var += x[off..off + hw]
+                    .iter()
+                    .map(|&v| (v - mean).powi(2))
+                    .sum::<f32>();
             }
             var /= count;
             // update running statistics

@@ -47,7 +47,10 @@ impl Sgd {
     pub fn step(&mut self, net: &mut Network) {
         let params = net.params_mut();
         if self.momentum > 0.0 && self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
         }
         for (i, p) in params.into_iter().enumerate() {
             let mut grad = p.grad.clone();
@@ -103,7 +106,10 @@ mod tests {
             }
             last = loss;
         }
-        assert!(last < first.unwrap() * 0.5, "loss should halve: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap() * 0.5,
+            "loss should halve: {first:?} -> {last}"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let argmax = self.cached_argmax.as_ref().expect("backward before forward");
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward before forward");
         let in_dims = self.cached_in_dims.clone().expect("missing cache");
         let mut grad_in = vec![0.0f32; in_dims.iter().product()];
         for (g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
@@ -142,15 +145,17 @@ impl AvgPool2d {
         }
     }
 
-    /// The stateless pooling computation shared by every forward variant.
-    fn infer(&self, input: &Tensor) -> Tensor {
+    /// The stateless pooling computation shared by every forward variant,
+    /// writing into `out` (resized in place).
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
         assert_eq!(input.rank(), 4, "AvgPool2d expects a [n, c, h, w] input");
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let s = self.size;
         let (oh, ow) = (h / s, w / s);
         let x = input.as_slice();
-        let mut out = vec![0.0f32; n * c * oh * ow];
+        out.resize_to(&[n, c, oh, ow]);
+        let o = out.as_mut_slice();
         let norm = 1.0 / (s * s) as f32;
         for nc in 0..n * c {
             for oi in 0..oh {
@@ -161,11 +166,17 @@ impl AvgPool2d {
                             acc += x[(nc * h + oi * s + di) * w + oj * s + dj];
                         }
                     }
-                    out[(nc * oh + oi) * ow + oj] = acc * norm;
+                    o[(nc * oh + oi) * ow + oj] = acc * norm;
                 }
             }
         }
-        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// The stateless pooling computation shared by every forward variant.
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.infer_into(input, &mut out);
+        out
     }
 }
 
@@ -177,12 +188,22 @@ impl Layer for AvgPool2d {
         self.infer(input)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_in_dims = Some(input.dims().to_vec());
+        }
+        self.infer_into(input, out);
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         Some(self.infer(input))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        let in_dims = self
+            .cached_in_dims
+            .clone()
+            .expect("backward before forward");
         let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
         let s = self.size;
         let (oh, ow) = (h / s, w / s);
@@ -233,21 +254,33 @@ impl Default for GlobalAvgPool {
 }
 
 impl GlobalAvgPool {
-    /// The stateless pooling computation shared by every forward variant.
-    fn infer(&self, input: &Tensor) -> Tensor {
-        assert_eq!(input.rank(), 4, "GlobalAvgPool expects a [n, c, h, w] input");
+    /// The stateless pooling computation shared by every forward variant,
+    /// writing into `out` (resized in place).
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            input.rank(),
+            4,
+            "GlobalAvgPool expects a [n, c, h, w] input"
+        );
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let hw = (h * w) as f32;
         let x = input.as_slice();
-        let mut out = vec![0.0f32; n * c];
+        out.resize_to(&[n, c]);
+        let o = out.as_mut_slice();
         for ni in 0..n {
             for ci in 0..c {
                 let off = (ni * c + ci) * h * w;
-                out[ni * c + ci] = x[off..off + h * w].iter().sum::<f32>() / hw;
+                o[ni * c + ci] = x[off..off + h * w].iter().sum::<f32>() / hw;
             }
         }
-        Tensor::from_vec(out, &[n, c])
+    }
+
+    /// The stateless pooling computation shared by every forward variant.
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.infer_into(input, &mut out);
+        out
     }
 }
 
@@ -259,12 +292,22 @@ impl Layer for GlobalAvgPool {
         self.infer(input)
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            self.cached_in_dims = Some(input.dims().to_vec());
+        }
+        self.infer_into(input, out);
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         Some(self.infer(input))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        let in_dims = self
+            .cached_in_dims
+            .clone()
+            .expect("backward before forward");
         let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
         let norm = 1.0 / (h * w) as f32;
         let go = grad_out.as_slice();
@@ -319,7 +362,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let in_dims = self.cached_in_dims.clone().expect("backward before forward");
+        let in_dims = self
+            .cached_in_dims
+            .clone()
+            .expect("backward before forward");
         grad_out.reshape(&in_dims)
     }
 

@@ -5,19 +5,29 @@ use hs_tensor::Tensor;
 
 /// Runs a list of layers in sequence; the workhorse container for every model
 /// in the zoo.
+///
+/// For planned inference ([`Layer::forward_into`]) the container owns a
+/// ping-pong arena pair, so nested sequentials (the bodies of the zoo's
+/// composite blocks) stop allocating per layer exactly like the top-level
+/// plan in [`crate::Network::infer`].
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Ping-pong arena buffers for the planned inference path.
+    arena: (Tensor, Tensor),
 }
 
 impl Sequential {
     /// Creates a sequential container from boxed layers.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Sequential { layers }
+        Sequential {
+            layers,
+            arena: (Tensor::zeros(&[0]), Tensor::zeros(&[0])),
+        }
     }
 
     /// Creates an empty container (useful with [`Sequential::push`]).
     pub fn empty() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::new(Vec::new())
     }
 
     /// Appends a layer.
@@ -66,6 +76,36 @@ impl Layer for Sequential {
         g
     }
 
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if train {
+            *out = self.forward(input, true);
+            return;
+        }
+        // planned inference: every layer but the last writes into the
+        // container's ping-pong arena; the last writes straight into `out`,
+        // so after warm-up the whole chain performs no allocations
+        match self.layers.split_last_mut() {
+            None => {
+                out.resize_to(input.dims());
+                out.as_mut_slice().copy_from_slice(input.as_slice());
+            }
+            Some((last, rest)) => {
+                let (front, back) = &mut self.arena;
+                match rest.split_first_mut() {
+                    None => last.forward_into(input, out, false),
+                    Some((first, mid)) => {
+                        first.forward_into(input, front, false);
+                        for layer in mid {
+                            layer.forward_into(front, back, false);
+                            std::mem::swap(front, back);
+                        }
+                        last.forward_into(front, out, false);
+                    }
+                }
+            }
+        }
+    }
+
     fn forward_eval(&self, input: &Tensor) -> Option<Tensor> {
         let mut x: Option<Tensor> = None;
         for layer in &self.layers {
@@ -78,6 +118,12 @@ impl Layer for Sequential {
     fn fuse_inference(&mut self) {
         let layers = std::mem::take(&mut self.layers);
         self.layers = crate::fuse::fuse_layers(layers);
+    }
+
+    fn for_each_conv2d_mut(&mut self, f: &mut dyn FnMut(&mut crate::Conv2d)) {
+        for layer in &mut self.layers {
+            layer.for_each_conv2d_mut(f);
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

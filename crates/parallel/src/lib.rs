@@ -146,12 +146,19 @@ impl Pool {
 
 fn global_pool() -> &'static Arc<Pool> {
     static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
-    POOL.get_or_init(|| Pool::with_workers(num_threads().saturating_sub(1)))
+    // the pool is sized once from the env/machine base value; a later
+    // `set_num_threads` override changes how wide callers fan out, never the
+    // worker count
+    POOL.get_or_init(|| Pool::with_workers(base_threads().saturating_sub(1)))
 }
 
-/// The parallelism the pool targets: `HS_PARALLEL_THREADS` if set, otherwise
-/// the machine's available parallelism. At least 1.
-pub fn num_threads() -> usize {
+/// Runtime override installed by [`set_num_threads`] (0 = none).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The env/machine-derived parallelism target: `HS_PARALLEL_THREADS` if set,
+/// otherwise the machine's available parallelism. At least 1. Cached after
+/// the first read.
+fn base_threads() -> usize {
     static N: AtomicUsize = AtomicUsize::new(0);
     let cached = N.load(Ordering::Relaxed);
     if cached != 0 {
@@ -168,6 +175,28 @@ pub fn num_threads() -> usize {
         });
     N.store(n, Ordering::Relaxed);
     n
+}
+
+/// The parallelism the pool targets: the [`set_num_threads`] override when
+/// one is installed, else `HS_PARALLEL_THREADS`, else the machine's
+/// available parallelism. At least 1.
+pub fn num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => base_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the parallelism target reported by [`num_threads`] for the
+/// rest of the process (or until called again); `None` restores the
+/// env/machine default. The worker pool keeps its original size, so this
+/// only changes how wide fan-out sites shard their work — never the
+/// runnable-thread count. Lowering the target is the knob the eval-scaling
+/// bench sweeps to record a 1/2/4-thread curve in a single process; raising
+/// it above the pool size just queues more, smaller tasks for the same
+/// workers.
+pub fn set_num_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
 }
 
 /// True when called from inside a pool task (work should stay serial).
@@ -430,6 +459,17 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_override_is_reported_and_restorable() {
+        let base = num_threads();
+        set_num_threads(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_num_threads(Some(0)); // clamped to at least 1
+        assert_eq!(num_threads(), 1);
+        set_num_threads(None);
+        assert_eq!(num_threads(), base);
     }
 
     #[test]

@@ -112,9 +112,10 @@ impl<'a> Epilogue<'a> {
         }
     }
 
-    /// Applies the epilogue to one scalar at output row `row`.
+    /// Applies the epilogue to one scalar at output row `row` (shared with
+    /// the Winograd and depthwise backends, whose store loops are scalar).
     #[inline]
-    fn apply_scalar(&self, row: usize, v: f32) -> f32 {
+    pub(crate) fn apply_scalar(&self, row: usize, v: f32) -> f32 {
         self.act.apply(v * self.scale[row] + self.shift[row])
     }
 }
@@ -540,7 +541,15 @@ fn pack_b(b: &[f32], bpack: &mut Vec<f32>, pc: usize, kc: usize, n: usize) {
 
 /// Packs `A[row0..row0+rows, pc..pc+kc]` into `MR`-tall zero-padded tiles,
 /// column-major inside each tile: `apack[tile][p][i]`.
-fn pack_a(a: &[f32], apack: &mut Vec<f32>, row0: usize, rows: usize, pc: usize, kc: usize, k: usize) {
+fn pack_a(
+    a: &[f32],
+    apack: &mut Vec<f32>,
+    row0: usize,
+    rows: usize,
+    pc: usize,
+    kc: usize,
+    k: usize,
+) {
     let m_tiles = rows.div_ceil(MR);
     apack.clear();
     apack.resize(m_tiles * kc * MR, 0.0);
@@ -628,9 +637,24 @@ fn block_multiply(
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
-    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
-    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    assert!(
+        a.len() >= m * k,
+        "A is {} elements, need m*k = {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= k * n,
+        "B is {} elements, need k*n = {}",
+        b.len(),
+        k * n
+    );
+    assert!(
+        out.len() >= m * n,
+        "out is {} elements, need m*n = {}",
+        out.len(),
+        m * n
+    );
     out[..m * n].fill(0.0);
     gemm_acc(a, b, out, m, k, n);
 }
@@ -641,9 +665,24 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
-    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
-    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    assert!(
+        a.len() >= m * k,
+        "A is {} elements, need m*k = {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= k * n,
+        "B is {} elements, need k*n = {}",
+        b.len(),
+        k * n
+    );
+    assert!(
+        out.len() >= m * n,
+        "out is {} elements, need m*n = {}",
+        out.len(),
+        m * n
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -678,9 +717,24 @@ pub fn gemm_epilogue(
     n: usize,
     ep: &Epilogue<'_>,
 ) {
-    assert!(a.len() >= m * k, "A is {} elements, need m*k = {}", a.len(), m * k);
-    assert!(b.len() >= k * n, "B is {} elements, need k*n = {}", b.len(), k * n);
-    assert!(out.len() >= m * n, "out is {} elements, need m*n = {}", out.len(), m * n);
+    assert!(
+        a.len() >= m * k,
+        "A is {} elements, need m*k = {}",
+        a.len(),
+        m * k
+    );
+    assert!(
+        b.len() >= k * n,
+        "B is {} elements, need k*n = {}",
+        b.len(),
+        k * n
+    );
+    assert!(
+        out.len() >= m * n,
+        "out is {} elements, need m*n = {}",
+        out.len(),
+        m * n
+    );
     assert!(ep.scale.len() >= m, "epilogue scale needs {m} entries");
     assert!(ep.shift.len() >= m, "epilogue shift needs {m} entries");
     if m == 0 || n == 0 {
@@ -908,7 +962,12 @@ fn gemm_small_m(
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(b.len() >= n * k, "B is {} elements, need n*k = {}", b.len(), n * k);
+    assert!(
+        b.len() >= n * k,
+        "B is {} elements, need n*k = {}",
+        b.len(),
+        n * k
+    );
     // Take the scratch out of its cell rather than holding a RefCell borrow
     // across the inner gemm: a parallel gemm's scope may execute unrelated
     // queued tasks on this thread while it waits, and one of those could
@@ -931,7 +990,12 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(a.len() >= k * m, "A is {} elements, need k*m = {}", a.len(), k * m);
+    assert!(
+        a.len() >= k * m,
+        "A is {} elements, need k*m = {}",
+        a.len(),
+        k * m
+    );
     // see gemm_nt for why the scratch is taken, not borrowed
     let mut buf = TRANSPOSE_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
     if buf.len() < k * m {
@@ -1077,7 +1141,10 @@ mod tests {
         let b = vec![1.0f32, 2.0, 3.0, 4.0];
         let mut out = vec![0.0f32; 4];
         gemm(&a, &b, &mut out, 2, 2, 2);
-        assert!(out[0].is_nan() && out[1].is_nan(), "0*NaN must stay NaN: {out:?}");
+        assert!(
+            out[0].is_nan() && out[1].is_nan(),
+            "0*NaN must stay NaN: {out:?}"
+        );
         assert_eq!(&out[2..], &[7.0, 10.0]);
 
         let a = vec![1.0f32, f32::INFINITY];
@@ -1175,7 +1242,10 @@ mod tests {
             gemm_impl(&a, &b, &mut serial, m, k, n, false, Some(ep));
             let mut parallel = vec![0.0; m * n];
             gemm_impl(&a, &b, &mut parallel, m, k, n, true, Some(ep));
-            assert_eq!(serial, parallel, "{m}x{k}x{n} epilogue parallel/serial divergence");
+            assert_eq!(
+                serial, parallel,
+                "{m}x{k}x{n} epilogue parallel/serial divergence"
+            );
         }
     }
 

@@ -13,10 +13,15 @@
 //!
 //! The hot paths run on the [`gemm`] kernel layer: a cache-blocked,
 //! register-tiled GEMM with runtime-dispatched AVX-512/AVX2 micro-kernels
-//! and row-block parallelism on the shared `hs_parallel` pool. The seed's
-//! scalar kernels are preserved in [`naive`] as the correctness reference.
-//! `unsafe` is confined to the SIMD micro-kernels in `gemm.rs` (see that
-//! module's safety notes); everything else in the crate denies it.
+//! and row-block parallelism on the shared `hs_parallel` pool. Two
+//! specialised convolution kernels sit beside it — [`winograd`] (F(2×2,
+//! 3×3) tile transforms over batched tile-GEMMs) and
+//! [`depthwise_conv2d`] (direct per-channel spatial convolution) — both
+//! sharing the GEMM epilogue's fused scale/shift+activation semantics.
+//! The seed's scalar kernels are preserved in [`naive`] as the correctness
+//! reference. `unsafe` is confined to the SIMD micro-kernels in `gemm.rs`
+//! (see that module's safety notes); everything else in the crate denies
+//! it.
 //!
 //! ```
 //! use hs_tensor::Tensor;
@@ -30,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)] // allowed only inside gemm.rs's SIMD micro-kernels
 
+mod depthwise;
 mod error;
 pub mod gemm;
 mod init;
@@ -37,13 +43,18 @@ pub mod naive;
 mod ops;
 mod shape;
 mod tensor;
+pub mod winograd;
 
+pub use depthwise::{depthwise_conv2d, valid_out_range};
 pub use error::TensorError;
-pub use gemm::{gemm, gemm_acc, gemm_epilogue, gemm_nt, gemm_tn, transpose_into, Epilogue, EpilogueAct};
+pub use gemm::{
+    gemm, gemm_acc, gemm_epilogue, gemm_nt, gemm_tn, transpose_into, Epilogue, EpilogueAct,
+};
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use naive::matmul_naive;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use winograd::winograd_conv3x3;
 
 /// Convenience alias for results produced by fallible tensor operations.
 pub type Result<T> = std::result::Result<T, TensorError>;

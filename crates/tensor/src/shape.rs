@@ -24,6 +24,14 @@ impl Shape {
         &self.0
     }
 
+    /// Overwrites this shape with `dims`, reusing the existing storage — the
+    /// allocation-free companion of [`Shape::new`] used by the inference
+    /// arena's [`crate::Tensor::resize_to`].
+    pub(crate) fn copy_from(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
     /// Number of dimensions (the tensor rank).
     pub fn rank(&self) -> usize {
         self.0.len()

@@ -200,9 +200,13 @@ impl Tensor {
     /// primitive behind the inference forward plan: after warm-up a
     /// `resize_to` to a previously seen size allocates nothing.
     pub fn resize_to(&mut self, dims: &[usize]) {
-        let shape = Shape::new(dims);
-        self.data.resize(shape.num_elements(), 0.0);
-        self.shape = shape;
+        if self.shape.dims() != dims {
+            // reuse the shape's own storage: a warm arena resize must not
+            // allocate, and the common case (same dims as last forward)
+            // skips even the copy
+            self.shape.copy_from(dims);
+        }
+        self.data.resize(self.shape.num_elements(), 0.0);
     }
 
     /// Returns a tensor with the same data reinterpreted under a new shape.
@@ -269,7 +273,11 @@ impl Tensor {
         let first = items[0].dims().to_vec();
         let mut data = Vec::with_capacity(items.len() * items[0].len());
         for t in items {
-            assert_eq!(t.dims(), &first[..], "all stacked tensors must share a shape");
+            assert_eq!(
+                t.dims(),
+                &first[..],
+                "all stacked tensors must share a shape"
+            );
             data.extend_from_slice(t.as_slice());
         }
         let mut dims = vec![items.len()];
@@ -286,7 +294,10 @@ impl Tensor {
     pub fn concat(items: &[&Tensor], axis: usize) -> Tensor {
         assert!(!items.is_empty(), "concat requires at least one tensor");
         let rank = items[0].rank();
-        assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+        assert!(
+            axis < rank,
+            "concat axis {axis} out of range for rank {rank}"
+        );
         for t in items {
             assert_eq!(t.rank(), rank, "all concatenated tensors must share rank");
             for ax in 0..rank {
@@ -383,7 +394,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(self.dims(), other.dims(), "add_assign requires identical shapes");
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "add_assign requires identical shapes"
+        );
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
@@ -395,7 +410,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
-        assert_eq!(self.dims(), other.dims(), "add_scaled requires identical shapes");
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "add_scaled requires identical shapes"
+        );
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }

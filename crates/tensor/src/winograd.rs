@@ -1,0 +1,651 @@
+//! Winograd F(2×2, 3×3) convolution: the fast algorithm for the dense
+//! 3×3 stride-1 convolutions that dominate the CNN model zoo.
+//!
+//! The classic transform trades multiplications for additions: each 2×2
+//! output tile is computed from a 4×4 input tile with 16 multiplies instead
+//! of 36 (a 2.25× multiply reduction), and — more importantly on this
+//! machine — turns the per-tile work into one batched GEMM per Winograd
+//! coordinate that runs on the PR 1 blocked-GEMM engine:
+//!
+//! 1. **weight transform** `U = G g Gᵀ` per (out-channel, in-channel) 3×3
+//!    kernel, giving 16 matrices `U[ξ]: [cout × cin]`,
+//! 2. **input transform** `V = Bᵀ d B` per 4×4 input tile, giving 16
+//!    matrices `V[ξ]: [cin × tiles]`,
+//! 3. **batched tile-GEMM** `M[ξ] = U[ξ] · V[ξ]` — 16 GEMMs of shape
+//!    `cout × cin × tiles` covering the whole batch,
+//! 4. **inverse transform** `y = Aᵀ m A` per output tile, with the fused
+//!    per-channel scale/shift + activation epilogue applied in the same
+//!    store pass (the conv→BN→activation fusion from PR 2 carries over).
+//!
+//! All scratch comes from one caller-owned `Vec<f32>` so steady-state
+//! forwards allocate nothing; edge tiles are handled by zero-padding the
+//! gathered 4×4 input windows and clipping the written 2×2 output windows.
+//!
+//! Numerics: the transforms introduce a small amount of cancellation, so the
+//! result matches direct convolution to ~1e-3 relative error in f32 — the
+//! tolerance the workspace's parity tests pin.
+
+use crate::gemm::{gemm, Epilogue};
+
+/// Tiles transformed together as SIMD lanes: the tile transforms are pure
+/// lane-wise adds/subs in this SoA layout, so the compiler vectorises the
+/// `WG_LANES`-wide inner loops (8 f32 = one AVX2 register, half an AVX-512
+/// register). A scalar per-tile transform measured ~6× slower end-to-end.
+const WG_LANES: usize = 8;
+
+/// Computes `Bᵀ d B` (the F(2×2, 3×3) input transform) for one tile whose
+/// four input rows are already loaded as 4-wide vectors, writing the 16
+/// results into lane `l` of the SoA block. The row pass (`Bᵀ d`) runs as
+/// 4-wide vector adds on the loaded rows; only the column pass (`· B`)
+/// needs horizontal (per-element) arithmetic.
+///
+/// `Bᵀ = [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]]`.
+#[inline]
+fn input_transform_rows(rows: &[[f32; 4]; 4], out: &mut [[f32; WG_LANES]; 16], l: usize) {
+    let [r0, r1, r2, r3] = rows;
+    let mut t = [[0.0f32; 4]; 4];
+    for c in 0..4 {
+        t[0][c] = r0[c] - r2[c];
+        t[1][c] = r1[c] + r2[c];
+        t[2][c] = r2[c] - r1[c];
+        t[3][c] = r1[c] - r3[c];
+    }
+    for (i, ti) in t.iter().enumerate() {
+        out[4 * i][l] = ti[0] - ti[2];
+        out[4 * i + 1][l] = ti[1] + ti[2];
+        out[4 * i + 2][l] = ti[2] - ti[1];
+        out[4 * i + 3][l] = ti[1] - ti[3];
+    }
+}
+
+/// Applies `G g Gᵀ` to a 3×3 kernel (the F(2×2, 3×3) weight transform),
+/// writing the 4×4 result.
+///
+/// `G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]]`.
+#[inline]
+fn weight_transform(g: &[f32], u: &mut [f32; 16]) {
+    debug_assert!(g.len() >= 9);
+    // t = G g : 4×3
+    let mut t = [0.0f32; 12];
+    for j in 0..3 {
+        let (g0, g1, g2) = (g[j], g[3 + j], g[6 + j]);
+        t[j] = g0;
+        t[3 + j] = 0.5 * (g0 + g1 + g2);
+        t[6 + j] = 0.5 * (g0 - g1 + g2);
+        t[9 + j] = g2;
+    }
+    // u = t Gᵀ : 4×4
+    for i in 0..4 {
+        let (t0, t1, t2) = (t[3 * i], t[3 * i + 1], t[3 * i + 2]);
+        u[4 * i] = t0;
+        u[4 * i + 1] = 0.5 * (t0 + t1 + t2);
+        u[4 * i + 2] = 0.5 * (t0 - t1 + t2);
+        u[4 * i + 3] = t2;
+    }
+}
+
+/// Applies `Aᵀ m A` (the F(2×2, 3×3) output transform) to `WG_LANES` tiles
+/// at once, writing the four output-tile values into `y[pos][lane]`
+/// (`pos` = row-major 2×2 position).
+///
+/// `Aᵀ = [[1, 1, 1, 0], [0, 1, -1, -1]]`.
+#[inline]
+fn output_transform_soa(m: &[[f32; WG_LANES]; 16], y: &mut [[f32; WG_LANES]; 4]) {
+    // t = Aᵀ m : 2×4
+    let mut t = [[0.0f32; WG_LANES]; 8];
+    for j in 0..4 {
+        for l in 0..WG_LANES {
+            let (m0, m1, m2, m3) = (m[j][l], m[4 + j][l], m[8 + j][l], m[12 + j][l]);
+            t[j][l] = m0 + m1 + m2;
+            t[4 + j][l] = m1 - m2 - m3;
+        }
+    }
+    // y = t A : 2×2
+    for l in 0..WG_LANES {
+        y[0][l] = t[0][l] + t[1][l] + t[2][l];
+        y[1][l] = t[1][l] - t[2][l] - t[3][l];
+        y[2][l] = t[4][l] + t[5][l] + t[6][l];
+        y[3][l] = t[5][l] - t[6][l] - t[7][l];
+    }
+}
+
+/// Tiles per processing chunk. The transform slabs for one chunk
+/// (`16 * cin * TILE_CHUNK` inputs + `16 * cout * TILE_CHUNK` products)
+/// must stay cache-resident: the Winograd scatter/gather strides by a whole
+/// `[channels × chunk]` plane per coordinate, so an L2-sized chunk is the
+/// difference between streaming and thrashing (a whole-batch slab measured
+/// ~3× slower than im2col at 32 channels; chunked it wins).
+const TILE_CHUNK: usize = 96;
+
+/// Scratch sizes for [`winograd_conv3x3`]: `(total, u_len, v_len)` where the
+/// caller-provided buffer is carved into `U | V-chunk | M-chunk` slabs.
+fn scratch_layout(cin: usize, cout: usize) -> (usize, usize, usize) {
+    let u = 16 * cout * cin;
+    let v = 16 * cin * TILE_CHUNK;
+    let m = 16 * cout * TILE_CHUNK;
+    (u + v + m, u, v)
+}
+
+/// Dense (groups == 1) 3×3 stride-1 convolution over a `[n, cin, h, w]`
+/// input via Winograd F(2×2, 3×3), writing a `[n, cout, oh, ow]` output with
+/// `oh = h + 2*pad - 2`, `ow = w + 2*pad - 2`.
+///
+/// * `weights` is the usual `[cout, cin, 3, 3]` layout.
+/// * With `ep == Some(e)` every output element becomes
+///   `e.act(e.scale[oc] * conv + e.shift[oc])`, applied in the inverse
+///   transform's store pass; `bias` is ignored in this mode (callers fold it
+///   into `shift`, mirroring [`crate::gemm_epilogue`]).
+/// * With `ep == None` the plain convolution plus `bias[oc]` is stored.
+/// * `scratch` is a caller-owned buffer resized (never shrunk) to hold the
+///   transform slabs, so steady-state calls allocate nothing.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its shape contract, or the output has
+/// non-positive spatial extent.
+#[allow(clippy::too_many_arguments)]
+pub fn winograd_conv3x3(
+    input: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    ep: Option<Epilogue<'_>>,
+    out: &mut [f32],
+    n: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    scratch: &mut Vec<f32>,
+) {
+    assert!(
+        h + 2 * pad >= 3 && w + 2 * pad >= 3,
+        "input too small for a 3x3 kernel"
+    );
+    let oh = h + 2 * pad - 2;
+    let ow = w + 2 * pad - 2;
+    assert!(input.len() >= n * cin * h * w, "winograd input too short");
+    assert!(
+        weights.len() >= cout * cin * 9,
+        "winograd weights too short"
+    );
+    assert!(out.len() >= n * cout * oh * ow, "winograd output too short");
+    if let Some(e) = ep {
+        assert!(
+            e.scale.len() >= cout && e.shift.len() >= cout,
+            "winograd epilogue needs one scale/shift entry per output channel"
+        );
+    } else {
+        assert!(bias.len() >= cout, "winograd bias too short");
+    }
+    assert!(
+        h < (1 << 30) && w < (1 << 30),
+        "winograd input extents exceed the supported range"
+    );
+    if n == 0 || cout == 0 {
+        return;
+    }
+
+    let (total, u_len, v_len) = scratch_layout(cin, cout);
+    if scratch.len() < total {
+        scratch.resize(total, 0.0);
+    }
+    let (u_slab, rest) = scratch.split_at_mut(u_len);
+    let (v_slab, m_slab) = rest.split_at_mut(v_len);
+
+    // 1. weight transform: U[xi][oc * cin + ic], once for the whole batch
+    let mut u_tile = [0.0f32; 16];
+    for oc in 0..cout {
+        for ic in 0..cin {
+            weight_transform(&weights[(oc * cin + ic) * 9..], &mut u_tile);
+            for (xi, &uv) in u_tile.iter().enumerate() {
+                u_slab[(xi * cout + oc) * cin + ic] = uv;
+            }
+        }
+    }
+
+    // 2.–4. run the tile pipeline, fanning sample bands across the shared
+    // pool like the other conv backends (each band stages its own V/M
+    // slabs; U is shared read-only). Bands write disjoint contiguous output
+    // ranges, so no synchronisation is needed.
+    let bands = hs_parallel::num_threads().min(n);
+    if bands <= 1 || hs_parallel::inside_pool() {
+        winograd_samples(
+            input, u_slab, bias, ep, out, n, cin, cout, h, w, pad, v_slab, m_slab,
+        );
+    } else {
+        let band_len = n.div_ceil(bands);
+        let in_chw = cin * h * w;
+        let out_chw = cout * oh * ow;
+        let u_slab = &*u_slab;
+        hs_parallel::scope(|s| {
+            for (band, out_band) in out[..n * out_chw]
+                .chunks_mut(band_len * out_chw)
+                .enumerate()
+            {
+                s.spawn(move || {
+                    let n0 = band * band_len;
+                    let samples = out_band.len() / out_chw;
+                    let mut vm = vec![0.0f32; total - u_len];
+                    let (v, m) = vm.split_at_mut(v_len);
+                    winograd_samples(
+                        &input[n0 * in_chw..(n0 + samples) * in_chw],
+                        u_slab,
+                        bias,
+                        ep,
+                        out_band,
+                        samples,
+                        cin,
+                        cout,
+                        h,
+                        w,
+                        pad,
+                        v,
+                        m,
+                    );
+                });
+            }
+        });
+    }
+}
+
+/// The Winograd tile pipeline (input transform → tile-GEMMs → inverse
+/// transform) over a contiguous range of samples, with pre-transformed
+/// weights in `u_slab` and caller-staged `v_slab`/`m_slab` chunk buffers.
+///
+/// Processing walks chunks of `TILE_CHUNK` consecutive tiles (tile index
+/// `p = ni * tiles + ti * tw + tj`, so a chunk may span samples):
+/// transform inputs into the chunk's V slab, run the 16 tile-GEMMs, and
+/// inverse-transform straight out — everything after the input gather
+/// stays inside the two cache-resident slabs.
+///
+/// Tile geometry for each chunk is resolved once into a stack table and
+/// reused by every channel: the coordinate div/mods would otherwise run
+/// `channels × tiles` times and dominate the transform cost.
+#[allow(clippy::too_many_arguments)]
+fn winograd_samples(
+    input: &[f32],
+    u_slab: &[f32],
+    bias: &[f32],
+    ep: Option<Epilogue<'_>>,
+    out: &mut [f32],
+    n: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    v_slab: &mut [f32],
+    m_slab: &mut [f32],
+) {
+    let oh = h + 2 * pad - 2;
+    let ow = w + 2 * pad - 2;
+    let th = oh.div_ceil(2);
+    let tw = ow.div_ceil(2);
+    let tiles = th * tw;
+    let p_total = n * tiles;
+
+    #[derive(Clone, Copy, Default)]
+    struct TileGeom {
+        /// Sample index.
+        ni: u32,
+        /// Top-left input coordinates of the 4×4 window (may be negative
+        /// into the padding fringe).
+        i0: i32,
+        j0: i32,
+        /// Whether the window lies fully inside the image.
+        interior: bool,
+    }
+    let mut geom = [TileGeom::default(); TILE_CHUNK];
+    let mut dg = [[0.0f32; WG_LANES]; 16];
+    let mut mg = [[0.0f32; WG_LANES]; 16];
+    let mut yg = [[0.0f32; WG_LANES]; 4];
+    // rolling (ni, ti, tj) counters across chunks — no divisions anywhere
+    let (mut ni, mut ti, mut tj) = (0usize, 0usize, 0usize);
+    let mut p0 = 0;
+    while p0 < p_total {
+        let chunk = TILE_CHUNK.min(p_total - p0);
+        for g in geom.iter_mut().take(chunk) {
+            let i0 = (2 * ti) as isize - pad as isize;
+            let j0 = (2 * tj) as isize - pad as isize;
+            *g = TileGeom {
+                ni: ni as u32,
+                i0: i0 as i32,
+                j0: j0 as i32,
+                interior: i0 >= 0 && j0 >= 0 && i0 + 4 <= h as isize && j0 + 4 <= w as isize,
+            };
+            tj += 1;
+            if tj == tw {
+                tj = 0;
+                ti += 1;
+                if ti == th {
+                    ti = 0;
+                    ni += 1;
+                }
+            }
+        }
+
+        // input transform, WG_LANES tiles per step: per tile, load the four
+        // 4-wide window rows and run the fused row+column transform straight
+        // into the SoA block, then one contiguous WG_LANES-wide store per
+        // Winograd coordinate
+        for ic in 0..cin {
+            let mut dp = 0;
+            while dp < chunk {
+                let l_len = WG_LANES.min(chunk - dp);
+                for (l, g) in geom[dp..dp + l_len].iter().enumerate() {
+                    let chan_base = (g.ni as usize * cin + ic) * h * w;
+                    let mut rows = [[0.0f32; 4]; 4];
+                    if g.interior {
+                        let base = chan_base + g.i0 as usize * w + g.j0 as usize;
+                        for (r, row) in rows.iter_mut().enumerate() {
+                            row.copy_from_slice(&input[base + r * w..base + r * w + 4]);
+                        }
+                    } else {
+                        for (r, row) in rows.iter_mut().enumerate() {
+                            let ii = g.i0 as isize + r as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue; // row stays zero
+                            }
+                            for (c, v) in row.iter_mut().enumerate() {
+                                let jj = g.j0 as isize + c as isize;
+                                if jj >= 0 && jj < w as isize {
+                                    *v = input[chan_base + ii as usize * w + jj as usize];
+                                }
+                            }
+                        }
+                    }
+                    input_transform_rows(&rows, &mut dg, l);
+                }
+                // unused lanes keep stale values; they are never stored
+                for (xi, lanes) in dg.iter().enumerate() {
+                    let off = (xi * cin + ic) * chunk + dp;
+                    v_slab[off..off + l_len].copy_from_slice(&lanes[..l_len]);
+                }
+                dp += l_len;
+            }
+        }
+
+        // batched tile-GEMM per Winograd coordinate: M[xi] = U[xi] · V[xi]
+        for xi in 0..16 {
+            let u = &u_slab[xi * cout * cin..(xi + 1) * cout * cin];
+            let v = &v_slab[xi * cin * chunk..(xi + 1) * cin * chunk];
+            let m = &mut m_slab[xi * cout * chunk..(xi + 1) * cout * chunk];
+            gemm(u, v, m, cout, cin, chunk);
+        }
+
+        // inverse transform + epilogue/bias, WG_LANES tiles per step: one
+        // contiguous load per coordinate, vector transform, scalar
+        // edge-clipped scatter into the output
+        for oc in 0..cout {
+            let b = bias.get(oc).copied().unwrap_or(0.0);
+            let mut dp = 0;
+            while dp < chunk {
+                let l_len = WG_LANES.min(chunk - dp);
+                for (xi, lanes) in mg.iter_mut().enumerate() {
+                    let off = (xi * cout + oc) * chunk + dp;
+                    lanes[..l_len].copy_from_slice(&m_slab[off..off + l_len]);
+                }
+                output_transform_soa(&mg, &mut yg);
+                for (l, g) in geom[dp..dp + l_len].iter().enumerate() {
+                    let oi = (g.i0 as isize + pad as isize) as usize;
+                    let oj = (g.j0 as isize + pad as isize) as usize;
+                    let out_base = (g.ni as usize * cout + oc) * oh * ow;
+                    let rows = 2.min(oh - oi);
+                    let cols = 2.min(ow - oj);
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            let v = yg[2 * r + c][l];
+                            out[out_base + (oi + r) * ow + oj + c] = match ep {
+                                Some(e) => e.apply_scalar(oc, v),
+                                None => v + b,
+                            };
+                        }
+                    }
+                }
+                dp += l_len;
+            }
+        }
+
+        p0 += chunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::EpilogueAct;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Direct scalar 3×3 stride-1 convolution reference.
+    #[allow(clippy::too_many_arguments)]
+    fn conv3x3_reference(
+        input: &[f32],
+        weights: &[f32],
+        bias: &[f32],
+        n: usize,
+        cin: usize,
+        cout: usize,
+        h: usize,
+        w: usize,
+        pad: usize,
+    ) -> Vec<f32> {
+        let oh = h + 2 * pad - 2;
+        let ow = w + 2 * pad - 2;
+        let mut out = vec![0.0f32; n * cout * oh * ow];
+        for ni in 0..n {
+            for oc in 0..cout {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = bias[oc];
+                        for ic in 0..cin {
+                            for ki in 0..3 {
+                                for kj in 0..3 {
+                                    let ii = oi as isize + ki as isize - pad as isize;
+                                    let jj = oj as isize + kj as isize - pad as isize;
+                                    if ii >= 0 && ii < h as isize && jj >= 0 && jj < w as isize {
+                                        acc += weights[((oc * cin + ic) * 3 + ki) * 3 + kj]
+                                            * input[(ni * cin + ic) * h * w
+                                                + ii as usize * w
+                                                + jj as usize];
+                                    }
+                                }
+                            }
+                        }
+                        out[((ni * cout + oc) * oh + oi) * ow + oj] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn matches_direct_convolution_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // (n, cin, cout, h, w, pad): odd/even extents, pad 0/1, single pixels
+        for (n, cin, cout, h, w, pad) in [
+            (1usize, 1usize, 1usize, 4usize, 4usize, 0usize),
+            (2, 3, 8, 8, 8, 1),
+            (1, 4, 6, 7, 9, 1),
+            (3, 2, 5, 5, 6, 0),
+            (1, 8, 8, 3, 3, 1),
+            (2, 1, 2, 3, 3, 0), // single output pixel
+        ] {
+            let input = rand_vec(&mut rng, n * cin * h * w);
+            let weights = rand_vec(&mut rng, cout * cin * 9);
+            let bias = rand_vec(&mut rng, cout);
+            let expect = conv3x3_reference(&input, &weights, &bias, n, cin, cout, h, w, pad);
+            let mut got = vec![0.0f32; expect.len()];
+            let mut scratch = Vec::new();
+            winograd_conv3x3(
+                &input,
+                &weights,
+                &bias,
+                None,
+                &mut got,
+                n,
+                cin,
+                cout,
+                h,
+                w,
+                pad,
+                &mut scratch,
+            );
+            for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+                assert!(
+                    (e - g).abs() <= 1e-3 * e.abs().max(1.0),
+                    "n={n} cin={cin} cout={cout} {h}x{w} pad={pad}: element {i}: {e} vs {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_matches_scaled_shifted_activated_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (n, cin, cout, h, w, pad) = (2usize, 3usize, 5usize, 6usize, 7usize, 1usize);
+        let input = rand_vec(&mut rng, n * cin * h * w);
+        let weights = rand_vec(&mut rng, cout * cin * 9);
+        let zero_bias = vec![0.0f32; cout];
+        let scale = rand_vec(&mut rng, cout);
+        let shift = rand_vec(&mut rng, cout);
+        let plain = conv3x3_reference(&input, &weights, &zero_bias, n, cin, cout, h, w, pad);
+        for act in [
+            EpilogueAct::None,
+            EpilogueAct::Relu,
+            EpilogueAct::LeakyRelu(0.1),
+            EpilogueAct::Relu6,
+        ] {
+            let ep = Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act,
+            };
+            let oh = h + 2 * pad - 2;
+            let ow = w + 2 * pad - 2;
+            let mut got = vec![0.0f32; n * cout * oh * ow];
+            let mut scratch = Vec::new();
+            winograd_conv3x3(
+                &input,
+                &weights,
+                &zero_bias,
+                Some(ep),
+                &mut got,
+                n,
+                cin,
+                cout,
+                h,
+                w,
+                pad,
+                &mut scratch,
+            );
+            for (i, (p, g)) in plain.iter().zip(got.iter()).enumerate() {
+                let oc = (i / (oh * ow)) % cout;
+                let e = act.apply(p * scale[oc] + shift[oc]);
+                assert!(
+                    (e - g).abs() <= 1e-3 * e.abs().max(1.0),
+                    "{act:?}: element {i}: {e} vs {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_path_matches_serial_path() {
+        // raise the parallelism target so the sample-band fan-out code runs
+        // (inline on a single-core host, on the pool elsewhere) and must
+        // reproduce the serial result exactly
+        let mut rng = StdRng::seed_from_u64(10);
+        let (n, cin, cout, h, w, pad) = (5usize, 3usize, 4usize, 7usize, 6usize, 1usize);
+        let input = rand_vec(&mut rng, n * cin * h * w);
+        let weights = rand_vec(&mut rng, cout * cin * 9);
+        let bias = rand_vec(&mut rng, cout);
+        let mut scratch = Vec::new();
+        let mut serial = vec![0.0f32; n * cout * h * w];
+        winograd_conv3x3(
+            &input,
+            &weights,
+            &bias,
+            None,
+            &mut serial,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        hs_parallel::set_num_threads(Some(3));
+        let mut banded = vec![0.0f32; n * cout * h * w];
+        winograd_conv3x3(
+            &input,
+            &weights,
+            &bias,
+            None,
+            &mut banded,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        hs_parallel::set_num_threads(None);
+        assert_eq!(serial, banded, "banded/serial divergence");
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, cin, cout, h, w, pad) = (1usize, 2usize, 3usize, 6usize, 6usize, 1usize);
+        let input = rand_vec(&mut rng, n * cin * h * w);
+        let weights = rand_vec(&mut rng, cout * cin * 9);
+        let bias = rand_vec(&mut rng, cout);
+        let mut scratch = Vec::new();
+        let mut out1 = vec![0.0f32; n * cout * h * w];
+        winograd_conv3x3(
+            &input,
+            &weights,
+            &bias,
+            None,
+            &mut out1,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        let cap = scratch.capacity();
+        let mut out2 = vec![0.0f32; n * cout * h * w];
+        winograd_conv3x3(
+            &input,
+            &weights,
+            &bias,
+            None,
+            &mut out2,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        assert_eq!(out1, out2, "repeated calls must be deterministic");
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "second call must not regrow the scratch"
+        );
+    }
+}

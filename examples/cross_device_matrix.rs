@@ -47,7 +47,11 @@ fn main() {
             .iter()
             .map(|test_ds| evaluate_accuracy(&mut net, &test_ds.test))
             .collect();
-        println!("trained on {:<8} own-device accuracy {:.1}%", train_ds.device, row[i] * 100.0);
+        println!(
+            "trained on {:<8} own-device accuracy {:.1}%",
+            train_ds.device,
+            row[i] * 100.0
+        );
         accuracy.push(row);
     }
 

@@ -22,7 +22,13 @@ fn main() {
         ..EcgConfig::default()
     };
     let datasets = build_ecg_datasets(cfg, 5);
-    println!("Sensor types: {:?}", datasets.iter().map(|d| d.device.clone()).collect::<Vec<_>>());
+    println!(
+        "Sensor types: {:?}",
+        datasets
+            .iter()
+            .map(|d| d.device.clone())
+            .collect::<Vec<_>>()
+    );
 
     // two clients per sensor type
     let mut clients = Vec::new();

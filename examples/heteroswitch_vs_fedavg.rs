@@ -55,7 +55,10 @@ fn main() {
         })
     };
     let methods: Vec<(&str, Box<dyn ClientTrainer>)> = vec![
-        ("FedAvg", Box::new(FedAvgTrainer::new(LossKind::CrossEntropy))),
+        (
+            "FedAvg",
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+        ),
         (
             "ISP Transformation",
             Box::new(HeteroSwitchTrainer::new(
@@ -82,7 +85,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<26} {:>9} {:>11} {:>9}", "Method", "average", "worst-case", "variance");
+    println!(
+        "{:<26} {:>9} {:>11} {:>9}",
+        "Method", "average", "worst-case", "variance"
+    );
     for (name, trainer) in methods {
         let mut sim = FlSimulation::new(
             fl,

@@ -21,8 +21,12 @@ fn main() {
     // Baseline rendition (paper Table 3 "Baseline" column).
     let baseline_cfg = IspConfig::baseline();
     let baseline = baseline_cfg.process(&raw);
-    println!("Baseline ISP: {}x{} RGB, mean luminance {:.3}", baseline.width, baseline.height,
-        (baseline.channel_mean(0) + baseline.channel_mean(1) + baseline.channel_mean(2)) / 3.0);
+    println!(
+        "Baseline ISP: {}x{} RGB, mean luminance {:.3}",
+        baseline.width,
+        baseline.height,
+        (baseline.channel_mean(0) + baseline.channel_mean(1) + baseline.channel_mean(2)) / 3.0
+    );
 
     // Ablate each stage (option 1 = omit, option 2 = alternative algorithm)
     // and report how far the rendition moves from the baseline.

@@ -121,7 +121,10 @@ fn federated_training_with_fedavg_and_heteroswitch_completes_and_learns() {
     fl.batch_size = 4;
 
     let trainers: Vec<(&str, Box<dyn ClientTrainer>)> = vec![
-        ("FedAvg", Box::new(FedAvgTrainer::new(LossKind::CrossEntropy))),
+        (
+            "FedAvg",
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+        ),
         (
             "HeteroSwitch",
             Box::new(HeteroSwitchTrainer::new(

@@ -6,12 +6,12 @@
 //! the guarantee that evaluation never mutates batch-norm running
 //! statistics.
 
-use heteroswitch_repro::fl::evaluate_accuracy;
 use heteroswitch_repro::data::{Dataset, Labels};
+use heteroswitch_repro::fl::evaluate_accuracy;
 use heteroswitch_repro::nn::models::{build_vision_model, ModelKind, VisionConfig};
 use heteroswitch_repro::nn::{
-    BatchNorm2d, Conv2d, CrossEntropyLoss, Layer, LeakyRelu, Network, Relu, Relu6, Sequential,
-    Target,
+    BatchNorm2d, Conv2d, ConvAlgo, CrossEntropyLoss, Layer, LeakyRelu, Network, Relu, Relu6,
+    Sequential, Target,
 };
 use heteroswitch_repro::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -80,34 +80,138 @@ fn fused_conv_bn_act_matches_unfused_across_configs() {
     let mut rng = StdRng::seed_from_u64(100);
     // (cin, cout, kernel, stride, pad, groups, h, w)
     let configs = [
-        (3usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize),
-        (4, 6, 3, 2, 1, 2, 8, 10),   // grouped, strided
-        (6, 6, 3, 1, 1, 6, 7, 7),    // depthwise
-        (2, 4, 5, 2, 2, 1, 11, 13),  // large kernel, heavy padding
-        (4, 4, 1, 1, 0, 1, 6, 6),    // pointwise
+        (
+            3usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize,
+        ),
+        (4, 6, 3, 2, 1, 2, 8, 10),  // grouped, strided
+        (6, 6, 3, 1, 1, 6, 7, 7),   // depthwise
+        (2, 4, 5, 2, 2, 1, 11, 13), // large kernel, heavy padding
+        (4, 4, 1, 1, 0, 1, 6, 6),   // pointwise
     ];
     for (case, &(cin, cout, k, s, p, g, h, w)) in configs.iter().enumerate() {
         for with_bn in [true, false] {
             for act in 0..4usize {
                 let seed = 1000 + case as u64 * 16 + act as u64 + if with_bn { 8 } else { 0 };
-                let (mut reference, mut fused) = conv_stack(seed, cin, cout, k, s, p, g, with_bn, act);
+                let (mut reference, mut fused) =
+                    conv_stack(seed, cin, cout, k, s, p, g, with_bn, act);
                 let n = rng.gen_range(1..4);
                 let x_warm = Tensor::rand_uniform(&[3, cin, h, w], -1.0, 1.0, &mut rng);
                 warm_bn(&mut reference, &mut fused, &x_warm);
                 fused.fuse_inference();
 
                 let x = Tensor::rand_uniform(&[n, cin, h, w], -1.5, 1.5, &mut rng);
-                let ctx = format!(
-                    "cin={cin} cout={cout} k={k} s={s} p={p} g={g} bn={with_bn} act={act}"
-                );
+                let ctx =
+                    format!("cin={cin} cout={cout} k={k} s={s} p={p} g={g} bn={with_bn} act={act}");
                 let expect = reference.forward(&x, false);
                 // fused forward
-                assert_close(&fused.forward(&x, false), &expect, &format!("{ctx} [fused]"));
+                assert_close(
+                    &fused.forward(&x, false),
+                    &expect,
+                    &format!("{ctx} [fused]"),
+                );
                 // planned (arena) forward
                 assert_close(&fused.infer(&x).clone(), &expect, &format!("{ctx} [plan]"));
                 // shared-state eval forward
-                let shared = fused.forward_eval(&x).expect("built-ins support shared eval");
+                let shared = fused
+                    .forward_eval(&x)
+                    .expect("built-ins support shared eval");
                 assert_close(&shared, &expect, &format!("{ctx} [shared]"));
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_paths_match_unfused_on_every_forced_conv_backend() {
+    // the full fused/planned/shared-eval parity contract, swept over every
+    // ConvAlgo forced network-wide: backends must be interchangeable under
+    // fusion (epilogue semantics included), with inapplicable geometries
+    // falling back to im2col. Winograd re-associates the arithmetic, so
+    // this sweep pins ≤1e-3 rel (the backend acceptance bar) instead of the
+    // default-path 1e-4.
+    let mut rng = StdRng::seed_from_u64(300);
+    // (cin, cout, kernel, stride, pad, groups, h, w)
+    let configs = [
+        (
+            4usize, 8usize, 3usize, 1usize, 1usize, 1usize, 9usize, 9usize,
+        ), // winograd-eligible
+        (4, 6, 3, 2, 1, 2, 8, 10), // grouped, strided
+        (6, 6, 3, 1, 1, 6, 7, 7),  // depthwise
+        (5, 5, 5, 2, 2, 5, 11, 9), // strided depthwise, 5×5
+        (4, 4, 1, 1, 0, 1, 6, 6),  // pointwise
+    ];
+    for algo in [
+        ConvAlgo::Im2colGemm,
+        ConvAlgo::Winograd,
+        ConvAlgo::DirectDepthwise,
+    ] {
+        for (case, &(cin, cout, k, s, p, g, h, w)) in configs.iter().enumerate() {
+            for act in 0..4usize {
+                let seed = 7000 + case as u64 * 8 + act as u64;
+                let (mut reference, mut fused) = conv_stack(seed, cin, cout, k, s, p, g, true, act);
+                let x_warm = Tensor::rand_uniform(&[2, cin, h, w], -1.0, 1.0, &mut rng);
+                warm_bn(&mut reference, &mut fused, &x_warm);
+                fused.fuse_inference();
+                fused.force_conv_algo(Some(algo));
+
+                let x = Tensor::rand_uniform(&[2, cin, h, w], -1.5, 1.5, &mut rng);
+                let expect = reference.forward(&x, false);
+                let ctx =
+                    format!("{algo:?} cin={cin} cout={cout} k={k} s={s} p={p} g={g} act={act}");
+                let check = |got: &Tensor, path: &str| {
+                    assert_eq!(got.dims(), expect.dims(), "{ctx} [{path}]: shape");
+                    for (i, (a, b)) in got.as_slice().iter().zip(expect.as_slice()).enumerate() {
+                        assert!(
+                            (a - b).abs() <= 1e-3 * a.abs().max(b.abs()).max(1.0),
+                            "{ctx} [{path}]: element {i}: {a} vs {b}"
+                        );
+                    }
+                };
+                check(&fused.forward(&x, false), "fused");
+                check(&fused.infer(&x).clone(), "plan");
+                check(
+                    &fused
+                        .forward_eval(&x)
+                        .expect("built-ins support shared eval"),
+                    "shared",
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn depthwise_backend_propagates_nan_like_the_unfused_path() {
+    // a NaN pixel must flow through the direct depthwise kernel — fused
+    // epilogue included — exactly as through the unfused conv+bn+act stack
+    // (ReLU maps NaN to 0 like f32::max; LeakyReLU propagates it)
+    for act in [1usize, 2] {
+        let (mut reference, mut fused) = conv_stack(91, 4, 4, 3, 1, 1, 4, true, act);
+        let mut rng = StdRng::seed_from_u64(92);
+        let x_warm = Tensor::rand_uniform(&[2, 4, 8, 8], -1.0, 1.0, &mut rng);
+        warm_bn(&mut reference, &mut fused, &x_warm);
+        fused.fuse_inference();
+        fused.force_conv_algo(Some(ConvAlgo::DirectDepthwise));
+
+        let mut x = Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        *x.at_mut(&[0, 1, 3, 3]) = f32::NAN;
+        let expect = reference.forward(&x, false);
+        let got = fused.forward(&x, false);
+        assert!(
+            expect.as_slice().iter().any(|v| v.is_nan()) || act == 1,
+            "test setup: the NaN should reach the output unless ReLU clears it"
+        );
+        for (i, (a, b)) in got.as_slice().iter().zip(expect.as_slice()).enumerate() {
+            assert_eq!(
+                a.is_nan(),
+                b.is_nan(),
+                "act={act}: element {i}: NaN divergence {a} vs {b}"
+            );
+            if !a.is_nan() {
+                assert!(
+                    (a - b).abs() <= 1e-3 * a.abs().max(b.abs()).max(1.0),
+                    "act={act}: element {i}: {a} vs {b}"
+                );
             }
         }
     }
@@ -178,9 +282,19 @@ fn fused_model_zoo_inference_matches_unfused() {
         fused.fuse_inference();
         let x = Tensor::rand_uniform(&[3, 3, 16, 16], 0.0, 1.0, &mut rng);
         let expect = reference.forward(&x, false);
-        assert_close(&fused.forward(&x, false), &expect, &format!("{kind:?} [fused]"));
-        assert_close(&fused.infer(&x).clone(), &expect, &format!("{kind:?} [plan]"));
-        let shared = fused.forward_eval(&x).expect("zoo layers support shared eval");
+        assert_close(
+            &fused.forward(&x, false),
+            &expect,
+            &format!("{kind:?} [fused]"),
+        );
+        assert_close(
+            &fused.infer(&x).clone(),
+            &expect,
+            &format!("{kind:?} [plan]"),
+        );
+        let shared = fused
+            .forward_eval(&x)
+            .expect("zoo layers support shared eval");
         assert_close(&shared, &expect, &format!("{kind:?} [shared]"));
     }
 }

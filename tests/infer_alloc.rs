@@ -1,0 +1,114 @@
+//! Pins the allocation-free forward plan: after warm-up, `Network::infer`
+//! must perform **zero** heap allocations on the calling thread for every
+//! model in the zoo — including inside the composite blocks (inverted
+//! residuals, squeeze-excite, fire modules, shuffle units), whose nested
+//! Sequentials previously fell back to the allocating layer-at-a-time path.
+//!
+//! The pin uses a counting global allocator with a per-thread counter, so
+//! concurrently running tests in this binary cannot perturb the count. The
+//! inputs are deliberately small (batch 1, 16 px) so every conv/GEMM stays
+//! under the kernel layer's parallel thresholds: pool fan-out would box its
+//! task closures (a legitimate allocation that only exists on multi-core
+//! hosts) and is not what this test is about.
+
+use heteroswitch_repro::nn::models::{build_vision_model, ModelKind, VisionConfig};
+use heteroswitch_repro::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting allocation events per thread.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only added
+// behaviour is bumping a thread-local counter, which cannot re-enter the
+// allocator (`Cell<u64>` with const init performs no allocation).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation events on this thread while running `f`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    let result = f();
+    (ALLOC_COUNT.with(|c| c.get()) - before, result)
+}
+
+#[test]
+fn warm_infer_performs_zero_allocations_across_the_model_zoo() {
+    let cfg = VisionConfig::new(3, 6, 16);
+    for kind in [
+        ModelKind::SimpleCnn,
+        ModelKind::MobileNetV3Small,
+        ModelKind::ShuffleNetV2,
+        ModelKind::SqueezeNet,
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = build_vision_model(kind, cfg, &mut rng);
+        net.fuse_inference();
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+
+        // warm-up: sizes the arenas, scratch buffers and thread-local packs
+        let expect = net.infer(&x).clone();
+        let _ = net.infer(&x);
+
+        let (allocs, sum) = count_allocs(|| net.infer(&x).as_slice().iter().sum::<f32>());
+        assert_eq!(
+            allocs, 0,
+            "{kind:?}: warm Network::infer allocated {allocs} times"
+        );
+        assert!(
+            (sum - expect.as_slice().iter().sum::<f32>()).abs() < 1e-5,
+            "{kind:?}: counted pass diverged from warm-up output"
+        );
+    }
+}
+
+#[test]
+fn warm_infer_stays_allocation_free_when_batch_returns_to_a_seen_size() {
+    // alternating between two previously-seen shapes must not re-trigger
+    // arena growth (Vec::resize never shrinks capacity). Both shapes stay
+    // at batch 1 so the conv batch loop never fans out on multi-core hosts
+    // (pool spawns box their closures — a legitimate allocation that is not
+    // under test here); the alternation is spatial instead.
+    let cfg = VisionConfig::new(3, 6, 16);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = build_vision_model(ModelKind::MobileNetV3Small, cfg, &mut rng);
+    net.fuse_inference();
+    let x1 = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let x2 = Tensor::rand_uniform(&[1, 3, 12, 12], 0.0, 1.0, &mut rng);
+    for _ in 0..2 {
+        let _ = net.infer(&x1);
+        let _ = net.infer(&x2);
+    }
+    let (allocs, _) = count_allocs(|| {
+        let _ = net.infer(&x1);
+        let _ = net.infer(&x2);
+    });
+    assert_eq!(allocs, 0, "shape alternation re-allocated {allocs} times");
+}

@@ -11,7 +11,7 @@
 use heteroswitch::{random_gamma, random_white_balance, AveragingMode, WeightAverager};
 use hs_isp::{BayerPattern, IspConfig, RawImage};
 use hs_metrics::{accuracy, average_precision, mean, population_variance, worst_case};
-use hs_nn::{Conv2d, Layer};
+use hs_nn::{Conv2d, ConvAlgo, Layer};
 use hs_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -227,17 +227,100 @@ fn conv2d_gemm_path_matches_reference_across_configs() {
         let grad_in = conv.backward(&grad_out);
         let (ref_gin, ref_gw, ref_gb) = conv.backward_reference(&x, &grad_out);
         for (f, r) in grad_in.as_slice().iter().zip(ref_gin.as_slice()) {
-            assert!((f - r).abs() <= 1e-3 * r.abs().max(1.0), "grad_in diverged: {f} vs {r}");
+            assert!(
+                (f - r).abs() <= 1e-3 * r.abs().max(1.0),
+                "grad_in diverged: {f} vs {r}"
+            );
         }
         let gw = conv.params_mut()[0].grad.clone();
         for (f, r) in gw.as_slice().iter().zip(ref_gw.as_slice()) {
-            assert!((f - r).abs() <= 1e-2 * r.abs().max(1.0), "grad_w diverged: {f} vs {r}");
+            assert!(
+                (f - r).abs() <= 1e-2 * r.abs().max(1.0),
+                "grad_w diverged: {f} vs {r}"
+            );
         }
         let gb = conv.params_mut()[1].grad.clone();
         for (f, r) in gb.as_slice().iter().zip(ref_gb.as_slice()) {
-            assert!((f - r).abs() <= 1e-2 * r.abs().max(1.0), "grad_b diverged: {f} vs {r}");
+            assert!(
+                (f - r).abs() <= 1e-2 * r.abs().max(1.0),
+                "grad_b diverged: {f} vs {r}"
+            );
         }
     }
+}
+
+/// Every convolution backend, forced through the dispatch override, agrees
+/// with the seed scalar reference across random grouped / depthwise /
+/// strided / padded configurations. Backends that cannot execute a geometry
+/// (Winograd on strided or grouped convs, the direct kernel on dense convs)
+/// must fall back to im2col rather than panic or diverge, so the sweep runs
+/// every backend over every configuration.
+#[test]
+fn every_conv_backend_matches_reference_across_configs() {
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let groups = [1usize, 2, 4][rng.gen_range(0usize..3)];
+        let cin = groups * rng.gen_range(1usize..4);
+        let cout = if rng.gen_bool(0.3) && cin == groups {
+            cin // depthwise
+        } else {
+            groups * rng.gen_range(1usize..4)
+        };
+        let kernel = [1usize, 3, 5][rng.gen_range(0usize..3)];
+        let stride = rng.gen_range(1usize..3);
+        let padding = rng.gen_range(0usize..=kernel / 2 + 1);
+        let extent = kernel.max(3) + rng.gen_range(2usize..8);
+        let (h, w) = (extent, extent + rng.gen_range(0usize..3));
+        let batch = rng.gen_range(1usize..4);
+
+        let mut conv = Conv2d::new(cin, cout, kernel, stride, padding, groups, &mut rng);
+        let x = Tensor::rand_uniform(&[batch, cin, h, w], -1.0, 1.0, &mut rng);
+        let reference = conv.forward_reference(&x);
+
+        for algo in [
+            ConvAlgo::Im2colGemm,
+            ConvAlgo::Winograd,
+            ConvAlgo::DirectDepthwise,
+        ] {
+            conv.force_algo(Some(algo));
+            let got = conv.forward(&x, false);
+            assert_eq!(got.dims(), reference.dims());
+            for (g, r) in got.as_slice().iter().zip(reference.as_slice()) {
+                // 1e-3 rel: the Winograd transforms re-associate the sums
+                assert!(
+                    (g - r).abs() <= 1e-3 * r.abs().max(1.0),
+                    "{algo:?} cin={cin} cout={cout} k={kernel} s={stride} p={padding} g={groups}: {g} vs {r}"
+                );
+            }
+        }
+    }
+}
+
+/// The heuristic picks a backend that can actually execute the geometry,
+/// and forcing an inapplicable backend falls back to im2col.
+#[test]
+fn conv_backend_selection_respects_geometry() {
+    let mut rng = StdRng::seed_from_u64(77);
+    // depthwise -> direct kernel
+    let dw = Conv2d::depthwise(8, 3, 1, 1, &mut rng);
+    assert_eq!(dw.planned_algo(), ConvAlgo::DirectDepthwise);
+    // dense conv -> im2col (Winograd never wins on this ISA; see PERF.md)
+    let dense = Conv2d::new(8, 8, 3, 1, 1, 1, &mut rng);
+    assert_eq!(dense.planned_algo(), ConvAlgo::Im2colGemm);
+    // forcing Winograd on a strided conv falls back to im2col
+    let mut strided = Conv2d::new(8, 8, 3, 2, 1, 1, &mut rng);
+    strided.force_algo(Some(ConvAlgo::Winograd));
+    assert_eq!(strided.planned_algo(), ConvAlgo::Im2colGemm);
+    // forcing the depthwise kernel on a dense conv falls back to im2col
+    let mut dense2 = Conv2d::new(4, 8, 3, 1, 1, 1, &mut rng);
+    dense2.force_algo(Some(ConvAlgo::DirectDepthwise));
+    assert_eq!(dense2.planned_algo(), ConvAlgo::Im2colGemm);
+    // forcing a valid backend sticks, and clearing restores the heuristic
+    let mut dense3 = Conv2d::new(8, 8, 3, 1, 1, 1, &mut rng);
+    dense3.force_algo(Some(ConvAlgo::Winograd));
+    assert_eq!(dense3.planned_algo(), ConvAlgo::Winograd);
+    dense3.force_algo(None);
+    assert_eq!(dense3.planned_algo(), ConvAlgo::Im2colGemm);
 }
 
 // ----------------------------------------------------------------------
@@ -253,7 +336,11 @@ fn isp_output_is_bounded_rgb() {
         let size = rng.gen_range(2usize..10) * 2; // even sizes
         let data: Vec<f32> = (0..size * size).map(|_| rng.gen_range(0.0..1.0)).collect();
         let raw = RawImage::from_data(size, size, data, BayerPattern::Rggb);
-        for cfg in [IspConfig::baseline(), IspConfig::option1(), IspConfig::option2()] {
+        for cfg in [
+            IspConfig::baseline(),
+            IspConfig::option1(),
+            IspConfig::option2(),
+        ] {
             let rgb = cfg.process(&raw);
             assert_eq!((rgb.width, rgb.height, rgb.channels), (size, size, 3));
             assert!(rgb.data.iter().all(|v| (0.0..=1.0).contains(v)));
@@ -369,7 +456,9 @@ fn share_assignment_is_complete() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(1400 + seed);
         let num_devices = rng.gen_range(1usize..9);
-        let shares: Vec<f32> = (0..num_devices).map(|_| rng.gen_range(0.01f32..10.0)).collect();
+        let shares: Vec<f32> = (0..num_devices)
+            .map(|_| rng.gen_range(0.01f32..10.0))
+            .collect();
         let num_clients = rng.gen_range(1usize..60);
         let assignment = hs_data::assign_clients_by_share(&shares, num_clients, seed);
         assert_eq!(assignment.len(), num_clients);

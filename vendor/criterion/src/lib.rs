@@ -93,16 +93,22 @@ pub fn parse_results(text: &str) -> Vec<BenchRecord> {
     let mut rest = text;
     while let Some(start) = rest.find("{\"name\":\"") {
         rest = &rest[start + 9..];
-        let Some(name_end) = rest.find('"') else { break };
+        let Some(name_end) = rest.find('"') else {
+            break;
+        };
         let name = rest[..name_end].to_string();
-        let Some(entry_end) = rest.find('}') else { break };
+        let Some(entry_end) = rest.find('}') else {
+            break;
+        };
         let entry = &rest[name_end..entry_end];
         let field = |key: &str| -> Option<f64> {
             let pat = format!("\"{key}\":");
             let at = entry.find(&pat)? + pat.len();
             let tail = &entry[at..];
             let end = tail
-                .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+                .find(|c: char| {
+                    c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+                })
                 .unwrap_or(tail.len());
             tail[..end].parse().ok()
         };
@@ -193,7 +199,10 @@ impl Drop for Criterion {
         }
         let path = results_path();
         if let Err(err) = write_results(&path, &self.results) {
-            eprintln!("warning: could not write bench results to {}: {err}", path.display());
+            eprintln!(
+                "warning: could not write bench results to {}: {err}",
+                path.display()
+            );
         }
     }
 }
@@ -295,7 +304,11 @@ impl Bencher {
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Some((sorted[0], sorted[sorted.len() / 2], sorted[sorted.len() - 1]))
+        Some((
+            sorted[0],
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() - 1],
+        ))
     }
 
     /// Builds the JSON record for this benchmark's samples.
@@ -408,7 +421,10 @@ mod tests {
         write_results(&path, &[rec("keep", 10.0), rec("update", 20.0)]).unwrap();
         write_results(&path, &[rec("update", 30.0), rec("new", 40.0)]).unwrap();
         let parsed = parse_results(&std::fs::read_to_string(&path).unwrap());
-        assert_eq!(parsed, vec![rec("keep", 10.0), rec("update", 30.0), rec("new", 40.0)]);
+        assert_eq!(
+            parsed,
+            vec![rec("keep", 10.0), rec("update", 30.0), rec("new", 40.0)]
+        );
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

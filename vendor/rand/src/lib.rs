@@ -74,7 +74,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1]"
+        );
         (f64::sample(self)) < p
     }
 }

@@ -7,19 +7,21 @@
 //! derive macros (re-exported from the local `serde_derive` proc-macro crate)
 //! expand to nothing.
 //!
-//! The derive macros still expand to nothing, but the [`json`] module
-//! provides a real (minimal) JSON writer: result types that must reach disk
-//! (round statistics, degradation matrices, bench results) implement
-//! [`json::ToJson`] explicitly. Swapping this directory for the crates.io
-//! `serde` (+`serde_json`) restores full derive-driven functionality without
-//! touching any annotated type.
+//! The marker derives still expand to nothing, but the [`json`] module
+//! provides a real (minimal) JSON writer, and `#[derive(serde::ToJson)]`
+//! (re-exported from the local `serde_derive`) emits a field-by-field
+//! [`json::ToJson`] impl for plain structs with named fields — so result
+//! types that must reach disk (round statistics, degradation matrices,
+//! bench results) serialise without hand-written impls. Swapping this
+//! directory for the crates.io `serde` (+`serde_json`) restores full
+//! derive-driven functionality without touching any annotated type.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod json;
 
-pub use serde_derive::{Deserialize, Serialize};
+pub use serde_derive::{Deserialize, Serialize, ToJson};
 
 /// Marker for types that declare themselves serialisable.
 pub trait Serialize {}

@@ -1,10 +1,16 @@
-//! No-op derive macros backing the offline `serde` stand-in.
+//! Derive macros backing the offline `serde` stand-in.
 //!
-//! Each derive accepts (and ignores) `#[serde(...)]` helper attributes so
-//! annotated types compile unchanged; the blanket trait impls live in the
-//! `serde` stand-in crate, so the derives themselves emit nothing.
+//! [`Serialize`]/[`Deserialize`] still accept (and ignore) `#[serde(...)]`
+//! helper attributes and expand to nothing — the blanket marker impls in the
+//! `serde` stand-in cover every type. [`ToJson`] is real: it parses the
+//! struct definition out of the raw token stream (no `syn`/`quote` in this
+//! offline environment) and emits a field-by-field
+//! `impl serde::json::ToJson` for plain structs with named fields, so new
+//! result types serialise without hand-written impls. Field order in the
+//! JSON object is declaration order, matching what the hand-written impls
+//! it replaces produced.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Expands to nothing; `impl<T> Serialize for T` in the `serde` stand-in
 /// already covers the type.
@@ -18,4 +24,137 @@ pub fn derive_serialize(_input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+/// Derives `serde::json::ToJson` for a plain (non-generic) struct with
+/// named fields: the JSON object holds every field in declaration order,
+/// each serialised through its own `ToJson` impl.
+///
+/// Tuple structs, unit structs, enums and generic structs are rejected with
+/// a compile error naming the limitation — the offline writer only needs
+/// plain result-record structs.
+#[proc_macro_derive(ToJson)]
+pub fn derive_to_json(input: TokenStream) -> TokenStream {
+    match parse_named_struct(input) {
+        Ok((name, fields)) => {
+            let body: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::json::ToJson::to_json(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::json::ToJson for {name} {{\n\
+                     fn to_json(&self) -> serde::json::JsonValue {{\n\
+                         serde::json::JsonValue::Obj(vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("derive(ToJson): generated impl must tokenise")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+/// Extracts `(struct_name, field_names)` from the token stream of a struct
+/// item, or an error message describing why the shape is unsupported.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // skip outer attributes (`#[...]`) and visibility to reach `struct`
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // optional restriction: pub(crate), pub(super), ...
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        _ => return Err("derive(ToJson) supports only structs".to_string()),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(ToJson): missing struct name".to_string()),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("derive(ToJson) does not support generic structs".to_string())
+        }
+        _ => return Err("derive(ToJson) supports only structs with named fields".to_string()),
+    };
+
+    // fields: `attrs* vis? name : type`, separated by top-level commas
+    // (angle-bracket depth tracked so `Vec<(A, B)>` commas do not split)
+    let mut fields = Vec::new();
+    let mut field_tokens = body.stream().into_iter().peekable();
+    loop {
+        // skip field attributes and visibility
+        loop {
+            match field_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    field_tokens.next();
+                    field_tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    field_tokens.next();
+                    if let Some(TokenTree::Group(g)) = field_tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            field_tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match field_tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "derive(ToJson): expected a field name, found `{other}`"
+                ))
+            }
+        };
+        match field_tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "derive(ToJson): field `{field}` must use named-field syntax"
+                ))
+            }
+        }
+        fields.push(field);
+        // consume the type up to the next top-level comma, tracking angle
+        // depth so generic-argument commas do not split (a `->` arrow's `>`
+        // is not a closing bracket)
+        let mut angle_depth = 0usize;
+        let mut prev_dash = false;
+        for tok in field_tokens.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+    }
+    Ok((name, fields))
 }

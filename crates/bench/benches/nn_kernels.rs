@@ -89,6 +89,50 @@ fn bench_kernels(c: &mut Criterion) {
         bencher.iter(|| conv_ic.forward(black_box(&xwg), false))
     });
 
+    // -- batched small-GEMM: the many-skinny-GEMMs regime ------------------
+    // MobileNet's 1×1 convolutions at 4×4 spatial: one shared 64×64 weight
+    // panel against 64 per-sample 64×16 column panels. The batched entry
+    // point packs A once and n-blocks the samples into full register strips;
+    // the loop is the per-sample `gemm` dispatch it replaces (the same-run
+    // ratio is gated in CI).
+    let (gm, gk, gn, gb) = (64usize, 64usize, 16usize, 64usize);
+    let ga = Tensor::rand_uniform(&[gm, gk], -1.0, 1.0, &mut rng);
+    let gbs = Tensor::rand_uniform(&[gb, gk, gn], -1.0, 1.0, &mut rng);
+    let mut gouts = vec![0.0f32; gb * gm * gn];
+    c.bench_function("nn/small_gemm_batched", |bencher| {
+        bencher.iter(|| {
+            hs_tensor::gemm_batch_strided(
+                black_box(ga.as_slice()),
+                black_box(gbs.as_slice()),
+                &mut gouts,
+                gm,
+                gk,
+                gn,
+                gb,
+                0,
+                gk * gn,
+                gm * gn,
+                None,
+            );
+            gouts[0]
+        })
+    });
+    c.bench_function("nn/small_gemm_loop", |bencher| {
+        bencher.iter(|| {
+            for s in 0..gb {
+                hs_tensor::gemm(
+                    black_box(ga.as_slice()),
+                    black_box(&gbs.as_slice()[s * gk * gn..(s + 1) * gk * gn]),
+                    &mut gouts[s * gm * gn..(s + 1) * gm * gn],
+                    gm,
+                    gk,
+                    gn,
+                );
+            }
+            gouts[0]
+        })
+    });
+
     // -- training step: forward + backward through the GEMM path -----------
     let mut conv_t = Conv2d::new(16, 16, 3, 1, 1, 1, &mut rng);
     let xt = Tensor::rand_uniform(&[4, 16, 16, 16], -1.0, 1.0, &mut rng);

@@ -16,7 +16,7 @@ fn main() {
             .filter(|&i| i != j)
             .map(|i| raw.degradation(i, j))
             .collect();
-        degradations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        degradations.sort_by(f32::total_cmp);
         println!(
             "{device}\t{:.1}%\t({:.1}%..{:.1}%)\t{:.1}%",
             raw.mean_others_for_test(j) * 100.0,

@@ -18,11 +18,16 @@ use rand::SeedableRng;
 ///
 /// # Panics
 ///
-/// Panics if `shares` is empty or sums to zero.
+/// Panics if `shares` is empty or does not sum to a positive finite value
+/// (a NaN/infinite share is rejected up front instead of silently producing
+/// an arbitrary allocation).
 pub fn assign_clients_by_share(shares: &[f32], num_clients: usize, seed: u64) -> Vec<usize> {
     assert!(!shares.is_empty(), "need at least one device type");
     let total: f32 = shares.iter().sum();
-    assert!(total > 0.0, "shares must sum to a positive value");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "shares must sum to a positive, finite value (got {total})"
+    );
 
     let ideal: Vec<f32> = shares
         .iter()
@@ -36,7 +41,7 @@ pub fn assign_clients_by_share(shares: &[f32], num_clients: usize, seed: u64) ->
         .enumerate()
         .map(|(i, v)| (i, v - v.floor()))
         .collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
     for k in 0..num_clients.saturating_sub(assigned) {
         counts[remainders[k % remainders.len()].0] += 1;
     }
@@ -90,6 +95,15 @@ mod tests {
         assert_eq!(count(0), 50);
         assert_eq!(count(1), 30);
         assert_eq!(count(2), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum to a positive, finite value")]
+    fn nan_share_is_rejected_up_front() {
+        // a NaN share used to reach the remainder sort's
+        // `partial_cmp(..).unwrap()`; it must fail at the input check with
+        // an actionable message instead
+        let _ = assign_clients_by_share(&[0.5, f32::NAN], 10, 0);
     }
 
     #[test]

@@ -473,7 +473,7 @@ mod tests {
         // dominant (most common) devices
         let fleet = paper_devices();
         let mut sorted: Vec<_> = fleet.iter().collect();
-        sorted.sort_by(|a, b| b.market_share.partial_cmp(&a.market_share).unwrap());
+        sorted.sort_by(|a, b| b.market_share.total_cmp(&a.market_share));
         assert_eq!(sorted[0].name, "S6");
         assert_eq!(sorted[1].name, "S9");
     }

@@ -111,7 +111,8 @@ fn wavelet_plane(img: &ImageBuf, c: usize, plane: &mut [f32], h: usize, w: usize
     // BayesShrink threshold: sigma_noise^2 / sigma_signal, with the noise
     // estimated from the median absolute deviation of the diagonal band
     let mut abs_d: Vec<f32> = det_d.iter().map(|v| v.abs()).collect();
-    abs_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: one NaN pixel must not panic the whole ISP pipeline
+    abs_d.sort_by(f32::total_cmp);
     let mad = abs_d[abs_d.len() / 2];
     let sigma_noise = mad / 0.6745;
     let threshold_for = |band: &[f32]| -> f32 {
@@ -196,6 +197,31 @@ mod tests {
             im.data.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / im.data.len() as f32
         };
         assert!(var(&den) < var(&img));
+    }
+
+    #[test]
+    fn wavelet_survives_nan_pixels() {
+        // one NaN sensor pixel used to panic the MAD median sort
+        // (`partial_cmp(..).unwrap()`); it must instead flow through like
+        // any other IEEE value and leave the clean channels untouched
+        let mut img = noisy_flat(16, 16, 0.5, 0.2, 3);
+        let idx = img.data.len() / 2;
+        img.data[idx] = f32::NAN;
+        let den = denoise(&img, DenoiseMethod::WaveletBayesShrink);
+        assert_eq!(den.width, img.width);
+        assert_eq!(den.height, img.height);
+        // channels without the NaN stay finite
+        let plane = img.data.len() / 3;
+        let poisoned = idx / plane;
+        for c in 0..3 {
+            let chan = &den.data[c * plane..(c + 1) * plane];
+            if c != poisoned {
+                assert!(
+                    chan.iter().all(|v| v.is_finite()),
+                    "clean channel {c} polluted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,10 @@
 ///
 /// Returns 0.0 if there are no positive labels.
 ///
+/// NaN scores rank deterministically **last** (after every real score, in
+/// index order): a NaN logit is a degenerate prediction, so it must never
+/// be credited with an arbitrary — let alone top — rank.
+///
 /// # Panics
 ///
 /// Panics if `scores` and `relevant` have different lengths.
@@ -19,12 +23,15 @@ pub fn average_precision(scores: &[f32], relevant: &[bool]) -> f32 {
     if num_relevant == 0 {
         return 0.0;
     }
-    // rank labels by descending score
+    // rank labels by descending score; NaN sorts below everything (the old
+    // `unwrap_or(Equal)` fallback handed NaN logits whatever rank the sort
+    // happened to leave them at)
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
+    order.sort_by(|&a, &b| match (scores[a].is_nan(), scores[b].is_nan()) {
+        (true, true) => a.cmp(&b),
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => scores[b].total_cmp(&scores[a]),
     });
     let mut hits = 0usize;
     let mut ap = 0.0f32;
@@ -86,6 +93,37 @@ mod tests {
     #[test]
     fn no_positives_yields_zero() {
         assert_eq!(average_precision(&[0.5, 0.4], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically_last() {
+        // a NaN logit must never be credited with a top rank: the positive
+        // label with a NaN score lands at the very last rank, so AP is
+        // exactly 1/len — and repeat evaluations agree bit-for-bit
+        let scores = [f32::NAN, 0.9, 0.8, 0.1];
+        let relevant = [true, false, false, false];
+        let ap = average_precision(&scores, &relevant);
+        assert!(
+            (ap - 0.25).abs() < 1e-6,
+            "NaN-scored positive must rank last, ap={ap}"
+        );
+        for _ in 0..8 {
+            assert_eq!(average_precision(&scores, &relevant), ap);
+        }
+
+        // two NaNs keep index order among themselves (deterministic tail)
+        let scores = [f32::NAN, 0.9, f32::NAN];
+        let relevant = [false, false, true]; // positive is the *second* NaN
+        let ap = average_precision(&scores, &relevant);
+        assert!(
+            (ap - 1.0 / 3.0).abs() < 1e-6,
+            "second NaN must be rank 3, ap={ap}"
+        );
+
+        // and real scores still dominate: a clean positive is unaffected
+        let scores = [0.9, f32::NAN, 0.1];
+        let relevant = [true, false, false];
+        assert!((average_precision(&scores, &relevant) - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! * [`ConvAlgo::Im2colGemm`] — the PR 1 path: per group,
 //!   `out = W_g (cout_g x wrow) * col (wrow x ohw)` over the im2col matrix
 //!   (with a zero-copy fast path for 1×1 stride-1 unpadded convolutions,
-//!   whose im2col is the identity);
+//!   whose im2col is the identity). Skinny per-sample GEMMs
+//!   (`ohw < 2*NR`, the MobileNet 1×1-at-small-spatial regime) route
+//!   through [`hs_tensor::gemm_batch_strided`]: the weight panel is packed
+//!   once and every sample's columns stream through full-width register
+//!   strips ([`set_batched_gemm`] restores the per-sample loop for
+//!   benches);
 //! * [`ConvAlgo::Winograd`] — F(2×2, 3×3) tile transforms + batched
 //!   tile-GEMM for dense 3×3 stride-1 convolutions
 //!   ([`hs_tensor::winograd_conv3x3`]);
@@ -40,12 +45,13 @@
 //! branches were removed: they broke NaN/Inf propagation.)
 
 use crate::{Layer, Param};
+use hs_tensor::gemm::NR;
 use hs_tensor::{
-    depthwise_conv2d, gemm, gemm_acc, gemm_epilogue, he_normal, transpose_into, valid_out_range,
-    winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
+    depthwise_conv2d, gemm, gemm_acc, gemm_batch_acc_strided, gemm_batch_strided, gemm_epilogue,
+    he_normal, transpose_into, valid_out_range, winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
 };
 use rand::rngs::StdRng;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::OnceLock;
 
 /// An inference execution backend for [`Conv2d`].
@@ -127,6 +133,36 @@ fn env_forced_algo() -> Option<ConvAlgo> {
     })
 }
 
+/// Per-sample GEMMs narrower than this (in output pixels) route through the
+/// batched entry point ([`hs_tensor::gemm_batch_strided`]): below two full
+/// register strips the per-call packing/dispatch overhead dominates and
+/// cross-sample n-blocking is what fills the register tiles (MobileNet's
+/// 1×1 convolutions at 4×4–8×8 spatial sit squarely in this regime).
+const BATCHED_GEMM_OHW_MAX: usize = 2 * NR;
+
+thread_local! {
+    /// Per-thread switch for the batched small-GEMM route (default on).
+    /// Exists so benches can time the batched path against the per-(sample,
+    /// group) GEMM loop it replaces in the same run — the CI-gated speedup
+    /// ratio. Thread-local rather than process-wide so a toggling bench or
+    /// test never changes which code path concurrently running threads
+    /// (e.g. the rest of a test binary) exercise.
+    static BATCHED_GEMM: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables/disables routing skinny per-sample inference GEMMs through the
+/// batched entry point **on the calling thread**. On by default; benches and
+/// parity tests flip it to measure or compare the per-sample loop (the
+/// routing decision is made on the thread calling the forward, before any
+/// pool fan-out).
+pub fn set_batched_gemm(enabled: bool) {
+    BATCHED_GEMM.with(|cell| cell.set(enabled));
+}
+
+fn batched_gemm_enabled() -> bool {
+    BATCHED_GEMM.with(|cell| cell.get())
+}
+
 thread_local! {
     /// Reusable im2col scratch for the shared-state (`&self`) inference
     /// entry points (`forward_eval`), where no layer-held buffer can be
@@ -172,6 +208,12 @@ fn im2col(
 ) {
     let ohw = oh * ow;
     debug_assert_eq!(col.len(), c * kh * kw * ohw);
+    debug_assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "im2col: kernel {kh}x{kw} exceeds the padded input {}x{}",
+        h + 2 * pad,
+        w + 2 * pad,
+    );
     if pad > 0 {
         // only the padding fringe is not overwritten below
         col.fill(0.0);
@@ -224,6 +266,12 @@ fn col2im(
 ) {
     let ohw = oh * ow;
     debug_assert_eq!(out.len(), c * h * w);
+    debug_assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "col2im: kernel {kh}x{kw} exceeds the padded input {}x{}",
+        h + 2 * pad,
+        w + 2 * pad,
+    );
     for ci in 0..c {
         for ki in 0..kh {
             let (oi_lo, oi_hi) = valid_out_range(h, ki, stride, pad, oh);
@@ -430,9 +478,24 @@ impl Conv2d {
     }
 
     /// Output spatial size for a given input spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit into the padded input: the
+    /// subtraction would underflow in `usize` and, in release builds, wrap
+    /// to a garbage multi-exabyte shape instead of failing clearly.
     fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
-        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        let (k, s, p) = (self.kernel, self.stride, self.padding);
+        assert!(
+            h + 2 * p >= k && w + 2 * p >= k,
+            "Conv2d: kernel {k} exceeds the padded input {}x{} \
+             (input {h}x{w}, padding {p}); shrink the kernel or increase \
+             padding/input size",
+            h + 2 * p,
+            w + 2 * p,
+        );
+        let oh = (h + 2 * p - k) / s + 1;
+        let ow = (w + 2 * p - k) / s + 1;
         (oh, ow)
     }
 
@@ -614,6 +677,76 @@ impl Conv2d {
         // column scratch is touched at all.
         let identity_col = k == 1 && stride == 1 && padding == 0;
         let colsz_eff = if identity_col { 0 } else { colsz };
+
+        // Batched small-GEMM route: when the per-sample GEMM is skinny
+        // (small ohw), per-call packing/dispatch dominates. One strided
+        // batched call per group packs the shared weight panel once and
+        // streams every sample's columns through full-width register tiles
+        // (identity-col convs read the input blocks in place; other shapes
+        // stage per-sample col slabs in one contiguous scratch).
+        if batched_gemm_enabled() && n > 0 && ohw < BATCHED_GEMM_OHW_MAX {
+            if !identity_col && col_scratch.len() < n * colsz {
+                col_scratch.resize(n * colsz, 0.0);
+            }
+            let stride_out = out_channels * ohw;
+            for g in 0..groups {
+                let (bs, stride_b): (&[f32], usize) = if identity_col {
+                    (&x[g * cin_g * h * w..], c * h * w)
+                } else {
+                    for ni in 0..n {
+                        let in_offset = ni * c * h * w + g * cin_g * h * w;
+                        im2col(
+                            &x[in_offset..in_offset + cin_g * h * w],
+                            &mut col_scratch[ni * colsz..(ni + 1) * colsz],
+                            cin_g,
+                            h,
+                            w,
+                            k,
+                            k,
+                            stride,
+                            padding,
+                            oh,
+                            ow,
+                        );
+                    }
+                    (&col_scratch[..n * colsz], colsz)
+                };
+                let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
+                let outs = &mut out_data[g * cout_g * ohw..];
+                match ep {
+                    Some((scale, shift, act)) => gemm_batch_strided(
+                        w_g,
+                        bs,
+                        outs,
+                        cout_g,
+                        wrow,
+                        ohw,
+                        n,
+                        0,
+                        stride_b,
+                        stride_out,
+                        Some(Epilogue {
+                            scale: &scale[g * cout_g..(g + 1) * cout_g],
+                            shift: &shift[g * cout_g..(g + 1) * cout_g],
+                            act,
+                        }),
+                    ),
+                    None => {
+                        // unfused: the bias is the accumulation's initial value
+                        for s in 0..n {
+                            let out_g = &mut outs[s * stride_out..s * stride_out + cout_g * ohw];
+                            for oc in 0..cout_g {
+                                out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
+                            }
+                        }
+                        gemm_batch_acc_strided(
+                            w_g, bs, outs, cout_g, wrow, ohw, n, 0, stride_b, stride_out,
+                        );
+                    }
+                }
+            }
+            return;
+        }
 
         // per-(sample, group) body: im2col into `col` (unless the identity
         // fast path applies), then one GEMM whose store loop carries the
@@ -1322,6 +1455,66 @@ mod tests {
                 "grad_b clobbered by eval pass: {a} vs {b}"
             );
         }
+    }
+
+    /// Re-enables the batched small-GEMM route when dropped, so a failing
+    /// assertion in a toggling test cannot leave this thread's flag off if
+    /// the test harness ever reuses the thread.
+    struct BatchedGemmGuard;
+    impl Drop for BatchedGemmGuard {
+        fn drop(&mut self) {
+            set_batched_gemm(true);
+        }
+    }
+
+    #[test]
+    fn batched_route_matches_per_sample_loop() {
+        // the batched small-GEMM route (identity-col 1×1 convs and small-ohw
+        // im2col shapes) must reproduce the per-(sample, group) GEMM loop
+        // exactly — same kernels, same panel split, same accumulation order
+        let _restore = BatchedGemmGuard;
+        let mut rng = StdRng::seed_from_u64(31);
+        // (cin, cout, kernel, stride, pad, groups, h, w): 1×1 identity-col
+        // (grouped and dense), small-ohw 3×3, strided/padded small shapes
+        for (cin, cout, k, s, p, g, h, w) in [
+            (
+                8usize, 16usize, 1usize, 1usize, 0usize, 1usize, 6usize, 6usize,
+            ),
+            (8, 8, 1, 1, 0, 4, 4, 4),
+            (4, 6, 3, 1, 1, 1, 7, 9),
+            (6, 6, 3, 2, 1, 2, 9, 9),
+            (3, 5, 1, 1, 0, 1, 2, 2), // tiny ohw, batch panels far below NR
+        ] {
+            let mut conv = Conv2d::new(cin, cout, k, s, p, g, &mut rng);
+            let x = Tensor::rand_uniform(&[5, cin, h, w], -1.0, 1.0, &mut rng);
+            set_batched_gemm(false);
+            let looped = conv.forward(&x, false);
+            set_batched_gemm(true);
+            let batched = conv.forward(&x, false);
+            assert_eq!(looped.dims(), batched.dims());
+            for (i, (a, b)) in looped
+                .as_slice()
+                .iter()
+                .zip(batched.as_slice().iter())
+                .enumerate()
+            {
+                assert!(
+                    (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                    "cin={cin} cout={cout} k={k} s={s} p={p} g={g}: element {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel 5 exceeds the padded input 3x3")]
+    fn oversized_kernel_panics_with_actionable_message() {
+        // a 5×5 kernel on an unpadded 3×3 input used to underflow the
+        // usize output-size arithmetic and wrap to a garbage shape
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut conv = Conv2d::new(1, 1, 5, 1, 0, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let _ = conv.forward(&x, false);
     }
 
     #[test]

@@ -953,6 +953,421 @@ fn gemm_small_m(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Batched small-GEMM
+// ---------------------------------------------------------------------------
+
+/// Walks the per-item segments of columns `[j0, j0 + nr)` of the *virtual
+/// column concatenation* of a batch's panels (item `s` contributes columns
+/// `[s*n, (s+1)*n)`), calling `f(s, j, off, seg)` for each maximal run that
+/// stays inside one item: item index, column within the item, offset within
+/// the strip, segment length. Shared by the strip packing and the
+/// bounce-buffer scatter, which must agree on this layout exactly.
+fn for_each_segment(j0: usize, nr: usize, n: usize, mut f: impl FnMut(usize, usize, usize, usize)) {
+    let mut off = 0;
+    while off < nr {
+        let s = (j0 + off) / n;
+        let j = (j0 + off) - s * n;
+        let seg = (n - j).min(nr - off);
+        f(s, j, off, seg);
+        off += seg;
+    }
+}
+
+/// Packs the whole virtual column concatenation of all batch items' `B`
+/// panels (`n_total = batch * n` columns) into `NR`-wide zero-padded strips
+/// for `k` rows `[pc, pc + kc)`: `bpack[strip][p][j]`, the batched twin of
+/// [`pack_b`].
+///
+/// This is the n-blocking at the heart of the batched path: several samples'
+/// skinny column panels land side by side in one strip, so the register-tiled
+/// micro-kernel runs at full `NR` width even when each sample's `n` is far
+/// below it.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_batch(
+    bs: &[f32],
+    bpack: &mut Vec<f32>,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    stride_b: usize,
+    n_total: usize,
+) {
+    let n_strips = n_total.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(n_strips * kc * NR, 0.0);
+    for (js, dst) in bpack.chunks_mut(kc * NR).enumerate() {
+        let j0 = js * NR;
+        let nr = NR.min(n_total - j0);
+        for_each_segment(j0, nr, n, |s, j, off, seg| {
+            let base = s * stride_b + pc * n + j;
+            for p in 0..kc {
+                let src = &bs[base + p * n..base + p * n + seg];
+                dst[p * NR + off..p * NR + off + seg].copy_from_slice(src);
+            }
+        });
+    }
+}
+
+/// The batched blocked core for one shared `A` panel: `outs[s] += A * B[s]`
+/// for `batch` items, with `ep` applied at store time on the final `k` panel.
+///
+/// `A` is packed **once per k-panel** and every item's columns stream through
+/// it; strips of the virtual column concatenation that land fully inside one
+/// item's panel store straight into it, strips spanning an item boundary (the
+/// normal case when `n < NR`) run full-width into the bounce buffer and
+/// scatter per item segment.
+#[allow(clippy::too_many_arguments)]
+fn gemm_batch_core(
+    which: Isa,
+    scratch: &mut GemmScratch,
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    stride_b: usize,
+    stride_out: usize,
+    kc_target: usize,
+    ep: Option<Epilogue<'_>>,
+) {
+    let n_total = batch * n;
+    let n_strips = n_total.div_ceil(NR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = kc_target.min(k - pc);
+        let ep_panel = if pc + kc >= k { ep } else { None };
+        // every strip of the whole batch is gather-packed once per k-panel
+        // (outside the A row-block loop, like gemm_impl's pack_b)
+        pack_b_batch(bs, &mut scratch.bpack, pc, kc, n, stride_b, n_total);
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = (MC_TILES * MR).min(m - row0);
+            pack_a(a, &mut scratch.apack, row0, rows, pc, kc, k);
+            let m_tiles = rows.div_ceil(MR);
+            for js in 0..n_strips {
+                let j0 = js * NR;
+                let nr = NR.min(n_total - j0);
+                let bp = &scratch.bpack[js * kc * NR..(js + 1) * kc * NR];
+                // a full strip whose columns all belong to one item can store
+                // straight into that item's output panel at row stride n
+                let s0 = j0 / n;
+                let direct = nr == NR && (j0 + NR - 1) / n == s0;
+                for it in 0..m_tiles {
+                    let i0 = row0 + it * MR;
+                    let mr = MR.min(row0 + rows - i0);
+                    let ap = &scratch.apack[it * kc * MR..(it + 1) * kc * MR];
+                    if direct && mr == MR {
+                        let j = j0 - s0 * n;
+                        run_kernel(
+                            which,
+                            ap,
+                            bp,
+                            &mut outs[s0 * stride_out + i0 * n + j..],
+                            kc,
+                            n,
+                            ep_panel.map(|e| e.offset_rows(i0)),
+                        );
+                    } else {
+                        // boundary-spanning or ragged tile: full-width kernel
+                        // into the bounce buffer, then scatter each row's
+                        // per-item segments (epilogue applied scalar-wise)
+                        scratch.edge.clear();
+                        scratch.edge.resize(MR * NR, 0.0);
+                        run_kernel(which, ap, bp, &mut scratch.edge, kc, NR, None);
+                        for i in 0..mr {
+                            let src = &scratch.edge[i * NR..i * NR + nr];
+                            for_each_segment(j0, nr, n, |s, j, off, seg| {
+                                let base = s * stride_out + (i0 + i) * n + j;
+                                store_edge_row(
+                                    &mut outs[base..base + seg],
+                                    &src[off..off + seg],
+                                    i0 + i,
+                                    ep_panel,
+                                );
+                            });
+                        }
+                    }
+                }
+            }
+            row0 += rows;
+        }
+        pc += kc;
+    }
+}
+
+/// Shared implementation behind [`gemm_batch_strided`] /
+/// [`gemm_batch_acc_strided`] with an explicit parallel/serial switch so
+/// tests can exercise both paths regardless of the host's core count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_batch_impl(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+    acc: bool,
+    ep: Option<Epilogue<'_>>,
+    parallel: bool,
+) {
+    debug_assert!(ep.is_none() || !acc, "epilogue implies overwrite semantics");
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    if !acc {
+        // overwrite semantics: clear every output panel (the strips then
+        // accumulate into zeros, exactly like `gemm`)
+        for s in 0..batch {
+            outs[s * stride_out..s * stride_out + m * n].fill(0.0);
+        }
+    }
+    if k == 0 {
+        if let Some(e) = ep {
+            // A*B is all zeros; the epilogue still applies
+            for s in 0..batch {
+                let panel = &mut outs[s * stride_out..s * stride_out + m * n];
+                for (i, row) in panel.chunks_mut(n).enumerate() {
+                    row.fill(e.apply_scalar(i, 0.0));
+                }
+            }
+        }
+        return;
+    }
+    let which = isa();
+    let kc_target = k.div_ceil(k.div_ceil(KC)).max(1);
+    if !parallel {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            if stride_a == 0 {
+                gemm_batch_core(
+                    which, scratch, a, bs, outs, m, k, n, batch, stride_b, stride_out, kc_target,
+                    ep,
+                );
+            } else {
+                // per-item A panels: items run independently, but share one
+                // dispatch, one scratch, and the same packed-strip machinery
+                for s in 0..batch {
+                    gemm_batch_core(
+                        which,
+                        scratch,
+                        &a[s * stride_a..],
+                        &bs[s * stride_b..],
+                        &mut outs[s * stride_out..],
+                        m,
+                        k,
+                        n,
+                        1,
+                        stride_b,
+                        stride_out,
+                        kc_target,
+                        ep,
+                    );
+                }
+            }
+        });
+        return;
+    }
+
+    // Parallel path: shard the batch into contiguous item bands; each pool
+    // task packs into its own short-lived scratch (A is small in the batched
+    // regime, so re-packing it per band is cheaper than sharing).
+    let bands = hs_parallel::num_threads().min(batch);
+    let band_len = batch.div_ceil(bands).max(1);
+    let outs = &mut outs[..(batch - 1) * stride_out + m * n];
+    hs_parallel::scope(|sc| {
+        for (band, out_band) in outs.chunks_mut(band_len * stride_out).enumerate() {
+            sc.spawn(move || {
+                let s0 = band * band_len;
+                let items = band_len.min(batch - s0);
+                let mut scratch = GemmScratch::new();
+                if stride_a == 0 {
+                    gemm_batch_core(
+                        which,
+                        &mut scratch,
+                        a,
+                        &bs[s0 * stride_b..],
+                        out_band,
+                        m,
+                        k,
+                        n,
+                        items,
+                        stride_b,
+                        stride_out,
+                        kc_target,
+                        ep,
+                    );
+                } else {
+                    for i in 0..items {
+                        gemm_batch_core(
+                            which,
+                            &mut scratch,
+                            &a[(s0 + i) * stride_a..],
+                            &bs[(s0 + i) * stride_b..],
+                            &mut out_band[i * stride_out..],
+                            m,
+                            k,
+                            n,
+                            1,
+                            stride_b,
+                            stride_out,
+                            kc_target,
+                            ep,
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Validates the strided-batch slice contracts shared by
+/// [`gemm_batch_strided`] and [`gemm_batch_acc_strided`].
+#[allow(clippy::too_many_arguments)]
+fn assert_batch_contract(
+    a: &[f32],
+    bs: &[f32],
+    outs: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+) {
+    if batch == 0 {
+        return;
+    }
+    if batch > 1 {
+        assert!(
+            stride_a == 0 || stride_a >= m * k,
+            "stride_a {stride_a} smaller than an A panel (m*k = {})",
+            m * k
+        );
+        assert!(
+            stride_b >= k * n,
+            "stride_b {stride_b} smaller than a B panel (k*n = {})",
+            k * n
+        );
+        assert!(
+            stride_out >= m * n,
+            "stride_out {stride_out} smaller than an output panel (m*n = {})",
+            m * n
+        );
+    }
+    assert!(
+        a.len() >= (batch - 1) * stride_a + m * k,
+        "A is {} elements, need (batch-1)*stride_a + m*k = {}",
+        a.len(),
+        (batch - 1) * stride_a + m * k
+    );
+    assert!(
+        bs.len() >= (batch - 1) * stride_b + k * n,
+        "B is {} elements, need (batch-1)*stride_b + k*n = {}",
+        bs.len(),
+        (batch - 1) * stride_b + k * n
+    );
+    assert!(
+        outs.len() >= (batch - 1) * stride_out + m * n,
+        "out is {} elements, need (batch-1)*stride_out + m*n = {}",
+        outs.len(),
+        (batch - 1) * stride_out + m * n
+    );
+}
+
+/// Whether a batched problem is worth fanning out over the pool.
+fn batch_parallel(m: usize, k: usize, n: usize, batch: usize) -> bool {
+    batch >= 2
+        && 2 * m * k * n * batch >= PARALLEL_FLOP_THRESHOLD
+        && hs_parallel::num_threads() > 1
+        && !hs_parallel::inside_pool()
+}
+
+/// Batched small-GEMM: `outs[s] = act(scale ⊙ (A_s * B_s) + shift)` for
+/// `s < batch`, where `A_s = a[s * stride_a ..]` (`stride_a == 0` means one
+/// shared `A`, the common conv-weight case), `B_s = bs[s * stride_b ..]` and
+/// the output panels sit `stride_out` apart.
+///
+/// This is the many-skinny-GEMMs entry point: a per-sample 1×1-conv GEMM at
+/// 4×4–8×8 spatial has `n = 16..64 < NR`, so calling [`gemm`] per sample
+/// re-packs the shared weight panel every time and runs every strip as a
+/// ragged edge. Here the shared `A` is packed **once per k-panel**, all
+/// samples' column panels stream through the hot micro-kernel back to back,
+/// and the n-blocked packing ([`pack_b_batch`]) lays several samples' skinny
+/// panels side by side in one `NR`-wide strip so the register tile runs at
+/// full width. The optional [`Epilogue`] (per-output-row scale/shift +
+/// activation) is applied in the store pass on all ISA tiers, exactly like
+/// [`gemm_epilogue`].
+///
+/// Overwrites each `m*n` output panel (elements between panels are left
+/// untouched). Large batches fan out item bands over the shared
+/// [`hs_parallel`] pool; calls from inside a pool task stay serial.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its strided contract, a stride is
+/// smaller than its panel (`batch > 1`), or the epilogue's scale/shift hold
+/// fewer than `m` entries.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_strided(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+    ep: Option<Epilogue<'_>>,
+) {
+    assert_batch_contract(a, bs, outs, m, k, n, batch, stride_a, stride_b, stride_out);
+    if let Some(e) = &ep {
+        assert!(e.scale.len() >= m, "epilogue scale needs {m} entries");
+        assert!(e.shift.len() >= m, "epilogue shift needs {m} entries");
+    }
+    let parallel = batch_parallel(m, k, n, batch);
+    gemm_batch_impl(
+        a, bs, outs, m, k, n, batch, stride_a, stride_b, stride_out, false, ep, parallel,
+    );
+}
+
+/// `outs[s] += A_s * B_s` for `s < batch`; otherwise identical to
+/// [`gemm_batch_strided`] (no epilogue — accumulation implies the caller
+/// provides the initial value, e.g. a bias fill).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its strided contract or a stride is
+/// smaller than its panel (`batch > 1`).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_acc_strided(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+) {
+    assert_batch_contract(a, bs, outs, m, k, n, batch, stride_a, stride_b, stride_out);
+    let parallel = batch_parallel(m, k, n, batch);
+    gemm_batch_impl(
+        a, bs, outs, m, k, n, batch, stride_a, stride_b, stride_out, true, None, parallel,
+    );
+}
+
 /// `out = A * B^T` for row-major `A: [m, k]`, `B: [n, k]`, `out: [m, n]`.
 ///
 /// The transpose of `B` is staged in a thread-local scratch buffer, so
@@ -1349,6 +1764,336 @@ mod tests {
                 assert_eq!(v, expect, "{act:?}({input})");
             }
         }
+    }
+
+    /// Per-sample serial reference for the batched entry points.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_reference(
+        a: &[f32],
+        bs: &[f32],
+        outs: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        batch: usize,
+        stride_a: usize,
+        stride_b: usize,
+        stride_out: usize,
+        ep: Option<&Epilogue<'_>>,
+    ) {
+        for s in 0..batch {
+            let a_s = &a[s * stride_a..s * stride_a + m * k];
+            let b_s = &bs[s * stride_b..s * stride_b + k * n];
+            let out_s = &mut outs[s * stride_out..s * stride_out + m * n];
+            match ep {
+                Some(e) => gemm_epilogue(a_s, b_s, out_s, m, k, n, e),
+                None => gemm(a_s, b_s, out_s, m, k, n),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_serial_gemm_across_ragged_shapes() {
+        let mut rng = StdRng::seed_from_u64(50);
+        // (m, k, n, batch): n < NR edge tiles, batch == 1, full strips,
+        // strip-spanning boundaries, multi-panel k, ragged m tiles
+        for (m, k, n, batch) in [
+            (1usize, 1usize, 1usize, 1usize),
+            (8, 16, 16, 5),
+            (24, 64, 16, 8),
+            (17, 33, 7, 9),
+            (64, 64, 64, 4),
+            (8, KC + 7, 5, 11),
+            (MR + 3, 19, NR + 5, 3),
+            (3, 5, 2, 1),
+        ] {
+            for shared_a in [true, false] {
+                let stride_a = if shared_a { 0 } else { m * k };
+                let a_panels = if shared_a { 1 } else { batch };
+                let a = random_matrix(&mut rng, a_panels * m * k);
+                let bs = random_matrix(&mut rng, batch * k * n);
+                let mut expect = vec![0.0; batch * m * n];
+                batch_reference(
+                    &a,
+                    &bs,
+                    &mut expect,
+                    m,
+                    k,
+                    n,
+                    batch,
+                    stride_a,
+                    k * n,
+                    m * n,
+                    None,
+                );
+                // stale output contents must be ignored (overwrite semantics)
+                let mut got = vec![777.0; batch * m * n];
+                gemm_batch_strided(
+                    &a,
+                    &bs,
+                    &mut got,
+                    m,
+                    k,
+                    n,
+                    batch,
+                    stride_a,
+                    k * n,
+                    m * n,
+                    None,
+                );
+                assert_close(
+                    &expect,
+                    &got,
+                    1e-5,
+                    &format!("{m}x{k}x{n} b{batch} shared_a={shared_a}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_epilogue_matches_per_sample_gemm_epilogue() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for (m, k, n, batch) in [
+            (8usize, 16usize, 16usize, 6usize),
+            (13, 40, 9, 7),
+            (64, 32, 50, 3),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let bs = random_matrix(&mut rng, batch * k * n);
+            let scale = random_matrix(&mut rng, m);
+            let shift = random_matrix(&mut rng, m);
+            for act in [
+                EpilogueAct::None,
+                EpilogueAct::Relu,
+                EpilogueAct::LeakyRelu(0.1),
+                EpilogueAct::Relu6,
+            ] {
+                let ep = Epilogue {
+                    scale: &scale,
+                    shift: &shift,
+                    act,
+                };
+                let mut expect = vec![0.0; batch * m * n];
+                batch_reference(
+                    &a,
+                    &bs,
+                    &mut expect,
+                    m,
+                    k,
+                    n,
+                    batch,
+                    0,
+                    k * n,
+                    m * n,
+                    Some(&ep),
+                );
+                let mut got = vec![0.0; batch * m * n];
+                gemm_batch_strided(&a, &bs, &mut got, m, k, n, batch, 0, k * n, m * n, Some(ep));
+                assert_close(
+                    &expect,
+                    &got,
+                    1e-4,
+                    &format!("{m}x{k}x{n} b{batch} {act:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_strided_panels_leave_gaps_untouched() {
+        // stride_out > m*n: the elements between output panels must survive,
+        // and B panels may sit stride_b > k*n apart (the grouped-conv layout)
+        let mut rng = StdRng::seed_from_u64(52);
+        let (m, k, n, batch) = (5usize, 9usize, 11usize, 4usize);
+        let (stride_b, stride_out) = (k * n + 13, m * n + 17);
+        let a = random_matrix(&mut rng, m * k);
+        let bs = random_matrix(&mut rng, (batch - 1) * stride_b + k * n);
+        let mut expect = vec![-3.5f32; (batch - 1) * stride_out + m * n];
+        let mut got = expect.clone();
+        batch_reference(
+            &a,
+            &bs,
+            &mut expect,
+            m,
+            k,
+            n,
+            batch,
+            0,
+            stride_b,
+            stride_out,
+            None,
+        );
+        gemm_batch_strided(
+            &a, &bs, &mut got, m, k, n, batch, 0, stride_b, stride_out, None,
+        );
+        for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+            assert!(
+                (e - g).abs() <= 1e-5 * e.abs().max(1.0),
+                "element {i}: {e} vs {g}"
+            );
+        }
+        // the gap elements specifically must still hold the sentinel
+        for s in 0..batch {
+            for gap in (s * stride_out + m * n)..((s + 1) * stride_out).min(got.len()) {
+                assert_eq!(got[gap], -3.5, "gap element {gap} clobbered");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_acc_accumulates_on_prior_contents() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let (m, k, n, batch) = (6usize, 12usize, 10usize, 5usize);
+        let a = random_matrix(&mut rng, m * k);
+        let bs = random_matrix(&mut rng, batch * k * n);
+        let mut once = vec![0.0; batch * m * n];
+        gemm_batch_strided(&a, &bs, &mut once, m, k, n, batch, 0, k * n, m * n, None);
+        let mut acc = vec![1.0f32; batch * m * n];
+        gemm_batch_acc_strided(&a, &bs, &mut acc, m, k, n, batch, 0, k * n, m * n);
+        for (o, t) in once.iter().zip(acc.iter()) {
+            assert!((o + 1.0 - t).abs() < 1e-4, "{t} should be {o} + 1");
+        }
+    }
+
+    #[test]
+    fn batched_parallel_path_matches_serial_path() {
+        let mut rng = StdRng::seed_from_u64(54);
+        for (m, k, n, batch, stride_a) in [
+            (16usize, 64usize, 16usize, 13usize, 0usize),
+            (8, 48, 5, 32, 8 * 48),
+        ] {
+            let a_panels = if stride_a == 0 { 1 } else { batch };
+            let a = random_matrix(&mut rng, a_panels * m * k);
+            let bs = random_matrix(&mut rng, batch * k * n);
+            let mut serial = vec![0.0; batch * m * n];
+            gemm_batch_impl(
+                &a,
+                &bs,
+                &mut serial,
+                m,
+                k,
+                n,
+                batch,
+                stride_a,
+                k * n,
+                m * n,
+                false,
+                None,
+                false,
+            );
+            let mut parallel = vec![0.0; batch * m * n];
+            gemm_batch_impl(
+                &a,
+                &bs,
+                &mut parallel,
+                m,
+                k,
+                n,
+                batch,
+                stride_a,
+                k * n,
+                m * n,
+                false,
+                None,
+                true,
+            );
+            assert_eq!(
+                serial, parallel,
+                "{m}x{k}x{n} b{batch} batched parallel/serial divergence"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_nan_stays_inside_its_sample() {
+        // a NaN in sample 1's B panel must poison only sample 1's output,
+        // even though the n-blocked strips pack samples side by side into
+        // one register tile
+        let mut rng = StdRng::seed_from_u64(55);
+        let (m, k, n, batch) = (MR, 10usize, 6usize, 4usize);
+        let a = random_matrix(&mut rng, m * k);
+        let mut bs = random_matrix(&mut rng, batch * k * n);
+        bs[k * n + 3] = f32::NAN; // sample 1, row 0, col 3
+        let mut out = vec![0.0; batch * m * n];
+        gemm_batch_strided(&a, &bs, &mut out, m, k, n, batch, 0, k * n, m * n, None);
+        for s in 0..batch {
+            let panel = &out[s * m * n..(s + 1) * m * n];
+            if s == 1 {
+                assert!(
+                    panel.iter().any(|v| v.is_nan()),
+                    "sample 1 must carry the NaN"
+                );
+            } else {
+                assert!(
+                    panel.iter().all(|v| !v.is_nan()),
+                    "sample {s} polluted by sample 1's NaN"
+                );
+            }
+        }
+        // ...and a NaN in the shared A poisons every sample, like gemm
+        let mut a_nan = a.clone();
+        a_nan[2 * k] = f32::NAN; // row 2
+        let bs_clean = random_matrix(&mut rng, batch * k * n);
+        let mut out = vec![0.0; batch * m * n];
+        gemm_batch_strided(
+            &a_nan,
+            &bs_clean,
+            &mut out,
+            m,
+            k,
+            n,
+            batch,
+            0,
+            k * n,
+            m * n,
+            None,
+        );
+        for s in 0..batch {
+            let row2 = &out[s * m * n + 2 * n..s * m * n + 3 * n];
+            assert!(
+                row2.iter().all(|v| v.is_nan()),
+                "sample {s} row 2 must be NaN"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_zero_dimensions_are_safe() {
+        let b = vec![1.0f32; 12];
+        let mut out = vec![5.0f32; 12];
+        // m == 0 stores nothing; batch == 0 is a no-op
+        gemm_batch_strided(&[], &b, &mut out, 0, 3, 2, 2, 0, 6, 0, None);
+        gemm_batch_strided(&[], &[], &mut out[..0], 2, 3, 2, 0, 0, 6, 4, None);
+        assert_eq!(out, vec![5.0; 12]);
+        // k == 0 overwrites with zeros (and still applies an epilogue)
+        let mut out = vec![5.0f32; 12];
+        gemm_batch_strided(&[], &[], &mut out, 2, 0, 3, 2, 0, 0, 6, None);
+        assert_eq!(out, vec![0.0; 12]);
+        let scale = vec![1.0f32; 2];
+        let shift = vec![2.0f32, -4.0];
+        let mut out = vec![5.0f32; 12];
+        gemm_batch_strided(
+            &[],
+            &[],
+            &mut out,
+            2,
+            0,
+            3,
+            2,
+            0,
+            0,
+            6,
+            Some(Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act: EpilogueAct::Relu,
+            }),
+        );
+        assert_eq!(
+            out,
+            vec![2.0, 2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! result matches direct convolution to ~1e-3 relative error in f32 — the
 //! tolerance the workspace's parity tests pin.
 
-use crate::gemm::{gemm, Epilogue};
+use crate::gemm::{gemm_batch_strided, Epilogue};
 
 /// Tiles transformed together as SIMD lanes: the tile transforms are pure
 /// lane-wise adds/subs in this SoA layout, so the compiler vectorises the
@@ -366,13 +366,22 @@ fn winograd_samples(
             }
         }
 
-        // batched tile-GEMM per Winograd coordinate: M[xi] = U[xi] · V[xi]
-        for xi in 0..16 {
-            let u = &u_slab[xi * cout * cin..(xi + 1) * cout * cin];
-            let v = &v_slab[xi * cin * chunk..(xi + 1) * cin * chunk];
-            let m = &mut m_slab[xi * cout * chunk..(xi + 1) * cout * chunk];
-            gemm(u, v, m, cout, cin, chunk);
-        }
+        // batched tile-GEMM per Winograd coordinate: M[xi] = U[xi] · V[xi],
+        // one strided-batch call over all 16 coordinates (per-ξ A panels
+        // shared across the whole batch of tiles) instead of 16 dispatches
+        gemm_batch_strided(
+            u_slab,
+            v_slab,
+            m_slab,
+            cout,
+            cin,
+            chunk,
+            16,
+            cout * cin,
+            cin * chunk,
+            cout * chunk,
+            None,
+        );
 
         // inverse transform + epilogue/bias, WG_LANES tiles per step: one
         // contiguous load per coordinate, vector transform, scalar

@@ -1,0 +1,189 @@
+//! Serving load sweep: offered load × batcher policy across the model zoo.
+//!
+//! For each model, sweeps the dynamic-batching policy (`max_batch`) under
+//! closed-loop load (fixed client concurrency) and open-loop load (fixed
+//! arrival rate with a deadline, revealing backpressure and expiry), and
+//! reports throughput, latency percentiles and the executed batch-size
+//! mix. This is the measurement harness behind the "PR 5" table in
+//! `docs/PERF.md`.
+//!
+//! ```text
+//! exp_serving_sweep [--quick] [--json-out PATH]
+//! ```
+//!
+//! `--quick` shrinks request counts for a fast sanity pass (the CI smoke).
+//! The run also prints the measured batched-GEMM routing crossover table
+//! (`hs_nn::batched_gemm_crossovers`) that the served forwards populated.
+
+use hs_bench::json_out_path;
+use hs_bench::serving_load::{closed_loop, open_loop, LoadOutcome};
+use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
+use hs_serve::{BatchPolicy, MetricsSnapshot, ModelRegistry, Server, ServerConfig};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One sweep cell, serialised into the `--json-out` document.
+#[derive(Debug, Clone, serde::ToJson)]
+struct SweepRecord {
+    model: String,
+    mode: String,
+    clients: usize,
+    offered_rps: f64,
+    max_batch: usize,
+    max_wait_us: u64,
+    outcome: LoadOutcome,
+    throughput_rps: f64,
+    metrics: MetricsSnapshot,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let per_client = if quick { 5 } else { 60 };
+    let open_total = if quick { 20 } else { 200 };
+
+    let zoo: [(ModelKind, VisionConfig); 2] = [
+        (ModelKind::MobileNetV3Small, VisionConfig::new(3, 12, 16)),
+        (ModelKind::SimpleCnn, VisionConfig::new(3, 10, 16)),
+    ];
+    let max_batches = [1usize, 2, 4, 8];
+    let closed_clients = [1usize, 4, 8];
+    let open_rates = [2_000.0f64, 8_000.0];
+    let max_wait_us = 500u64;
+
+    let mut records: Vec<SweepRecord> = Vec::new();
+    for (kind, cfg) in zoo {
+        let make = move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            build_vision_model(kind, cfg, &mut rng)
+        };
+        let input_dims = [cfg.in_channels, cfg.image_size, cfg.image_size];
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = Tensor::rand_uniform(&input_dims, 0.0, 1.0, &mut rng);
+        println!("== {} ==", kind.as_str());
+        println!(
+            "{:<8} {:>8} {:>12} {:>10} {:>11} {:>9} {:>9} {:>10} {:>9}",
+            "mode", "load", "max_batch", "reqs ok", "rej/exp", "p50 us", "p99 us", "req/s", "batch"
+        );
+        for &max_batch in &max_batches {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.publish("m", &mut make());
+            let server = Server::start(
+                Arc::clone(&registry),
+                "m",
+                make,
+                &input_dims,
+                ServerConfig::new(1, 128, BatchPolicy::new(max_batch, max_wait_us)),
+            )
+            .expect("server must start");
+            let client = server.client();
+
+            for &clients in &closed_clients {
+                closed_loop(&client, clients, 3, &sample, None); // warm
+                server.reset_metrics();
+                let outcome = closed_loop(&client, clients, per_client, &sample, None);
+                let metrics = server.metrics();
+                report(
+                    &mut records,
+                    kind.as_str(),
+                    "closed",
+                    clients,
+                    0.0,
+                    max_batch,
+                    max_wait_us,
+                    outcome,
+                    metrics,
+                );
+            }
+            for &rate in &open_rates {
+                server.reset_metrics();
+                let outcome = open_loop(
+                    &client,
+                    rate,
+                    open_total,
+                    &sample,
+                    Some(Duration::from_millis(50)),
+                );
+                let metrics = server.metrics();
+                report(
+                    &mut records,
+                    kind.as_str(),
+                    "open",
+                    0,
+                    rate,
+                    max_batch,
+                    max_wait_us,
+                    outcome,
+                    metrics,
+                );
+            }
+            server.shutdown();
+        }
+        println!();
+    }
+
+    let crossovers = hs_nn::batched_gemm_crossovers();
+    println!("batched-GEMM routing crossovers (m_class, k_class -> ohw threshold):");
+    if crossovers.is_empty() {
+        println!(
+            "  (none probed: threshold pinned via HS_BATCHED_OHW_MAX or no small-ohw conv ran)"
+        );
+    }
+    for (m_class, k_class, threshold) in &crossovers {
+        println!("  m≈{m_class:<5} k≈{k_class:<5} -> ohw < {threshold}");
+    }
+
+    if let Some(path) = json_out_path(&args) {
+        serde::json::write_file(&path, &records).expect("failed to write --json-out file");
+        println!(
+            "wrote {} sweep records to {}",
+            records.len(),
+            path.display()
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    records: &mut Vec<SweepRecord>,
+    model: &str,
+    mode: &str,
+    clients: usize,
+    offered_rps: f64,
+    max_batch: usize,
+    max_wait_us: u64,
+    outcome: LoadOutcome,
+    metrics: MetricsSnapshot,
+) {
+    let load = if mode == "closed" {
+        format!("{clients}c")
+    } else {
+        format!("{offered_rps:.0}rps")
+    };
+    println!(
+        "{:<8} {:>8} {:>12} {:>10} {:>11} {:>9} {:>9} {:>10.0} {:>9.2}",
+        mode,
+        load,
+        max_batch,
+        outcome.ok,
+        format!("{}/{}", outcome.rejected, outcome.expired),
+        metrics.p50_us,
+        metrics.p99_us,
+        outcome.throughput_rps(),
+        metrics.mean_batch,
+    );
+    records.push(SweepRecord {
+        model: model.to_string(),
+        mode: mode.to_string(),
+        clients,
+        offered_rps,
+        max_batch,
+        max_wait_us,
+        outcome: outcome.clone(),
+        throughput_rps: outcome.throughput_rps(),
+        metrics,
+    });
+}

@@ -19,8 +19,10 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod serving_load;
 
 pub use scale::Scale;
+pub use serving_load::{closed_loop, open_loop, LoadOutcome};
 
 /// Parses a `--json-out PATH` argument from an experiment binary's argument
 /// list. Returns `None` when absent; panics when the flag is given without a

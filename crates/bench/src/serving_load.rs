@@ -1,0 +1,167 @@
+//! The serving load generator: closed- and open-loop drivers over an
+//! [`hs_serve::ServeClient`], shared by the `serving` bench (the CI-gated
+//! batched-vs-batch=1 ratio) and the `exp_serving_sweep` binary (the
+//! offered-load × batcher-policy sweep behind `docs/PERF.md`'s table).
+
+use hs_serve::{Pending, ServeClient, ServeError};
+use hs_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Outcome counts of one load-generation run.
+#[derive(Debug, Clone, Default, serde::ToJson)]
+pub struct LoadOutcome {
+    /// Requests that completed with a response.
+    pub ok: usize,
+    /// Requests rejected at admission (backpressure).
+    pub rejected: usize,
+    /// Requests dropped on deadline expiry.
+    pub expired: usize,
+    /// Wall-clock duration of the run, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl LoadOutcome {
+    /// Total requests attempted.
+    pub fn attempted(&self) -> usize {
+        self.ok + self.rejected + self.expired
+    }
+
+    /// Completed requests per second of wall-clock time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.elapsed_ms / 1e3)
+        }
+    }
+}
+
+fn classify(outcome: Result<hs_serve::Response, ServeError>, counts: &mut LoadOutcome) {
+    match outcome {
+        Ok(_) => counts.ok += 1,
+        Err(ServeError::Backpressure { .. }) => counts.rejected += 1,
+        Err(ServeError::DeadlineExceeded { .. }) => counts.expired += 1,
+        Err(e) => panic!("unexpected serving error under load: {e}"),
+    }
+}
+
+/// Closed-loop load: `concurrency` client threads, each submitting its next
+/// request only after the previous response — the classic fixed-concurrency
+/// driver. Returns the aggregated outcome (elapsed covers all threads'
+/// start-to-join wall time).
+pub fn closed_loop(
+    client: &ServeClient,
+    concurrency: usize,
+    per_client: usize,
+    sample: &Tensor,
+    deadline: Option<Duration>,
+) -> LoadOutcome {
+    let start = Instant::now();
+    let outcomes: Vec<LoadOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let client = client.clone();
+                let sample = sample.clone();
+                scope.spawn(move || {
+                    let mut counts = LoadOutcome::default();
+                    for _ in 0..per_client {
+                        classify(client.infer(sample.clone(), deadline), &mut counts);
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = outcomes
+        .into_iter()
+        .fold(LoadOutcome::default(), |mut acc, o| {
+            acc.ok += o.ok;
+            acc.rejected += o.rejected;
+            acc.expired += o.expired;
+            acc
+        });
+    total.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    total
+}
+
+/// Open-loop load: submits `total` requests at a fixed `rate_rps` arrival
+/// rate regardless of completion (the driver that reveals queue growth and
+/// backpressure), then waits for every accepted request. Arrival pacing
+/// uses absolute schedule points, so a slow server cannot slow the offered
+/// rate down (the defining property of an open-loop generator).
+pub fn open_loop(
+    client: &ServeClient,
+    rate_rps: f64,
+    total: usize,
+    sample: &Tensor,
+    deadline: Option<Duration>,
+) -> LoadOutcome {
+    assert!(rate_rps > 0.0, "open-loop rate must be positive");
+    let interval = Duration::from_secs_f64(1.0 / rate_rps);
+    let mut counts = LoadOutcome::default();
+    let mut pending: Vec<Pending> = Vec::with_capacity(total);
+    let start = Instant::now();
+    for i in 0..total {
+        let due = start + interval * i as u32;
+        if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(sleep);
+        }
+        match client.submit(sample.clone(), deadline) {
+            Ok(p) => pending.push(p),
+            Err(ServeError::Backpressure { .. }) => counts.rejected += 1,
+            Err(e) => panic!("unexpected serving error under open-loop load: {e}"),
+        }
+    }
+    for p in pending {
+        classify(p.wait(), &mut counts);
+    }
+    counts.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_nn::{Linear, Network, Sequential};
+    use hs_serve::{BatchPolicy, ModelRegistry, Server, ServerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn tiny_server() -> Server {
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(0);
+            Network::new(Sequential::new(vec![Box::new(Linear::new(4, 2, &mut rng))]))
+        };
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", &mut make());
+        Server::start(
+            registry,
+            "m",
+            make,
+            &[4],
+            ServerConfig::new(1, 128, BatchPolicy::new(8, 200)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let server = tiny_server();
+        let outcome = closed_loop(&server.client(), 4, 10, &Tensor::ones(&[4]), None);
+        assert_eq!(outcome.ok, 40);
+        assert_eq!(outcome.rejected + outcome.expired, 0);
+        assert!(outcome.throughput_rps() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_request() {
+        let server = tiny_server();
+        let outcome = open_loop(&server.client(), 2_000.0, 50, &Tensor::ones(&[4]), None);
+        assert_eq!(outcome.attempted(), 50);
+        assert_eq!(outcome.ok + outcome.rejected, 50);
+        server.shutdown();
+    }
+}

@@ -222,6 +222,41 @@ impl FlSimulation {
         (0..self.config.rounds).map(|_| self.run_round()).collect()
     }
 
+    /// Runs `config.rounds` communication rounds, invoking `publish` with a
+    /// fresh global-model replica every `checkpoint_every` rounds and after
+    /// the final round — the checkpointing hook a serving deployment plugs
+    /// a model registry into (e.g. `hs_serve::ModelRegistry::publish`), so
+    /// a training run keeps publishing improved global models *while they
+    /// are being served*.
+    ///
+    /// The hook receives the number of rounds completed so far and a model
+    /// loaded with the current global weights; it may serialise, register
+    /// or evaluate it freely without disturbing the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every` is zero.
+    pub fn run_with_checkpoints<F>(
+        &mut self,
+        checkpoint_every: usize,
+        mut publish: F,
+    ) -> Vec<RoundStats>
+    where
+        F: FnMut(usize, &mut Network),
+    {
+        assert!(checkpoint_every > 0, "checkpoint_every must be positive");
+        let rounds = self.config.rounds;
+        let mut history = Vec::with_capacity(rounds);
+        for r in 0..rounds {
+            history.push(self.run_round());
+            if (r + 1) % checkpoint_every == 0 || r + 1 == rounds {
+                let mut model = self.global_model();
+                publish(self.rounds_run, &mut model);
+            }
+        }
+        history
+    }
+
     /// Evaluates the current global model on per-device test sets, returning
     /// one accuracy per device type.
     pub fn evaluate_per_device(&self, device_tests: &[(String, Dataset)]) -> Vec<GroupAccuracy> {
@@ -348,6 +383,32 @@ mod tests {
         sim.run();
         let mut model = sim.global_model();
         assert_eq!(model.weights(), sim.global_weights());
+    }
+
+    #[test]
+    fn checkpoint_hook_fires_on_schedule_and_carries_global_weights() {
+        let mut sim = simulation(5);
+        let mut published: Vec<(usize, Vec<f32>)> = Vec::new();
+        let history = sim.run_with_checkpoints(2, |rounds_done, model| {
+            published.push((rounds_done, model.weights()));
+        });
+        assert_eq!(history.len(), 5);
+        // every 2 rounds plus the final round: after rounds 2, 4 and 5
+        assert_eq!(
+            published.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![2, 4, 5]
+        );
+        // the last published model is the final global model
+        assert_eq!(published.last().unwrap().1, sim.global_weights());
+        // and checkpoints genuinely differ as training progresses
+        assert_ne!(published[0].1, published[2].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every must be positive")]
+    fn checkpoint_every_zero_is_rejected() {
+        let mut sim = simulation(1);
+        let _ = sim.run_with_checkpoints(0, |_, _| {});
     }
 
     #[test]

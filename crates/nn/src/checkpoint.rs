@@ -1,0 +1,537 @@
+//! The versioned binary checkpoint format: how a trained [`Network`]'s
+//! weights reach disk and come back bit-exact.
+//!
+//! # Format (all integers little-endian, see `serde::bin`)
+//!
+//! ```text
+//! magic            8 bytes   b"HSNNCKPT"
+//! format version   u32       currently 1
+//! fingerprint      u64       FNV-1a over the layer topology (below)
+//! param scalars    u64       total f32 count of the flat parameter vector
+//! params           f32 × n   every parameter tensor in layer order, flat
+//! buffer count     u64       number of named buffer tensors
+//! per buffer:
+//!   name           u32 len + UTF-8 bytes (diagnostic, not validated)
+//!   rank           u32
+//!   dims           u32 × rank
+//!   data           f32 × prod(dims)
+//! ```
+//!
+//! The **fingerprint** hashes the parameter and buffer *shapes* in layer
+//! order — the same topology signature [`Network::set_weights`] implicitly
+//! relies on. It deliberately excludes layer names, so a checkpoint saved
+//! from a plain model loads into its [`Network::fuse_inference`]d replica
+//! (fusion keeps parameter/buffer order and shapes — pinned since PR 2) and
+//! vice versa. Buffer names are carried for diagnostics (`layer3.
+//! batch_norm2d.buf0`) but loading validates shapes, not names, for the
+//! same reason.
+//!
+//! Floats are stored as raw bit patterns, so a save → load round trip is
+//! exact to the bit (NaN payloads included) and the byte stream is identical
+//! across platforms — `checkpoint_header_is_byte_stable` pins the header.
+//!
+//! Loading validates magic, version, fingerprint and every length before
+//! touching the model, and returns a [`CheckpointError`] naming exactly what
+//! went wrong; the network is never partially overwritten by a failed load.
+
+use crate::Network;
+use serde::bin::{ByteReader, ByteWriter, TruncatedInput};
+use std::fmt;
+use std::path::Path;
+
+/// First 8 bytes of every checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"HSNNCKPT";
+
+/// Current (and only) format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint failed to load. Every variant's `Display` says what was
+/// found, what was expected, and what to do about it.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error while reading or writing.
+    Io(std::io::Error),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic {
+        /// The first bytes actually found (at most 8).
+        found: Vec<u8>,
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version read from the file.
+        found: u32,
+    },
+    /// The checkpoint was saved from a structurally different model.
+    FingerprintMismatch {
+        /// Fingerprint of the loading network.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// The flat parameter vector has the wrong length.
+    ParamCountMismatch {
+        /// Scalar count the loading network needs.
+        expected: u64,
+        /// Scalar count stored in the checkpoint.
+        found: u64,
+    },
+    /// The checkpoint stores a different number of buffers.
+    BufferCountMismatch {
+        /// Buffer count the loading network has.
+        expected: u64,
+        /// Buffer count stored in the checkpoint.
+        found: u64,
+    },
+    /// A buffer's stored shape does not match the loading network's.
+    BufferShapeMismatch {
+        /// Name stored in the checkpoint for the offending buffer.
+        name: String,
+        /// Shape the loading network expects.
+        expected: Vec<usize>,
+        /// Shape stored in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// The file ends before the format says it should.
+    Truncated(TruncatedInput),
+    /// Bytes remain after the last buffer — the file is longer than the
+    /// format describes (corrupt, or concatenated with something else).
+    TrailingBytes {
+        /// Number of unread bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic { found } => write!(
+                f,
+                "not a checkpoint: file starts with {found:02x?} instead of the \
+                 {CHECKPOINT_MAGIC:02x?} magic (b\"HSNNCKPT\") — is this the right file?"
+            ),
+            CheckpointError::UnsupportedVersion { found } => write!(
+                f,
+                "checkpoint format version {found} is newer than the supported \
+                 version {CHECKPOINT_VERSION}; upgrade this binary or re-save the \
+                 checkpoint with a matching build"
+            ),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint topology fingerprint {found:#018x} does not match this \
+                 model's {expected:#018x}: the checkpoint was saved from a different \
+                 architecture (or width/depth configuration) — load it into a replica \
+                 built by the same constructor"
+            ),
+            CheckpointError::ParamCountMismatch { expected, found } => write!(
+                f,
+                "checkpoint stores {found} parameter scalars but this model has \
+                 {expected} — architecture mismatch the fingerprint did not catch"
+            ),
+            CheckpointError::BufferCountMismatch { expected, found } => write!(
+                f,
+                "checkpoint stores {found} buffers but this model has {expected} — \
+                 architecture mismatch the fingerprint did not catch"
+            ),
+            CheckpointError::BufferShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint buffer {name:?} has shape {found:?} but this model \
+                 expects {expected:?}"
+            ),
+            CheckpointError::Truncated(t) => write!(
+                f,
+                "checkpoint is truncated: {t} — the file was cut short (partial \
+                 download or interrupted save); re-fetch or re-save it"
+            ),
+            CheckpointError::TrailingBytes { extra } => write!(
+                f,
+                "checkpoint has {extra} unexpected trailing byte(s) after the last \
+                 buffer — the file is corrupt or not a single checkpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Truncated(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<TruncatedInput> for CheckpointError {
+    fn from(t: TruncatedInput) -> Self {
+        CheckpointError::Truncated(t)
+    }
+}
+
+/// Incremental FNV-1a (64-bit) over the topology description.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn push_u64(&mut self, v: u64) {
+        self.push(&v.to_le_bytes());
+    }
+}
+
+impl Network {
+    /// The layer-topology fingerprint: FNV-1a over every parameter shape and
+    /// every buffer shape in layer order. Two networks with the same
+    /// fingerprint accept each other's weight vectors; fusion
+    /// ([`Network::fuse_inference`]) does not change it because fusion keeps
+    /// parameter/buffer order and shapes.
+    pub fn fingerprint(&mut self) -> u64 {
+        let mut h = Fnv::new();
+        let params = self.params_mut();
+        h.push_u64(params.len() as u64);
+        for p in params {
+            let dims = p.value.dims();
+            h.push_u64(dims.len() as u64);
+            for &d in dims {
+                h.push_u64(d as u64);
+            }
+        }
+        let buffers = self.buffers_mut();
+        h.push_u64(buffers.len() as u64);
+        for b in buffers {
+            let dims = b.dims();
+            h.push_u64(dims.len() as u64);
+            for &d in dims {
+                h.push_u64(d as u64);
+            }
+        }
+        h.0
+    }
+
+    /// The diagnostic names paired with each buffer, in buffer order:
+    /// `layer{i}.{layer name}.buf{j}` where `i` indexes the top-level layer
+    /// stack (composite blocks contribute all their nested buffers under the
+    /// block's name).
+    fn buffer_names(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        for (i, layer) in self.layer_stack_mut().layers_mut().iter_mut().enumerate() {
+            let lname = layer.name();
+            for j in 0..layer.buffers_mut().len() {
+                names.push(format!("layer{i}.{lname}.buf{j}"));
+            }
+        }
+        names
+    }
+
+    /// Serialises the network into checkpoint bytes (see the module docs for
+    /// the exact layout). Byte-stable: the same weights always produce the
+    /// same bytes.
+    pub fn to_checkpoint_bytes(&mut self) -> Vec<u8> {
+        let fingerprint = self.fingerprint();
+        let names = self.buffer_names();
+        let mut w = ByteWriter::new();
+        w.put_bytes(&CHECKPOINT_MAGIC);
+        w.put_u32(CHECKPOINT_VERSION);
+        w.put_u64(fingerprint);
+
+        let total: usize = self.params_mut().iter().map(|p| p.len()).sum();
+        w.put_u64(total as u64);
+        for p in self.params_mut() {
+            w.put_f32_slice(p.value.as_slice());
+        }
+
+        let buffers = self.buffers_mut();
+        w.put_u64(buffers.len() as u64);
+        for (b, name) in buffers.into_iter().zip(&names) {
+            w.put_str(name);
+            let dims = b.dims();
+            w.put_u32(dims.len() as u32);
+            for &d in dims {
+                w.put_u32(d as u32);
+            }
+            w.put_f32_slice(b.as_slice());
+        }
+        w.into_bytes()
+    }
+
+    /// Restores the network from checkpoint bytes produced by
+    /// [`Network::to_checkpoint_bytes`] on a structurally identical network
+    /// (fused or not).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] — without modifying the network — when
+    /// the magic, version, fingerprint, any count or any shape does not
+    /// match, or the input is truncated.
+    pub fn load_checkpoint_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r
+            .get_bytes(8, "magic")
+            .map_err(|_| CheckpointError::BadMagic {
+                found: bytes.to_vec(),
+            })?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: magic.to_vec(),
+            });
+        }
+        let version = r.get_u32("format version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let fingerprint = r.get_u64("fingerprint")?;
+        let expected_fp = self.fingerprint();
+        if fingerprint != expected_fp {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: expected_fp,
+                found: fingerprint,
+            });
+        }
+
+        let n_params = r.get_u64("parameter scalar count")?;
+        let expected_params: usize = self.params_mut().iter().map(|p| p.len()).sum();
+        if n_params != expected_params as u64 {
+            return Err(CheckpointError::ParamCountMismatch {
+                expected: expected_params as u64,
+                found: n_params,
+            });
+        }
+        let flat = r.get_f32_vec(n_params as usize, "parameter data")?;
+
+        let n_buffers = r.get_u64("buffer count")?;
+        let expected_buffers = self.buffers_mut().len();
+        if n_buffers != expected_buffers as u64 {
+            return Err(CheckpointError::BufferCountMismatch {
+                expected: expected_buffers as u64,
+                found: n_buffers,
+            });
+        }
+        // stage every buffer before touching the model, so a shape mismatch
+        // or truncation midway leaves the network untouched
+        let expected_dims: Vec<Vec<usize>> = self
+            .buffers_mut()
+            .iter()
+            .map(|b| b.dims().to_vec())
+            .collect();
+        let mut staged: Vec<Vec<f32>> = Vec::with_capacity(expected_buffers);
+        for dims_expected in &expected_dims {
+            let name = r.get_str("buffer name")?;
+            let rank = r.get_u32("buffer rank")? as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(r.get_u32("buffer dims")? as usize);
+            }
+            if &dims != dims_expected {
+                return Err(CheckpointError::BufferShapeMismatch {
+                    name,
+                    expected: dims_expected.clone(),
+                    found: dims,
+                });
+            }
+            let len: usize = dims.iter().product();
+            staged.push(r.get_f32_vec(len, "buffer data")?);
+        }
+        if r.remaining() > 0 {
+            return Err(CheckpointError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+
+        // all validated: commit
+        let mut offset = 0;
+        for p in self.params_mut() {
+            let n = p.value.len();
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+        for (b, data) in self.buffers_mut().into_iter().zip(staged) {
+            b.as_mut_slice().copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint to `path` (creating parent directories), via an
+    /// adjacent temporary file and an atomic rename so readers never observe
+    /// a half-written checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_checkpoint_bytes();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // append to the full file name (with_extension would REPLACE the
+        // last extension, so model.v1 / model.v2 would collide on one tmp)
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "checkpoint".into());
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and loads a checkpoint written by [`Network::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on I/O failure or any validation
+    /// failure (see [`Network::load_checkpoint_bytes`]).
+    pub fn load_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        self.load_checkpoint_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(Sequential::new(vec![
+            Box::new(Linear::new(3, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ]))
+    }
+
+    #[test]
+    fn bytes_round_trip_bit_exact() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let bytes = a.to_checkpoint_bytes();
+        b.load_checkpoint_bytes(&bytes).unwrap();
+        let wa: Vec<u32> = a.weights().iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u32> = b.weights().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wa, wb);
+        // and re-saving reproduces identical bytes
+        assert_eq!(b.to_checkpoint_bytes(), bytes);
+    }
+
+    #[test]
+    fn file_round_trip_and_atomic_tmp_cleanup() {
+        let dir = std::env::temp_dir().join(format!("hs_ckpt_{}", std::process::id()));
+        let path = dir.join("nested/model.ckpt");
+        let mut a = net(3);
+        a.save_checkpoint(&path).unwrap();
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let mut b = net(4);
+        b.load_checkpoint(&path).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn versioned_paths_sharing_a_stem_do_not_collide_on_the_tmp_file() {
+        // with_extension-based tmp naming would map model.v1 and model.v2
+        // onto ONE model.tmp; the tmp must append to the full file name
+        let dir = std::env::temp_dir().join(format!("hs_ckpt_vers_{}", std::process::id()));
+        let mut a = net(10);
+        let mut b = net(11);
+        a.save_checkpoint(&dir.join("model.v1")).unwrap();
+        b.save_checkpoint(&dir.join("model.v2")).unwrap();
+        let mut ra = net(12);
+        let mut rb = net(13);
+        ra.load_checkpoint(&dir.join("model.v1")).unwrap();
+        rb.load_checkpoint(&dir.join("model.v2")).unwrap();
+        assert_eq!(ra.weights(), a.weights());
+        assert_eq!(rb.weights(), b.weights());
+        // and the tmp names are distinct (so concurrent saves cannot race)
+        assert!(!dir.join("model.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_detected_and_model_untouched() {
+        let mut a = net(5);
+        let bytes = a.to_checkpoint_bytes();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut other = Network::new(Sequential::new(vec![Box::new(Linear::new(
+            3, 9, // different width
+            &mut rng,
+        ))]));
+        let before = other.weights();
+        let err = other.load_checkpoint_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }));
+        assert!(err.to_string().contains("different architecture"));
+        assert_eq!(other.weights(), before, "failed load must not mutate");
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_are_rejected() {
+        let mut a = net(7);
+        let bytes = a.to_checkpoint_bytes();
+        let mut b = net(8);
+        let before = b.weights();
+        // every truncation point fails cleanly and leaves the model alone
+        for cut in [0, 4, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = b.load_checkpoint_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated(_)
+                        | CheckpointError::BadMagic { .. }
+                        | CheckpointError::ParamCountMismatch { .. }
+                ),
+                "cut at {cut} gave {err}"
+            );
+            assert_eq!(b.weights(), before);
+        }
+        // wrong magic
+        let mut garbage = bytes.clone();
+        garbage[0] = b'X';
+        assert!(matches!(
+            b.load_checkpoint_bytes(&garbage).unwrap_err(),
+            CheckpointError::BadMagic { .. }
+        ));
+        // trailing junk
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            b.load_checkpoint_bytes(&long).unwrap_err(),
+            CheckpointError::TrailingBytes { extra: 1 }
+        ));
+    }
+
+    #[test]
+    fn version_from_the_future_is_rejected() {
+        let mut a = net(9);
+        let mut bytes = a.to_checkpoint_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = a.load_checkpoint_bytes(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::UnsupportedVersion { found: 99 }
+        ));
+        assert!(err.to_string().contains("version 99"));
+    }
+}

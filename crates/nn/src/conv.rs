@@ -9,11 +9,13 @@
 //! * [`ConvAlgo::Im2colGemm`] — the PR 1 path: per group,
 //!   `out = W_g (cout_g x wrow) * col (wrow x ohw)` over the im2col matrix
 //!   (with a zero-copy fast path for 1×1 stride-1 unpadded convolutions,
-//!   whose im2col is the identity). Skinny per-sample GEMMs
-//!   (`ohw < 2*NR`, the MobileNet 1×1-at-small-spatial regime) route
-//!   through [`hs_tensor::gemm_batch_strided`]: the weight panel is packed
-//!   once and every sample's columns stream through full-width register
-//!   strips ([`set_batched_gemm`] restores the per-sample loop for
+//!   whose im2col is the identity). Skinny per-sample GEMMs (small `ohw` —
+//!   the MobileNet 1×1-at-small-spatial regime; the routing threshold is
+//!   probed per shape class at runtime, see [`batched_gemm_crossovers`])
+//!   route through [`hs_tensor::gemm_batch_cyclic_strided`]: one call spans
+//!   the whole `groups × samples` item space, each group's weight panel is
+//!   packed once and every sample's columns stream through full-width
+//!   register strips ([`set_batched_gemm`] restores the per-sample loop for
 //!   benches);
 //! * [`ConvAlgo::Winograd`] — F(2×2, 3×3) tile transforms + batched
 //!   tile-GEMM for dense 3×3 stride-1 convolutions
@@ -47,12 +49,14 @@
 use crate::{Layer, Param};
 use hs_tensor::gemm::NR;
 use hs_tensor::{
-    depthwise_conv2d, gemm, gemm_acc, gemm_batch_acc_strided, gemm_batch_strided, gemm_epilogue,
-    he_normal, transpose_into, valid_out_range, winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
+    depthwise_conv2d, gemm, gemm_acc, gemm_batch_cyclic_acc_strided, gemm_batch_cyclic_strided,
+    gemm_batch_strided, gemm_epilogue, he_normal, transpose_into, valid_out_range,
+    winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
 };
 use rand::rngs::StdRng;
 use std::cell::{Cell, RefCell};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// An inference execution backend for [`Conv2d`].
 ///
@@ -133,12 +137,152 @@ fn env_forced_algo() -> Option<ConvAlgo> {
     })
 }
 
-/// Per-sample GEMMs narrower than this (in output pixels) route through the
-/// batched entry point ([`hs_tensor::gemm_batch_strided`]): below two full
-/// register strips the per-call packing/dispatch overhead dominates and
-/// cross-sample n-blocking is what fills the register tiles (MobileNet's
-/// 1×1 convolutions at 4×4–8×8 spatial sit squarely in this regime).
-const BATCHED_GEMM_OHW_MAX: usize = 2 * NR;
+/// Candidate step for the measured crossover probe: thresholds are whole
+/// register strips, `NR .. 4*NR`. (PR 4 hardwired `2*NR`: below two full
+/// strips the per-call packing/dispatch overhead dominates and
+/// cross-sample n-blocking is what fills the register tiles — the probe
+/// now measures where that actually stops being true on this machine.)
+const CROSSOVER_STEP: usize = NR;
+
+/// The measured batched-routing crossover table: shape-class →
+/// `ohw` threshold, probed once per process per class (see
+/// [`batched_ohw_max`]).
+static CROSSOVER_TABLE: OnceLock<Mutex<HashMap<(u32, u32), usize>>> = OnceLock::new();
+
+/// Shape class of a per-sample conv GEMM: log2 buckets of `(m, k)` =
+/// `(cout_g, wrow)`. Shapes in one bucket share a measured threshold; the
+/// first shape seen in a bucket is the one probed.
+fn shape_class(m: usize, k: usize) -> (u32, u32) {
+    (m.max(1).ilog2(), k.max(1).ilog2())
+}
+
+/// Times `f` (already warmed) and returns the fastest of `reps` runs.
+fn time_min_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Measures the `ohw` crossover for a `(m, k)` per-sample GEMM: the largest
+/// whole-strip width at which the batched entry point still beats the
+/// per-sample [`gemm`] loop, probed at `NR`-wide candidates on synthetic
+/// data (batch of 8 samples, min-of-5 timing after warm-up). Below one
+/// strip the batched route always wins (cross-sample n-blocking is what
+/// fills the register tiles), so `NR` is the floor; the ceiling is `4*NR`.
+fn probe_crossover(m: usize, k: usize) -> usize {
+    let max_n = 4 * CROSSOVER_STEP;
+    let batch = 8usize;
+    // deterministic non-trivial fill; no RNG needed for timing
+    let fill = |len: usize, salt: usize| -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 31 + salt * 17) % 23) as f32 * 0.05 - 0.5)
+            .collect()
+    };
+    let a = fill(m * k, 1);
+    let bs = fill(batch * k * max_n, 2);
+    let mut out = vec![0.0f32; batch * m * max_n];
+    let mut threshold = CROSSOVER_STEP;
+    for cand in (1..4).map(|s| s * CROSSOVER_STEP) {
+        let mut run_batched = || {
+            gemm_batch_strided(
+                &a,
+                &bs,
+                &mut out,
+                m,
+                k,
+                cand,
+                batch,
+                0,
+                k * cand,
+                m * cand,
+                None,
+            )
+        };
+        run_batched(); // warm (scratch growth, dispatch)
+        let batched = time_min_ns(5, run_batched);
+        let mut run_loop = || {
+            for s in 0..batch {
+                gemm(
+                    &a,
+                    &bs[s * k * cand..(s + 1) * k * cand],
+                    &mut out[s * m * cand..(s + 1) * m * cand],
+                    m,
+                    k,
+                    cand,
+                );
+            }
+        };
+        run_loop();
+        let looped = time_min_ns(5, run_loop);
+        if batched < looped {
+            threshold = cand + CROSSOVER_STEP;
+        } else {
+            break;
+        }
+    }
+    threshold
+}
+
+/// The routing threshold for a per-sample GEMM of shape `(m, k)`:
+/// per-sample GEMMs with `ohw` below it take the batched entry point.
+///
+/// The PR 4 threshold was a fixed `2*NR`; it is now **measured**: the first
+/// shape seen in each `(m, k)` shape class probes its crossover once per
+/// process ([`probe_crossover`]) and the result is cached for the class.
+/// `HS_BATCHED_OHW_MAX=<pixels>` pins the threshold process-wide (benches
+/// and tests that must not depend on probe timing use it; `0` disables the
+/// batched route entirely). The measured table is inspectable via
+/// [`batched_gemm_crossovers`] and logged in `docs/PERF.md`.
+fn batched_ohw_max(m: usize, k: usize) -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let pinned = *ENV.get_or_init(|| {
+        std::env::var("HS_BATCHED_OHW_MAX").ok().map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                panic!(
+                    "HS_BATCHED_OHW_MAX={v:?} is not a pixel count (use e.g. 96, or 0 to disable)"
+                )
+            })
+        })
+    });
+    if let Some(v) = pinned {
+        return v;
+    }
+    let class = shape_class(m, k);
+    let table = CROSSOVER_TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&th) = table.lock().unwrap().get(&class) {
+        return th;
+    }
+    // probe outside the lock (it runs GEMMs that may fan out over the pool);
+    // a racing thread probing the same class just overwrites with its own
+    // measurement of the same crossover
+    let th = probe_crossover(m, k);
+    table.lock().unwrap().insert(class, th);
+    th
+}
+
+/// Snapshot of the measured batched-routing crossover table:
+/// `(m_class_floor, k_class_floor, ohw_threshold)` per probed shape class,
+/// sorted. Empty until the first small-`ohw` convolution routes (or when
+/// `HS_BATCHED_OHW_MAX` pins the threshold). `exp_serving_sweep` prints it;
+/// the reference numbers live in `docs/PERF.md`.
+pub fn batched_gemm_crossovers() -> Vec<(usize, usize, usize)> {
+    let mut out: Vec<(usize, usize, usize)> = CROSSOVER_TABLE
+        .get()
+        .map(|t| {
+            t.lock()
+                .unwrap()
+                .iter()
+                .map(|(&(mc, kc), &th)| (1usize << mc, 1usize << kc, th))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort_unstable();
+    out
+}
 
 thread_local! {
     /// Per-thread switch for the batched small-GEMM route (default on).
@@ -412,6 +556,10 @@ pub struct Conv2d {
     /// Per-layer backend override (tests/benches); `None` defers to
     /// `HS_CONV_ALGO` and then the [`ConvAlgo::select`] heuristic.
     forced_algo: Option<ConvAlgo>,
+    /// Lazily resolved batched-routing threshold for this layer's GEMM
+    /// shape (see [`batched_ohw_max`]) — one atomic load per forward after
+    /// the first, instead of a global table lock in the dispatch hot path.
+    batched_ohw: OnceLock<usize>,
 }
 
 impl Conv2d {
@@ -462,6 +610,7 @@ impl Conv2d {
             col_cache: Vec::new(),
             eval_col: Vec::new(),
             forced_algo: None,
+            batched_ohw: OnceLock::new(),
         }
     }
 
@@ -679,25 +828,38 @@ impl Conv2d {
         let colsz_eff = if identity_col { 0 } else { colsz };
 
         // Batched small-GEMM route: when the per-sample GEMM is skinny
-        // (small ohw), per-call packing/dispatch dominates. One strided
-        // batched call per group packs the shared weight panel once and
-        // streams every sample's columns through full-width register tiles
-        // (identity-col convs read the input blocks in place; other shapes
-        // stage per-sample col slabs in one contiguous scratch).
-        if batched_gemm_enabled() && n > 0 && ohw < BATCHED_GEMM_OHW_MAX {
-            if !identity_col && col_scratch.len() < n * colsz {
-                col_scratch.resize(n * colsz, 0.0);
-            }
-            let stride_out = out_channels * ohw;
-            for g in 0..groups {
-                let (bs, stride_b): (&[f32], usize) = if identity_col {
-                    (&x[g * cin_g * h * w..], c * h * w)
-                } else {
-                    for ni in 0..n {
+        // (small ohw), per-call packing/dispatch dominates. ONE cyclic
+        // batched call covers the whole `groups × samples` item space
+        // (items sample-major, group-minor — exactly the layout of both the
+        // input blocks and the output panels), with the weight panels
+        // cycling at period `groups`: each group's panel is still packed
+        // once per k-panel, its samples' columns still share full-width
+        // register strips, and the pool fan-out bands over all items at
+        // once instead of one dispatch per group. Identity-col convs read
+        // the input blocks in place; other shapes stage per-(sample, group)
+        // col slabs contiguously in the same item order.
+        if batched_gemm_enabled()
+            && n > 0
+            && ohw
+                < *self
+                    .batched_ohw
+                    .get_or_init(|| batched_ohw_max(cout_g, wrow))
+        {
+            let stride_out = cout_g * ohw;
+            let (bs, stride_b): (&[f32], usize) = if identity_col {
+                // sample ni group g block sits at (ni*groups + g)*cin_g*h*w
+                (x, cin_g * h * w)
+            } else {
+                if col_scratch.len() < n * groups * colsz {
+                    col_scratch.resize(n * groups * colsz, 0.0);
+                }
+                for ni in 0..n {
+                    for g in 0..groups {
                         let in_offset = ni * c * h * w + g * cin_g * h * w;
+                        let slab = (ni * groups + g) * colsz;
                         im2col(
                             &x[in_offset..in_offset + cin_g * h * w],
-                            &mut col_scratch[ni * colsz..(ni + 1) * colsz],
+                            &mut col_scratch[slab..slab + colsz],
                             cin_g,
                             h,
                             w,
@@ -709,40 +871,45 @@ impl Conv2d {
                             ow,
                         );
                     }
-                    (&col_scratch[..n * colsz], colsz)
-                };
-                let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
-                let outs = &mut out_data[g * cout_g * ohw..];
-                match ep {
-                    Some((scale, shift, act)) => gemm_batch_strided(
-                        w_g,
+                }
+                (&col_scratch[..n * groups * colsz], colsz)
+            };
+            match ep {
+                Some((scale, shift, act)) => gemm_batch_cyclic_strided(
+                    wgt,
+                    bs,
+                    out_data,
+                    cout_g,
+                    wrow,
+                    ohw,
+                    n * groups,
+                    groups,
+                    cout_g * wrow,
+                    stride_b,
+                    stride_out,
+                    Some(Epilogue { scale, shift, act }),
+                ),
+                None => {
+                    // unfused: the bias is the accumulation's initial value
+                    for (t, out_t) in out_data.chunks_mut(stride_out).enumerate() {
+                        let g = t % groups;
+                        for oc in 0..cout_g {
+                            out_t[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
+                        }
+                    }
+                    gemm_batch_cyclic_acc_strided(
+                        wgt,
                         bs,
-                        outs,
+                        out_data,
                         cout_g,
                         wrow,
                         ohw,
-                        n,
-                        0,
+                        n * groups,
+                        groups,
+                        cout_g * wrow,
                         stride_b,
                         stride_out,
-                        Some(Epilogue {
-                            scale: &scale[g * cout_g..(g + 1) * cout_g],
-                            shift: &shift[g * cout_g..(g + 1) * cout_g],
-                            act,
-                        }),
-                    ),
-                    None => {
-                        // unfused: the bias is the accumulation's initial value
-                        for s in 0..n {
-                            let out_g = &mut outs[s * stride_out..s * stride_out + cout_g * ohw];
-                            for oc in 0..cout_g {
-                                out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
-                            }
-                        }
-                        gemm_batch_acc_strided(
-                            w_g, bs, outs, cout_g, wrow, ohw, n, 0, stride_b, stride_out,
-                        );
-                    }
+                    );
                 }
             }
             return;

@@ -38,6 +38,7 @@
 
 mod activation;
 mod blocks;
+mod checkpoint;
 mod conv;
 mod dropout;
 pub mod fuse;
@@ -54,7 +55,8 @@ mod sequential;
 
 pub use activation::{HardSigmoid, HardSwish, LeakyRelu, Relu, Relu6, Sigmoid, Tanh};
 pub use blocks::{ChannelShuffle, Fire, InvertedResidual, Residual, ShuffleUnit, SqueezeExcite};
-pub use conv::{set_batched_gemm, Conv2d, ConvAlgo};
+pub use checkpoint::{CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use conv::{batched_gemm_crossovers, set_batched_gemm, Conv2d, ConvAlgo};
 pub use dropout::Dropout;
 pub use fuse::{fuse_sequential, FusedConvBnAct, FusedLinearAct};
 pub use hs_tensor::EpilogueAct;

@@ -105,6 +105,12 @@ impl Network {
         self.layers.params_mut()
     }
 
+    /// Internal access to the top-level layer stack (checkpoint naming
+    /// walks it to pair each buffer with its owning layer's name).
+    pub(crate) fn layer_stack_mut(&mut self) -> &mut crate::Sequential {
+        &mut self.layers
+    }
+
     /// Mutable access to all non-trainable buffers (batch-norm statistics).
     pub fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         self.layers.buffers_mut()

@@ -1,0 +1,255 @@
+//! The serving metrics recorder: request latency percentiles, the
+//! batch-size histogram (the direct read-out of how well the batcher is
+//! coalescing), and admission/expiry counters.
+//!
+//! Recording is cheap (two atomics or one short mutex hold per event);
+//! aggregation happens in [`ServerMetrics::snapshot`], which sorts a copy
+//! of the latencies. [`MetricsSnapshot`] derives `serde::ToJson`, so the
+//! load-generator harness dumps it straight into the experiment JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One bar of the batch-size histogram.
+#[derive(Debug, Clone, PartialEq, Eq, serde::ToJson)]
+pub struct BatchBucket {
+    /// Batch size.
+    pub batch: usize,
+    /// Number of batches executed at that size.
+    pub count: u64,
+}
+
+/// A point-in-time aggregation of a server's metrics. Latency statistics
+/// (`p50_us`..`mean_us`) cover the most recent `LATENCY_WINDOW` (65 536)
+/// completions; the counters cover the server's whole lifetime.
+#[derive(Debug, Clone, serde::ToJson)]
+pub struct MetricsSnapshot {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected at admission (queue full → `Backpressure`).
+    pub rejected: u64,
+    /// Requests dropped because their deadline passed before execution.
+    pub expired: u64,
+    /// Median completion latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile completion latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed completion latency, microseconds.
+    pub max_us: u64,
+    /// Mean completion latency, microseconds.
+    pub mean_us: f64,
+    /// Mean executed batch size: completed requests divided by executed
+    /// batches (how full the batcher ran on average).
+    pub mean_batch: f64,
+    /// Executed batch sizes and their counts, ascending.
+    pub batch_histogram: Vec<BatchBucket>,
+}
+
+/// Cap on retained latency samples: a ring of the most recent completions,
+/// so percentiles track the live distribution while a long-running server's
+/// memory stays bounded (the total count lives in the `completed` counter).
+const LATENCY_WINDOW: usize = 65_536;
+
+#[derive(Default)]
+struct Recorded {
+    /// Ring buffer of the most recent [`LATENCY_WINDOW`] latencies.
+    latencies_us: Vec<u64>,
+    /// Ring insertion index (next slot to overwrite once full).
+    next: usize,
+    /// `batch_counts[size]` = number of batches executed with that many
+    /// requests (index 0 unused).
+    batch_counts: Vec<u64>,
+}
+
+/// The shared recorder every worker and client reports into.
+#[derive(Default)]
+pub struct ServerMetrics {
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    recorded: Mutex<Recorded>,
+}
+
+impl ServerMetrics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successfully completed request. Latency percentiles are
+    /// computed over the most recent [`LATENCY_WINDOW`] completions.
+    pub fn record_completion(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let mut rec = self.recorded.lock().unwrap();
+        if rec.latencies_us.len() < LATENCY_WINDOW {
+            rec.latencies_us.push(us);
+        } else {
+            let slot = rec.next;
+            rec.latencies_us[slot] = us;
+            rec.next = (slot + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Records one admission rejection (backpressure).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one deadline expiry.
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the size of one executed batch.
+    pub fn record_batch(&self, size: usize) {
+        let mut rec = self.recorded.lock().unwrap();
+        if rec.batch_counts.len() <= size {
+            rec.batch_counts.resize(size + 1, 0);
+        }
+        rec.batch_counts[size] += 1;
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at admission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests expired before execution so far.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Aggregates everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let rec = self.recorded.lock().unwrap();
+        let mut sorted = rec.latencies_us.clone();
+        sorted.sort_unstable();
+        // nearest-rank percentile: the smallest value with at least q of
+        // the distribution at or below it
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                let rank = (q * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            }
+        };
+        let mean_us = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+        };
+        let batch_histogram: Vec<BatchBucket> = rec
+            .batch_counts
+            .iter()
+            .enumerate()
+            .filter(|&(size, &count)| size > 0 && count > 0)
+            .map(|(batch, &count)| BatchBucket { batch, count })
+            .collect();
+        let (requests, batches): (u64, u64) = batch_histogram.iter().fold((0, 0), |(r, n), b| {
+            (r + b.count * b.batch as u64, n + b.count)
+        });
+        let mean_batch = if batches == 0 {
+            0.0
+        } else {
+            requests as f64 / batches as f64
+        };
+        MetricsSnapshot {
+            completed: self.completed(),
+            rejected: self.rejected(),
+            expired: self.expired(),
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: sorted.last().copied().unwrap_or(0),
+            mean_us,
+            mean_batch,
+            batch_histogram,
+        }
+    }
+
+    /// Clears every counter and series (between sweep configurations).
+    pub fn reset(&self) {
+        self.completed.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
+        let mut rec = self.recorded.lock().unwrap();
+        rec.latencies_us.clear();
+        rec.next = 0;
+        rec.batch_counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_histogram_aggregate_correctly() {
+        let m = ServerMetrics::new();
+        for us in 1..=100u64 {
+            m.record_completion(Duration::from_micros(us));
+        }
+        m.record_batch(4);
+        m.record_batch(4);
+        m.record_batch(1);
+        m.record_rejected();
+        m.record_expired();
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p95_us, 95);
+        assert_eq!(snap.p99_us, 99);
+        assert_eq!(snap.max_us, 100);
+        assert!((snap.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(
+            snap.batch_histogram,
+            vec![
+                BatchBucket { batch: 1, count: 1 },
+                BatchBucket { batch: 4, count: 2 }
+            ]
+        );
+        assert!((snap.mean_batch - 3.0).abs() < 1e-9); // 9 requests / 3 batches
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = ServerMetrics::new().snapshot();
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.mean_batch, 0.0);
+        assert!(snap.batch_histogram.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = ServerMetrics::new();
+        m.record_completion(Duration::from_micros(10));
+        m.record_batch(2);
+        m.reset();
+        let snap = m.snapshot();
+        assert_eq!(snap.completed, 0);
+        assert!(snap.batch_histogram.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = ServerMetrics::new();
+        m.record_completion(Duration::from_micros(5));
+        m.record_batch(1);
+        let text = serde::json::to_string(&m.snapshot());
+        assert!(text.contains("\"p99_us\":5"));
+        assert!(text.contains("\"batch_histogram\":[{\"batch\":1,\"count\":1}]"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The bounded MPMC admission queue at the front of the server.
+//!
+//! Admission control happens here: producers ([`crate::ServeClient`]) use
+//! the non-blocking [`BoundedQueue::try_push`], which fails immediately with
+//! the rejected item when the queue is full — the server turns that into a
+//! `Backpressure` error instead of letting an overload grow an unbounded
+//! backlog (and letting every queued request blow through its deadline).
+//! Consumers (batcher workers) block with a timeout so they can interleave
+//! control work (hot-swap checks, shutdown) with popping.
+//!
+//! Built on `Mutex` + `Condvar` like the `hs_parallel` pool — the build
+//! environment has no crates registry, so no crossbeam.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why [`BoundedQueue::try_push`] rejected an item. Carries the item back
+/// so the caller can complete it with an error (or retry).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` items: admission control triggered.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+/// Outcome of a [`BoundedQueue::pop_timeout`].
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty (and open).
+    Empty,
+    /// The queue is closed **and** drained: no item will ever arrive again.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue rejects every
+    /// request, which is never what a server configuration means).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking; fails with the item when the queue is at
+    /// capacity (backpressure) or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking up to `timeout` for one to
+    /// arrive. A closed queue keeps yielding its remaining items
+    /// ([`Popped::Item`]) until drained, then reports [`Popped::Closed`] —
+    /// so shutdown never strands accepted requests.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::Empty;
+            }
+            let (next, timed_out) = self.not_empty.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+            if timed_out.timed_out() && state.items.is_empty() {
+                return if state.closed {
+                    Popped::Closed
+                } else {
+                    Popped::Empty
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: every future push fails, every blocked consumer
+    /// wakes, and remaining items stay poppable until drained.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Popped::Item(1)));
+        q.try_push(3).unwrap();
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Popped::Item(2)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Popped::Item(3)));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_micros(100)),
+            Popped::Empty
+        ));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Popped::Item(1)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Popped::Closed));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match q2.pop_timeout(Duration::from_secs(5)) {
+                    Popped::Item(v) => got.push(v),
+                    Popped::Closed => return got,
+                    Popped::Empty => panic!("5s timeout should not elapse"),
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(7).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let v = p * 1000 + i;
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err(PushError::Full(_)) => std::thread::yield_now(),
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.pop_timeout(Duration::from_millis(200)) {
+                            Popped::Item(v) => got.push(v),
+                            Popped::Closed => return got,
+                            Popped::Empty => return got,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<i32>::new(0);
+    }
+}

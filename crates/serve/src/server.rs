@@ -1,0 +1,537 @@
+//! The serving engine: admission, micro-batched execution on a pool of
+//! per-worker model replicas, and response routing.
+//!
+//! Request lifecycle:
+//!
+//! 1. A [`ServeClient`] validates the sample shape and [`BoundedQueue::
+//!    try_push`]es a request carrying its completion [`Pending`] slot —
+//!    a full queue rejects immediately with [`ServeError::Backpressure`].
+//! 2. A worker thread collects a micro-batch under the
+//!    [`crate::BatchPolicy`], drops requests whose deadline already passed
+//!    ([`ServeError::DeadlineExceeded`]), stacks the survivors into one
+//!    `[b, ...]` tensor and runs **one** batched forward on its own fused +
+//!    planned [`Network`] replica (warm steady-state forwards allocate
+//!    nothing in the planned layers, and skinny per-sample GEMMs coalesce
+//!    across the batch — the whole point of batching here).
+//! 3. Each request's logits row is routed back through its completion slot;
+//!    latency and batch-size metrics are recorded.
+//!
+//! Between batches every worker polls the [`ModelRegistry`] and atomically
+//! hot-swaps its replica when a newer version of the served model was
+//! published — an in-flight batch always runs on exactly one version.
+
+use crate::batcher::{collect_batch, BatchPolicy, Collected};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::ModelRegistry;
+use hs_nn::{CheckpointError, Network};
+use hs_tensor::Tensor;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a request was not served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission queue is full: shed load or retry later.
+    Backpressure {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a worker executed it.
+    DeadlineExceeded {
+        /// How long the request had been waiting when it was dropped.
+        waited: Duration,
+    },
+    /// The sample's shape does not match the model the server was built
+    /// for.
+    ShapeMismatch {
+        /// Per-sample input shape the server expects.
+        expected: Vec<usize>,
+        /// Shape of the rejected sample.
+        got: Vec<usize>,
+    },
+    /// The server is shutting down (or already shut down).
+    Shutdown,
+    /// The worker executing this request's batch panicked; the request was
+    /// aborted (the worker survives and keeps serving later batches).
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { capacity } => write!(
+                f,
+                "request rejected: admission queue is at capacity ({capacity}) — the server \
+                 is overloaded; retry with backoff or raise queue_capacity/workers"
+            ),
+            ServeError::DeadlineExceeded { waited } => write!(
+                f,
+                "request expired after waiting {waited:?}: its deadline passed before a \
+                 worker could execute it"
+            ),
+            ServeError::ShapeMismatch { expected, got } => write!(
+                f,
+                "sample shape {got:?} does not match the served model's input {expected:?}"
+            ),
+            ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::WorkerPanicked => write!(
+                f,
+                "internal error: the worker executing this request's batch panicked; \
+                 the request was aborted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why [`Server::start`] refused to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// No version of the requested model is published in the registry.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+        /// Names that are published.
+        available: Vec<String>,
+    },
+    /// The latest published checkpoint does not load into the replica the
+    /// factory builds.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::UnknownModel { name, available } => write!(
+                f,
+                "model {name:?} has no published version in the registry (available: \
+                 {available:?}); publish a checkpoint before starting the server"
+            ),
+            StartError::Checkpoint(e) => write!(
+                f,
+                "latest published checkpoint does not load into the server's replica: {e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<CheckpointError> for StartError {
+    fn from(e: CheckpointError) -> Self {
+        StartError::Checkpoint(e)
+    }
+}
+
+/// A served inference result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The model's output row for this sample (e.g. class logits).
+    pub logits: Vec<f32>,
+    /// Registry version of the model that produced the output.
+    pub model_version: u64,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// Size of the batch this request was executed in.
+    pub batch_size: usize,
+}
+
+/// The per-request completion slot: one writer (the executing worker), one
+/// waiter (the client that submitted).
+struct Slot {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// First completion wins; later writes (e.g. the [`Request`] drop
+    /// guard firing after a normal completion) are ignored.
+    fn complete(&self, result: Result<Response, ServeError>) {
+        let mut state = self.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(result);
+            drop(state);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A handle to one in-flight request ([`ServeClient::submit`]); redeem it
+/// with [`Pending::wait`].
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl fmt::Debug for Pending {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let done = self.slot.state.lock().unwrap().is_some();
+        f.debug_struct("Pending").field("done", &done).finish()
+    }
+}
+
+impl Pending {
+    /// Blocks until the request completes (successfully or not).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking poll: the outcome if the request has completed, or the
+    /// handle back (`Err`) to poll again later. Consuming `self` keeps the
+    /// completion single-shot — a redeemed handle cannot be waited on
+    /// twice.
+    pub fn try_wait(self) -> Result<Result<Response, ServeError>, Pending> {
+        let taken = self.slot.state.lock().unwrap().take();
+        match taken {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+}
+
+/// One queued inference request.
+struct Request {
+    sample: Tensor,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+impl Drop for Request {
+    /// Completion back-stop: a request dropped without a result (its
+    /// executing worker panicked mid-batch, or the server was torn down
+    /// with it still queued) fails its waiter instead of stranding it on a
+    /// condvar forever. A no-op after a normal completion (first write
+    /// wins in [`Slot::complete`]).
+    fn drop(&mut self) {
+        self.slot.complete(Err(ServeError::WorkerPanicked));
+    }
+}
+
+/// Server sizing and batching knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads, each with its own model replica.
+    pub workers: usize,
+    /// Admission queue bound (requests beyond it are rejected with
+    /// [`ServeError::Backpressure`]).
+    pub queue_capacity: usize,
+    /// The micro-batching policy.
+    pub policy: BatchPolicy,
+    /// How long an idle worker blocks before re-checking the registry for
+    /// hot-swaps (pure idle-path knob; requests wake workers immediately).
+    pub idle_poll: Duration,
+}
+
+impl ServerConfig {
+    /// A configuration with the given knobs and a 1 ms idle poll.
+    pub fn new(workers: usize, queue_capacity: usize, policy: BatchPolicy) -> Self {
+        assert!(workers > 0, "server needs at least one worker");
+        ServerConfig {
+            workers,
+            queue_capacity,
+            policy,
+            idle_poll: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new(1, 64, BatchPolicy::new(8, 200))
+    }
+}
+
+/// State shared by clients and workers.
+struct Shared {
+    queue: BoundedQueue<Request>,
+    metrics: ServerMetrics,
+    registry: Arc<ModelRegistry>,
+    model_name: String,
+    input_dims: Vec<usize>,
+    policy: BatchPolicy,
+    idle_poll: Duration,
+}
+
+/// A cloneable request-submission handle (the "connection" object load
+/// generators hand to each client thread).
+#[derive(Clone)]
+pub struct ServeClient {
+    shared: Arc<Shared>,
+}
+
+impl ServeClient {
+    /// Submits one single-sample request; returns a [`Pending`] completion
+    /// handle without blocking on execution. `deadline` (measured from now)
+    /// lets the server drop the request unexecuted once it can no longer be
+    /// useful.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] for a sample that does not match the
+    /// served model, [`ServeError::Backpressure`] when the admission queue
+    /// is full, [`ServeError::Shutdown`] after shutdown began.
+    pub fn submit(
+        &self,
+        sample: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Pending, ServeError> {
+        if sample.dims() != &self.shared.input_dims[..] {
+            return Err(ServeError::ShapeMismatch {
+                expected: self.shared.input_dims.clone(),
+                got: sample.dims().to_vec(),
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        let now = Instant::now();
+        let request = Request {
+            sample,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.queue.try_push(request) {
+            Ok(()) => Ok(Pending { slot }),
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.record_rejected();
+                Err(ServeError::Backpressure {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Submits and blocks for the response — the closed-loop client call.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::submit`], plus any execution-time failure
+    /// ([`ServeError::DeadlineExceeded`]).
+    pub fn infer(
+        &self,
+        sample: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Response, ServeError> {
+        self.submit(sample, deadline)?.wait()
+    }
+
+    /// Current admission-queue depth (diagnostic).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+}
+
+/// The serving engine: owns the admission queue and the worker pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server for registry model `model_name`.
+    ///
+    /// `replica` builds one structurally identical, *unweighted* model per
+    /// worker (the same closure shape as `hs-fl`'s `ModelFactory`); each
+    /// replica is fused for inference and loaded from the latest published
+    /// checkpoint before serving. `input_dims` is the per-sample input
+    /// shape (e.g. `[3, 32, 32]`); requests are validated against it at
+    /// admission.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError::UnknownModel`] when nothing is published under
+    /// `model_name`; [`StartError::Checkpoint`] when the latest checkpoint
+    /// does not load into the factory's replica (wrong architecture,
+    /// truncated blob, ...).
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        model_name: &str,
+        replica: impl Fn() -> Network + Send + Sync + 'static,
+        input_dims: &[usize],
+        config: ServerConfig,
+    ) -> Result<Server, StartError> {
+        let initial = registry
+            .latest(model_name)
+            .ok_or_else(|| StartError::UnknownModel {
+                name: model_name.to_string(),
+                available: registry.names(),
+            })?;
+        // validate once up-front so a bad registry entry fails loudly here,
+        // not inside a worker thread
+        let make_replica = Arc::new(replica);
+        let mut probe = make_replica();
+        probe.fuse_inference();
+        probe.load_checkpoint_bytes(&initial.bytes)?;
+        drop(probe);
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: ServerMetrics::new(),
+            registry,
+            model_name: model_name.to_string(),
+            input_dims: input_dims.to_vec(),
+            policy: config.policy,
+            idle_poll: config.idle_poll,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let make_replica = Arc::clone(&make_replica);
+                let initial = Arc::clone(&initial);
+                std::thread::Builder::new()
+                    .name(format!("hs-serve-{i}"))
+                    .spawn(move || {
+                        let mut net = make_replica();
+                        net.fuse_inference();
+                        net.load_checkpoint_bytes(&initial.bytes)
+                            .expect("validated at start");
+                        worker_loop(&shared, &mut net, initial.version);
+                    })
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        Ok(Server { shared, workers })
+    }
+
+    /// A cloneable submission handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Aggregated metrics so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Clears the metrics (between load-sweep configurations).
+    pub fn reset_metrics(&self) {
+        self.shared.metrics.reset()
+    }
+
+    /// Graceful shutdown: stops admitting, lets the workers drain every
+    /// already-accepted request, and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping without [`Server::shutdown`] still stops admission and lets
+    /// the workers drain and exit on their own (they hold their own `Arc`s).
+    fn drop(&mut self) {
+        self.shared.queue.close();
+    }
+}
+
+/// One worker: hot-swap check, collect, execute, route — forever.
+fn worker_loop(shared: &Shared, net: &mut Network, mut version: u64) {
+    let mut batch_in = Tensor::zeros(&[0]);
+    loop {
+        // Hot-swap strictly between batches: the batch that is about to run
+        // sees exactly one published version, never a half-loaded mix. A
+        // version that fails to load (e.g. published for a different
+        // architecture under the same name) is skipped and the worker keeps
+        // serving its current weights.
+        if let Some(latest) = shared.registry.latest(&shared.model_name) {
+            if latest.version != version && net.load_checkpoint_bytes(&latest.bytes).is_ok() {
+                version = latest.version;
+            }
+        }
+        match collect_batch(&shared.queue, &shared.policy, shared.idle_poll) {
+            Collected::Closed => break,
+            Collected::Idle => continue,
+            Collected::Batch(requests) => {
+                // Panic containment: a forward that panics (e.g. a custom
+                // layer blowing up on one input) must not kill the worker
+                // and strand every queued client. The unwound batch's
+                // requests complete with `WorkerPanicked` via the Request
+                // drop guard; the worker resumes with the next batch.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_batch(shared, net, version, &mut batch_in, requests)
+                }));
+                if result.is_err() {
+                    eprintln!(
+                        "hs-serve: worker survived a panic while executing a batch; \
+                         the batch's requests were aborted"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Executes one collected micro-batch and routes the responses.
+fn run_batch(
+    shared: &Shared,
+    net: &mut Network,
+    version: u64,
+    batch_in: &mut Tensor,
+    requests: Vec<Request>,
+) {
+    // deadline triage first: expired requests are dropped unexecuted so
+    // they cost no forward time
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(requests.len());
+    for request in requests {
+        match request.deadline {
+            Some(d) if now > d => {
+                shared.metrics.record_expired();
+                request.slot.complete(Err(ServeError::DeadlineExceeded {
+                    waited: now - request.enqueued,
+                }));
+            }
+            _ => live.push(request),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let batch = live.len();
+    let sample_len: usize = shared.input_dims.iter().product();
+    let mut dims = Vec::with_capacity(1 + shared.input_dims.len());
+    dims.push(batch);
+    dims.extend_from_slice(&shared.input_dims);
+    batch_in.resize_to(&dims);
+    let stacked = batch_in.as_mut_slice();
+    for (i, request) in live.iter().enumerate() {
+        stacked[i * sample_len..(i + 1) * sample_len].copy_from_slice(request.sample.as_slice());
+    }
+
+    let out = net.infer(batch_in);
+    let row = out.len() / batch;
+    let out_rows = out.as_slice();
+    shared.metrics.record_batch(batch);
+    for (i, request) in live.into_iter().enumerate() {
+        let latency = request.enqueued.elapsed();
+        shared.metrics.record_completion(latency);
+        request.slot.complete(Ok(Response {
+            logits: out_rows[i * row..(i + 1) * row].to_vec(),
+            model_version: version,
+            latency,
+            batch_size: batch,
+        }));
+    }
+}

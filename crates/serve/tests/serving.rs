@@ -1,0 +1,428 @@
+//! Server-level concurrency tests: request/response routing integrity under
+//! load, deadline expiry, admission backpressure, and hot-swap atomicity.
+
+use hs_nn::{Layer, Linear, Network, Sequential};
+use hs_serve::{BatchPolicy, ModelRegistry, ServeError, Server, ServerConfig};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A `Linear(4, 4)` network whose weights will be overwritten anyway.
+fn linear_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(0);
+    Network::new(Sequential::new(vec![Box::new(Linear::new(4, 4, &mut rng))]))
+}
+
+/// Weight vector for `linear_net` computing `y = W x` with `W = c * I` and
+/// zero bias (weights layout: 4×4 weight then 4 bias entries).
+fn scaled_identity_weights(c: f32) -> Vec<f32> {
+    let mut w = vec![0.0f32; 4 * 4 + 4];
+    for i in 0..4 {
+        w[i * 4 + i] = c;
+    }
+    w
+}
+
+fn publish_scaled_identity(registry: &ModelRegistry, name: &str, c: f32) -> u64 {
+    let mut net = linear_net();
+    net.set_weights(&scaled_identity_weights(c));
+    registry.publish(name, &mut net)
+}
+
+#[test]
+fn no_cross_request_sample_mixing_under_load() {
+    // identity-weight model: every response must echo exactly its own
+    // sample, so any batching/routing mix-up is immediately visible
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "id", 1.0);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "id",
+        linear_net,
+        &[4],
+        ServerConfig::new(2, 256, BatchPolicy::new(8, 500)),
+    )
+    .unwrap();
+
+    let clients: Vec<_> = (0..4)
+        .map(|t| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let v = (t * 1000 + i) as f32;
+                    let response = client.infer(Tensor::full(&[4], v), None).unwrap();
+                    assert_eq!(
+                        response.logits,
+                        vec![v; 4],
+                        "client {t} request {i} got someone else's samples back"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 200);
+    assert_eq!(metrics.rejected, 0);
+    assert_eq!(metrics.expired, 0);
+    server.shutdown();
+}
+
+#[test]
+fn async_submissions_coalesce_into_real_batches() {
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "id", 1.0);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "id",
+        linear_net,
+        &[4],
+        ServerConfig::new(1, 64, BatchPolicy::new(8, 50_000)),
+    )
+    .unwrap();
+    let client = server.client();
+    let pending: Vec<_> = (0..8)
+        .map(|i| client.submit(Tensor::full(&[4], i as f32), None).unwrap())
+        .collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let response = p.wait().unwrap();
+        assert_eq!(response.logits, vec![i as f32; 4]);
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 8);
+    assert!(
+        metrics.mean_batch > 1.0,
+        "a 50ms max_wait with 8 queued requests must coalesce, got histogram {:?}",
+        metrics.batch_histogram
+    );
+    server.shutdown();
+}
+
+/// A layer that sleeps on every inference forward — the deterministic way
+/// to keep a worker busy so queue-level behaviours (backpressure, deadline
+/// expiry) can be exercised without racing the real model's speed.
+struct Slow(Duration);
+
+impl Layer for Slow {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        std::thread::sleep(self.0);
+        input.clone()
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+fn slow_net(delay: Duration) -> Network {
+    let mut rng = StdRng::seed_from_u64(0);
+    Network::new(Sequential::new(vec![
+        Box::new(Slow(delay)),
+        Box::new(Linear::new(4, 4, &mut rng)),
+    ]))
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("slow", &mut slow_net(Duration::from_millis(100)));
+    let server = Server::start(
+        Arc::clone(&registry),
+        "slow",
+        || slow_net(Duration::from_millis(100)),
+        &[4],
+        ServerConfig::new(1, 2, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+
+    // first request occupies the single worker for ~100ms…
+    let in_flight = client.submit(Tensor::ones(&[4]), None).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    // …the next two fill the bounded queue…
+    let queued: Vec<_> = (0..2)
+        .map(|_| client.submit(Tensor::ones(&[4]), None).unwrap())
+        .collect();
+    // …and the fourth hits admission control
+    match client.submit(Tensor::ones(&[4]), None) {
+        Err(ServeError::Backpressure { capacity: 2 }) => {}
+        other => panic!("expected Backpressure at capacity 2, got {other:?}"),
+    }
+
+    in_flight.wait().unwrap();
+    for p in queued {
+        p.wait().unwrap();
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 3);
+    assert_eq!(metrics.rejected, 1);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadlines_are_dropped_unexecuted() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("slow", &mut slow_net(Duration::from_millis(60)));
+    let server = Server::start(
+        Arc::clone(&registry),
+        "slow",
+        || slow_net(Duration::from_millis(60)),
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+
+    // occupy the worker, then queue a request that can only expire
+    let in_flight = client.submit(Tensor::ones(&[4]), None).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let doomed = client
+        .submit(Tensor::ones(&[4]), Some(Duration::from_millis(5)))
+        .unwrap();
+    // a generous deadline on a third request must still complete
+    let fine = client
+        .submit(Tensor::ones(&[4]), Some(Duration::from_secs(10)))
+        .unwrap();
+
+    in_flight.wait().unwrap();
+    match doomed.wait() {
+        Err(ServeError::DeadlineExceeded { waited }) => {
+            assert!(waited >= Duration::from_millis(5));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    fine.wait().unwrap();
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 2);
+    assert_eq!(metrics.expired, 1);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_is_atomic_no_torn_weights() {
+    // two versions of the model: W = 1*I and W = 2*I. Under concurrent
+    // publishing, every response must be *entirely* one version's output
+    // (all logits 1.0 or all 2.0 for an all-ones input) — a torn weight
+    // load would produce a mix.
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "swap", 1.0);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "swap",
+        linear_net,
+        &[4],
+        ServerConfig::new(2, 256, BatchPolicy::new(4, 200)),
+    )
+    .unwrap();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let publisher = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = 2.0f32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                publish_scaled_identity(&registry, "swap", c);
+                c = if c == 2.0 { 1.0 } else { 2.0 };
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let x = Tensor::ones(&[4]);
+                for _ in 0..100 {
+                    let response = client.infer(x.clone(), None).unwrap();
+                    let first = response.logits[0];
+                    assert!(
+                        response.logits.iter().all(|&v| v == first),
+                        "torn weights: logits {:?} mix model versions",
+                        response.logits
+                    );
+                    assert!(
+                        first == 1.0 || first == 2.0,
+                        "logit {first} does not correspond to any published version"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    publisher.join().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_picks_up_new_versions_between_batches() {
+    let registry = Arc::new(ModelRegistry::new());
+    let v1 = publish_scaled_identity(&registry, "m", 1.0);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "m",
+        linear_net,
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+    let r1 = client.infer(Tensor::ones(&[4]), None).unwrap();
+    assert_eq!(r1.logits, vec![1.0; 4]);
+    assert_eq!(r1.model_version, v1);
+
+    let v2 = publish_scaled_identity(&registry, "m", 3.0);
+    // the swap happens between batches; poll until the worker noticed
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let r = client.infer(Tensor::ones(&[4]), None).unwrap();
+        if r.model_version == v2 {
+            assert_eq!(r.logits, vec![3.0; 4]);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never hot-swapped to version {v2}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shape_mismatch_and_unknown_model_fail_actionably() {
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "id", 1.0);
+    // unknown model name
+    let err = Server::start(
+        Arc::clone(&registry),
+        "nope",
+        linear_net,
+        &[4],
+        ServerConfig::default(),
+    )
+    .err()
+    .expect("unknown model must not start");
+    assert!(err.to_string().contains("no published version"));
+    // wrong-architecture checkpoint under the requested name
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut wrong = Network::new(Sequential::new(vec![Box::new(Linear::new(7, 7, &mut rng))]));
+    registry.publish("wrong", &mut wrong);
+    let err = Server::start(
+        Arc::clone(&registry),
+        "wrong",
+        linear_net,
+        &[4],
+        ServerConfig::default(),
+    )
+    .err()
+    .expect("architecture mismatch must not start");
+    assert!(err.to_string().contains("does not load"));
+    // shape mismatch at submission
+    let server = Server::start(
+        Arc::clone(&registry),
+        "id",
+        linear_net,
+        &[4],
+        ServerConfig::default(),
+    )
+    .unwrap();
+    match server.client().infer(Tensor::ones(&[5]), None) {
+        Err(ServeError::ShapeMismatch { expected, got }) => {
+            assert_eq!(expected, vec![4]);
+            assert_eq!(got, vec![5]);
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A layer that panics when any input element equals the poison value —
+/// the deterministic way to blow up one specific batch.
+struct PanicOn(f32);
+
+impl Layer for PanicOn {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        if input.as_slice().contains(&self.0) {
+            panic!("poison value hit");
+        }
+        input.clone()
+    }
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+    fn name(&self) -> &'static str {
+        "panic_on"
+    }
+}
+
+#[test]
+fn worker_panic_fails_the_batch_but_not_the_server() {
+    let poison = 1234.5f32;
+    let make = move || {
+        let mut rng = StdRng::seed_from_u64(0);
+        Network::new(Sequential::new(vec![
+            Box::new(PanicOn(poison)),
+            Box::new(Linear::new(4, 4, &mut rng)),
+        ]))
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("p", &mut make());
+    let server = Server::start(
+        Arc::clone(&registry),
+        "p",
+        make,
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+    // the poisoned request must fail with an error, not hang forever…
+    match client.infer(Tensor::full(&[4], poison), None) {
+        Err(ServeError::WorkerPanicked) => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // …and the worker must survive to serve the next request
+    let ok = client.infer(Tensor::full(&[4], 1.0), None).unwrap();
+    assert_eq!(ok.logits.len(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests_then_rejects() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("slow", &mut slow_net(Duration::from_millis(30)));
+    let server = Server::start(
+        Arc::clone(&registry),
+        "slow",
+        || slow_net(Duration::from_millis(30)),
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+    let accepted: Vec<_> = (0..3)
+        .map(|_| client.submit(Tensor::ones(&[4]), None).unwrap())
+        .collect();
+    let shutdown_thread = std::thread::spawn(move || server.shutdown());
+    // already-accepted requests complete during the drain
+    for p in accepted {
+        p.wait().unwrap();
+    }
+    shutdown_thread.join().unwrap();
+    // and new submissions are refused
+    match client.infer(Tensor::ones(&[4]), None) {
+        Err(ServeError::Shutdown) => {}
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+}

@@ -1368,6 +1368,269 @@ pub fn gemm_batch_acc_strided(
     );
 }
 
+/// Validates the cyclic-batch contracts shared by
+/// [`gemm_batch_cyclic_strided`] and [`gemm_batch_cyclic_acc_strided`].
+#[allow(clippy::too_many_arguments)]
+fn assert_cyclic_contract(
+    a: &[f32],
+    bs: &[f32],
+    outs: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+) {
+    assert!(groups >= 1, "cyclic batch needs at least one group");
+    assert_eq!(
+        batch % groups,
+        0,
+        "cyclic batch size {batch} must be a multiple of groups {groups}"
+    );
+    if batch == 0 {
+        return;
+    }
+    if groups > 1 {
+        assert!(
+            stride_a == 0 || stride_a >= m * k,
+            "stride_a {stride_a} smaller than an A panel (m*k = {})",
+            m * k
+        );
+    }
+    if batch > 1 {
+        assert!(
+            stride_b >= k * n,
+            "stride_b {stride_b} smaller than a B panel (k*n = {})",
+            k * n
+        );
+        assert!(
+            stride_out >= m * n,
+            "stride_out {stride_out} smaller than an output panel (m*n = {})",
+            m * n
+        );
+    }
+    assert!(
+        a.len() >= (groups - 1) * stride_a + m * k,
+        "A is {} elements, need (groups-1)*stride_a + m*k = {}",
+        a.len(),
+        (groups - 1) * stride_a + m * k
+    );
+    assert!(
+        bs.len() >= (batch - 1) * stride_b + k * n,
+        "B is {} elements, need (batch-1)*stride_b + k*n = {}",
+        bs.len(),
+        (batch - 1) * stride_b + k * n
+    );
+    assert!(
+        outs.len() >= (batch - 1) * stride_out + m * n,
+        "out is {} elements, need (batch-1)*stride_out + m*n = {}",
+        outs.len(),
+        (batch - 1) * stride_out + m * n
+    );
+}
+
+/// Shared implementation behind [`gemm_batch_cyclic_strided`] /
+/// [`gemm_batch_cyclic_acc_strided`]: `batch` items whose `A` panels cycle
+/// with period `groups` (`A_t = a[(t % groups) * stride_a ..]`).
+///
+/// Per group `g`, the item subsequence `t ≡ g (mod groups)` has uniform
+/// strides `groups * stride_b` / `groups * stride_out`, so each group runs
+/// the shared-A batched core ([`gemm_batch_core`]): the group's `A` panel is
+/// packed once per k-panel and its samples' skinny columns share `NR`-wide
+/// strips exactly like [`gemm_batch_strided`] with `stride_a == 0`. The
+/// parallel path bands over **samples** (each band covers all groups for a
+/// contiguous sample range, so output bands stay contiguous and
+/// `chunks_mut`-splittable).
+#[allow(clippy::too_many_arguments)]
+fn gemm_batch_cyclic_impl(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+    acc: bool,
+    ep: Option<Epilogue<'_>>,
+    parallel: bool,
+) {
+    debug_assert!(ep.is_none() || !acc, "epilogue implies overwrite semantics");
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let per_group = batch / groups;
+    if !acc {
+        for t in 0..batch {
+            outs[t * stride_out..t * stride_out + m * n].fill(0.0);
+        }
+    }
+    if k == 0 {
+        if let Some(e) = ep {
+            for t in 0..batch {
+                let e = e.offset_rows((t % groups) * m);
+                let panel = &mut outs[t * stride_out..t * stride_out + m * n];
+                for (i, row) in panel.chunks_mut(n).enumerate() {
+                    row.fill(e.apply_scalar(i, 0.0));
+                }
+            }
+        }
+        return;
+    }
+    let which = isa();
+    let kc_target = k.div_ceil(k.div_ceil(KC)).max(1);
+    if !parallel {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for g in 0..groups {
+                gemm_batch_core(
+                    which,
+                    scratch,
+                    &a[g * stride_a..],
+                    &bs[g * stride_b..],
+                    &mut outs[g * stride_out..],
+                    m,
+                    k,
+                    n,
+                    per_group,
+                    groups * stride_b,
+                    groups * stride_out,
+                    kc_target,
+                    ep.map(|e| e.offset_rows(g * m)),
+                );
+            }
+        });
+        return;
+    }
+
+    // Parallel path: contiguous sample bands (each sample = `groups`
+    // consecutive items), every band running all of its groups' shared-A
+    // cores with its own short-lived scratch.
+    let bands = hs_parallel::num_threads().min(per_group);
+    let band_len = per_group.div_ceil(bands).max(1);
+    let outs = &mut outs[..(batch - 1) * stride_out + m * n];
+    hs_parallel::scope(|sc| {
+        for (band, out_band) in outs.chunks_mut(band_len * groups * stride_out).enumerate() {
+            sc.spawn(move || {
+                let s0 = band * band_len;
+                let samples = band_len.min(per_group - s0);
+                let mut scratch = GemmScratch::new();
+                for g in 0..groups {
+                    gemm_batch_core(
+                        which,
+                        &mut scratch,
+                        &a[g * stride_a..],
+                        &bs[(s0 * groups + g) * stride_b..],
+                        &mut out_band[g * stride_out..],
+                        m,
+                        k,
+                        n,
+                        samples,
+                        groups * stride_b,
+                        groups * stride_out,
+                        kc_target,
+                        ep.map(|e| e.offset_rows(g * m)),
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Grouped batched small-GEMM:
+/// `outs[t] = act(scale ⊙ (A_{t % groups} * B_t) + shift)` for `t < batch`,
+/// where the `groups` A panels sit `stride_a` apart and items are
+/// **sample-major, group-minor** (`t = sample * groups + group`) — the
+/// layout of a grouped convolution's per-(sample, group) GEMMs over
+/// `groups × samples`.
+///
+/// This folds the per-group loop a caller would otherwise run around
+/// [`gemm_batch_strided`] into one call: every group's weight panel is still
+/// packed once per k-panel and its samples' skinny columns still share
+/// full-width register strips, but the pool fan-out now bands over the whole
+/// `groups × samples` item space at once instead of `groups` separate
+/// dispatches. The epilogue's `scale`/`shift` hold `groups * m` rows; item
+/// `t` uses rows `[(t % groups) * m, (t % groups + 1) * m)`.
+///
+/// `groups == 1` is exactly [`gemm_batch_strided`] with a shared `A`.
+///
+/// # Panics
+///
+/// Panics if `batch` is not a multiple of `groups`, any slice is shorter
+/// than its strided contract, a stride is smaller than its panel, or the
+/// epilogue's scale/shift hold fewer than `groups * m` entries.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_cyclic_strided(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+    ep: Option<Epilogue<'_>>,
+) {
+    assert_cyclic_contract(
+        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out,
+    );
+    if let Some(e) = &ep {
+        assert!(
+            e.scale.len() >= groups * m,
+            "epilogue scale needs {} entries",
+            groups * m
+        );
+        assert!(
+            e.shift.len() >= groups * m,
+            "epilogue shift needs {} entries",
+            groups * m
+        );
+    }
+    let parallel = batch_parallel(m, k, n, batch) && batch / groups.max(1) >= 2;
+    gemm_batch_cyclic_impl(
+        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, false, ep, parallel,
+    );
+}
+
+/// `outs[t] += A_{t % groups} * B_t` for `t < batch`; otherwise identical to
+/// [`gemm_batch_cyclic_strided`] (no epilogue — accumulation implies the
+/// caller provides the initial value, e.g. a bias fill).
+///
+/// # Panics
+///
+/// As [`gemm_batch_cyclic_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_cyclic_acc_strided(
+    a: &[f32],
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+) {
+    assert_cyclic_contract(
+        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out,
+    );
+    let parallel = batch_parallel(m, k, n, batch) && batch / groups.max(1) >= 2;
+    gemm_batch_cyclic_impl(
+        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, true, None, parallel,
+    );
+}
+
 /// `out = A * B^T` for row-major `A: [m, k]`, `B: [n, k]`, `out: [m, n]`.
 ///
 /// The transpose of `B` is staged in a thread-local scratch buffer, so
@@ -2094,6 +2357,234 @@ mod tests {
             out,
             vec![2.0, 2.0, 2.0, 0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 0.0, 0.0, 0.0]
         );
+    }
+
+    /// Per-item reference for the cyclic entry points: item `t` multiplies
+    /// `A_{t % groups}` with its own B panel via the plain [`gemm`] /
+    /// [`gemm_epilogue`], epilogue rows offset by the item's group.
+    #[allow(clippy::too_many_arguments)]
+    fn cyclic_reference(
+        a: &[f32],
+        bs: &[f32],
+        outs: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        batch: usize,
+        groups: usize,
+        stride_a: usize,
+        stride_b: usize,
+        stride_out: usize,
+        ep: Option<&Epilogue<'_>>,
+    ) {
+        for t in 0..batch {
+            let g = t % groups;
+            let a_g = &a[g * stride_a..g * stride_a + m * k];
+            let b_t = &bs[t * stride_b..t * stride_b + k * n];
+            let out_t = &mut outs[t * stride_out..t * stride_out + m * n];
+            match ep {
+                Some(e) => {
+                    let e_g = Epilogue {
+                        scale: &e.scale[g * m..],
+                        shift: &e.shift[g * m..],
+                        act: e.act,
+                    };
+                    gemm_epilogue(a_g, b_t, out_t, m, k, n, &e_g);
+                }
+                None => gemm(a_g, b_t, out_t, m, k, n),
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_matches_per_item_reference_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(60);
+        // (m, k, n, groups, per_group): skinny n below NR, strip-spanning
+        // boundaries, single group (== shared-A batched), single sample
+        for (m, k, n, groups, per_group) in [
+            (4usize, 9usize, 4usize, 4usize, 6usize),
+            (8, 16, 16, 2, 5),
+            (3, 5, 2, 3, 1),
+            (16, 32, 7, 1, 9),
+            (MR + 1, 21, NR + 3, 2, 3),
+        ] {
+            let batch = groups * per_group;
+            let stride_a = m * k;
+            let a = random_matrix(&mut rng, groups * stride_a);
+            let bs = random_matrix(&mut rng, batch * k * n);
+            let mut expect = vec![0.0; batch * m * n];
+            cyclic_reference(
+                &a,
+                &bs,
+                &mut expect,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                stride_a,
+                k * n,
+                m * n,
+                None,
+            );
+            // stale output contents must be ignored (overwrite semantics)
+            let mut got = vec![777.0; batch * m * n];
+            gemm_batch_cyclic_strided(
+                &a,
+                &bs,
+                &mut got,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                stride_a,
+                k * n,
+                m * n,
+                None,
+            );
+            assert_close(
+                &expect,
+                &got,
+                1e-5,
+                &format!("{m}x{k}x{n} g{groups} b{batch}"),
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_epilogue_selects_per_group_rows() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let (m, k, n, groups, per_group) = (5usize, 12usize, 6usize, 3usize, 4usize);
+        let batch = groups * per_group;
+        let a = random_matrix(&mut rng, groups * m * k);
+        let bs = random_matrix(&mut rng, batch * k * n);
+        // distinct scale/shift per group so a row-offset mistake shows up
+        let scale = random_matrix(&mut rng, groups * m);
+        let shift = random_matrix(&mut rng, groups * m);
+        for act in [EpilogueAct::None, EpilogueAct::Relu, EpilogueAct::Relu6] {
+            let ep = Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act,
+            };
+            let mut expect = vec![0.0; batch * m * n];
+            cyclic_reference(
+                &a,
+                &bs,
+                &mut expect,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                m * k,
+                k * n,
+                m * n,
+                Some(&ep),
+            );
+            let mut got = vec![0.0; batch * m * n];
+            gemm_batch_cyclic_strided(
+                &a,
+                &bs,
+                &mut got,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                m * k,
+                k * n,
+                m * n,
+                Some(ep),
+            );
+            assert_close(&expect, &got, 1e-4, &format!("{act:?}"));
+        }
+    }
+
+    #[test]
+    fn cyclic_acc_accumulates_and_shared_a_works() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let (m, k, n, groups, per_group) = (4usize, 8usize, 5usize, 2usize, 3usize);
+        let batch = groups * per_group;
+        // stride_a == 0: every group shares one A panel
+        let a = random_matrix(&mut rng, m * k);
+        let bs = random_matrix(&mut rng, batch * k * n);
+        let init = random_matrix(&mut rng, batch * m * n);
+        let mut expect = vec![0.0; batch * m * n];
+        cyclic_reference(
+            &a,
+            &bs,
+            &mut expect,
+            m,
+            k,
+            n,
+            batch,
+            groups,
+            0,
+            k * n,
+            m * n,
+            None,
+        );
+        for (e, i) in expect.iter_mut().zip(init.iter()) {
+            *e += i;
+        }
+        let mut got = init;
+        gemm_batch_cyclic_acc_strided(&a, &bs, &mut got, m, k, n, batch, groups, 0, k * n, m * n);
+        assert_close(&expect, &got, 1e-5, "cyclic acc shared A");
+    }
+
+    #[test]
+    fn cyclic_parallel_path_matches_serial_path() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let (m, k, n, groups, per_group) = (8usize, 24usize, 9usize, 4usize, 16usize);
+        let batch = groups * per_group;
+        let a = random_matrix(&mut rng, groups * m * k);
+        let bs = random_matrix(&mut rng, batch * k * n);
+        let mut serial = vec![0.0; batch * m * n];
+        gemm_batch_cyclic_impl(
+            &a,
+            &bs,
+            &mut serial,
+            m,
+            k,
+            n,
+            batch,
+            groups,
+            m * k,
+            k * n,
+            m * n,
+            false,
+            None,
+            false,
+        );
+        let mut parallel = vec![0.0; batch * m * n];
+        gemm_batch_cyclic_impl(
+            &a,
+            &bs,
+            &mut parallel,
+            m,
+            k,
+            n,
+            batch,
+            groups,
+            m * k,
+            k * n,
+            m * n,
+            false,
+            None,
+            true,
+        );
+        assert_eq!(serial, parallel, "band split must not change results");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a multiple of groups")]
+    fn cyclic_rejects_ragged_group_batches() {
+        let a = vec![0.0f32; 8];
+        let b = vec![0.0f32; 20];
+        let mut out = vec![0.0f32; 10];
+        gemm_batch_cyclic_strided(&a, &b, &mut out, 2, 2, 2, 5, 2, 4, 4, 4, None);
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub mod winograd;
 pub use depthwise::{depthwise_conv2d, valid_out_range};
 pub use error::TensorError;
 pub use gemm::{
-    gemm, gemm_acc, gemm_batch_acc_strided, gemm_batch_strided, gemm_epilogue, gemm_nt, gemm_tn,
-    transpose_into, Epilogue, EpilogueAct,
+    gemm, gemm_acc, gemm_batch_acc_strided, gemm_batch_cyclic_acc_strided,
+    gemm_batch_cyclic_strided, gemm_batch_strided, gemm_epilogue, gemm_nt, gemm_tn, transpose_into,
+    Epilogue, EpilogueAct,
 };
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use naive::matmul_naive;

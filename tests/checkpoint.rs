@@ -1,0 +1,211 @@
+//! Checkpoint property tests across the whole model zoo: bit-exact
+//! round trips (fresh and fused, before and after training), cross-model
+//! fingerprint rejection, truncated-file rejection, and the byte-stable
+//! golden header.
+
+use hs_nn::models::{build_vision_model, ecg_net, ModelKind, VisionConfig};
+use hs_nn::{CheckpointError, CrossEntropyLoss, Network, Sgd, Target, CHECKPOINT_MAGIC};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ZOO: [ModelKind; 4] = [
+    ModelKind::SimpleCnn,
+    ModelKind::MobileNetV3Small,
+    ModelKind::ShuffleNetV2,
+    ModelKind::SqueezeNet,
+];
+
+fn zoo_cfg() -> VisionConfig {
+    VisionConfig::new(3, 5, 16)
+}
+
+fn zoo_model(kind: ModelKind, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    build_vision_model(kind, zoo_cfg(), &mut rng)
+}
+
+fn weight_bits(net: &mut Network) -> Vec<u32> {
+    net.weights().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One SGD step so parameters *and* batch-norm running buffers move away
+/// from their initial values.
+fn train_one_step(net: &mut Network, rng: &mut StdRng) {
+    let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, rng);
+    net.forward_backward(&x, &Target::Classes(vec![0, 1]), &CrossEntropyLoss);
+    Sgd::new(0.05).step(net);
+    net.zero_grad();
+}
+
+#[test]
+fn round_trip_is_bit_exact_across_the_zoo_fresh_and_trained() {
+    for kind in ZOO {
+        let mut original = zoo_model(kind, 1);
+        // fresh
+        let bytes = original.to_checkpoint_bytes();
+        let mut replica = zoo_model(kind, 2);
+        replica.load_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(
+            weight_bits(&mut original),
+            weight_bits(&mut replica),
+            "{kind:?} fresh round trip must be exact to the bit"
+        );
+        // post-training (parameters and BN running stats both moved)
+        let mut rng = StdRng::seed_from_u64(3);
+        train_one_step(&mut original, &mut rng);
+        let trained = original.to_checkpoint_bytes();
+        assert_ne!(trained, bytes, "{kind:?}: training must change the bytes");
+        let mut replica = zoo_model(kind, 4);
+        replica.load_checkpoint_bytes(&trained).unwrap();
+        assert_eq!(
+            weight_bits(&mut original),
+            weight_bits(&mut replica),
+            "{kind:?} post-training round trip must be exact to the bit"
+        );
+    }
+}
+
+#[test]
+fn fused_and_unfused_replicas_share_checkpoints() {
+    // the serving path: FL publishes from a plain global model, the server
+    // loads into a fused replica — and the reverse must hold too
+    for kind in ZOO {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut plain = zoo_model(kind, 1);
+        train_one_step(&mut plain, &mut rng);
+        let bytes = plain.to_checkpoint_bytes();
+
+        let mut fused = zoo_model(kind, 2);
+        fused.fuse_inference();
+        assert_eq!(
+            plain.fingerprint(),
+            fused.fingerprint(),
+            "{kind:?}: fusion must not change the topology fingerprint"
+        );
+        fused.load_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(
+            weight_bits(&mut plain),
+            weight_bits(&mut fused),
+            "{kind:?} plain→fused load must be exact to the bit"
+        );
+        // a checkpoint re-saved from the fused replica loads back into a
+        // plain one bit-exact (bytes differ only in the diagnostic buffer
+        // names, which carry the fused layer names)
+        let refused = fused.to_checkpoint_bytes();
+        let mut plain2 = zoo_model(kind, 3);
+        plain2.load_checkpoint_bytes(&refused).unwrap();
+        assert_eq!(
+            weight_bits(&mut plain),
+            weight_bits(&mut plain2),
+            "{kind:?} fused→plain load must be exact to the bit"
+        );
+        // and the loaded weights actually drive inference: outputs match
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let expect = plain.infer(&x).clone();
+        let got = fused.infer(&x);
+        for (a, b) in expect.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                "{kind:?}: fused replica diverges after load: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ecg_model_round_trips_too() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut original = ecg_net(32, &mut rng);
+    let bytes = original.to_checkpoint_bytes();
+    let mut replica = ecg_net(32, &mut rng);
+    replica.load_checkpoint_bytes(&bytes).unwrap();
+    assert_eq!(weight_bits(&mut original), weight_bits(&mut replica));
+}
+
+#[test]
+fn cross_model_loads_are_rejected_by_fingerprint() {
+    let mut donors: Vec<(ModelKind, Vec<u8>)> = ZOO
+        .iter()
+        .map(|&kind| (kind, zoo_model(kind, 1).to_checkpoint_bytes()))
+        .collect();
+    // every (donor, recipient) pair of *different* architectures must fail
+    // with the fingerprint error, and leave the recipient untouched
+    for (donor_kind, bytes) in donors.drain(..) {
+        for recipient_kind in ZOO {
+            if recipient_kind == donor_kind {
+                continue;
+            }
+            let mut recipient = zoo_model(recipient_kind, 2);
+            let before = recipient.weights();
+            let err = recipient.load_checkpoint_bytes(&bytes).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::FingerprintMismatch { .. }),
+                "{donor_kind:?} → {recipient_kind:?}: expected fingerprint mismatch, got {err}"
+            );
+            assert_eq!(recipient.weights(), before);
+        }
+    }
+}
+
+#[test]
+fn truncated_files_are_rejected_with_actionable_errors() {
+    let dir = std::env::temp_dir().join(format!("hs_ckpt_zoo_{}", std::process::id()));
+    let path = dir.join("model.ckpt");
+    let mut original = zoo_model(ModelKind::SimpleCnn, 1);
+    original.save_checkpoint(&path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    let mut replica = zoo_model(ModelKind::SimpleCnn, 2);
+    let before = replica.weights();
+    for frac in [0.1, 0.5, 0.99] {
+        let cut = (full.len() as f64 * frac) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = replica.load_checkpoint(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("truncated"),
+            "cut at {frac}: error should say truncated, said: {msg}"
+        );
+        assert_eq!(replica.weights(), before, "failed load must not mutate");
+    }
+    // a missing file surfaces the I/O error
+    let err = replica
+        .load_checkpoint(&dir.join("does_not_exist.ckpt"))
+        .unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_header_is_byte_stable() {
+    // golden pin of the 28-byte header (magic + version + fingerprint +
+    // parameter-scalar count) for the zoo SimpleCnn at VisionConfig(3, 5,
+    // 16). This must only ever change with a deliberate format-version bump
+    // or an intentional architecture change — update the constant in the
+    // same commit and say why.
+    let mut net = zoo_model(ModelKind::SimpleCnn, 1);
+    let bytes = net.to_checkpoint_bytes();
+    assert_eq!(&bytes[..8], &CHECKPOINT_MAGIC);
+    assert_eq!(&bytes[8..12], &1u32.to_le_bytes()); // format version
+    let mut expected_header = Vec::new();
+    expected_header.extend_from_slice(b"HSNNCKPT");
+    expected_header.extend_from_slice(&1u32.to_le_bytes());
+    expected_header.extend_from_slice(&net.fingerprint().to_le_bytes());
+    expected_header.extend_from_slice(&(GOLDEN_PARAM_SCALARS as u64).to_le_bytes());
+    assert_eq!(&bytes[..28], &expected_header[..]);
+    // the golden values themselves, pinned as literals
+    assert_eq!(
+        net.fingerprint(),
+        GOLDEN_FINGERPRINT,
+        "SimpleCnn topology fingerprint moved — format or architecture change?"
+    );
+    let total: usize =
+        net.weights().len() - net.buffers_mut().iter().map(|b| b.len()).sum::<usize>();
+    assert_eq!(total, GOLDEN_PARAM_SCALARS);
+}
+
+/// Pinned by `checkpoint_header_is_byte_stable`.
+const GOLDEN_FINGERPRINT: u64 = 0x08d9_4900_839b_10a8;
+/// Pinned by `checkpoint_header_is_byte_stable`.
+const GOLDEN_PARAM_SCALARS: usize = 38341;

@@ -1,0 +1,171 @@
+//! The end-to-end serving demo: a federated-learning run publishes global
+//! model checkpoints into a registry via the `checkpoint_every` hook,
+//! `hs-serve` loads the model from the registry, and a 4-client closed-loop
+//! load drives the dynamically batched server — responses must match direct
+//! inference with the published global model, batching must actually
+//! coalesce, and mid-serving publications must hot-swap in.
+//!
+//! (The companion throughput claim — dynamic batching ≥ 2× the batch=1
+//! configuration at the same p99 bound — is timed and CI-gated in
+//! `crates/bench/benches/serving.rs`, not asserted here where debug-build
+//! timing would make it flaky.)
+
+use hs_data::{Dataset, Labels};
+use hs_fl::{AggregationMethod, ClientData, FedAvgTrainer, FlConfig, FlSimulation, LossKind};
+use hs_nn::{Linear, Network, Relu, Sequential};
+use hs_serve::{BatchPolicy, ModelRegistry, Server, ServerConfig};
+use hs_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const IN: usize = 4;
+const CLASSES: usize = 3;
+
+fn replica() -> Network {
+    let mut rng = StdRng::seed_from_u64(0);
+    Network::new(Sequential::new(vec![
+        Box::new(Linear::new(IN, 16, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(16, CLASSES, &mut rng)),
+    ]))
+}
+
+fn clients(n: usize, samples: usize) -> Vec<ClientData> {
+    (0..n)
+        .map(|id| {
+            let mut rng = StdRng::seed_from_u64(id as u64 + 77);
+            let x: Vec<Tensor> = (0..samples)
+                .map(|i| {
+                    let mut t = Tensor::rand_uniform(&[IN], -0.2, 0.2, &mut rng);
+                    t.as_mut_slice()[i % CLASSES] += 1.0;
+                    t
+                })
+                .collect();
+            ClientData {
+                id,
+                device: format!("dev-{}", id % 2),
+                data: Dataset::new(
+                    x,
+                    Labels::Classes((0..samples).map(|i| i % CLASSES).collect()),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn fl_checkpoints_feed_a_live_dynamically_batched_server() {
+    // --- train: an FL run that publishes every 2 rounds into the registry
+    let registry = Arc::new(ModelRegistry::new());
+    let mut config = FlConfig::tiny();
+    config.rounds = 6;
+    config.num_clients = 4;
+    config.clients_per_round = 2;
+    let mut sim = FlSimulation::new(
+        config,
+        clients(4, 9),
+        Box::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let _ = &mut rng; // deterministic replica independent of seed
+            replica()
+        }),
+        Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+        AggregationMethod::FedAvg,
+    );
+    {
+        let registry = Arc::clone(&registry);
+        sim.run_with_checkpoints(2, move |_rounds_done, model| {
+            registry.publish("global", model);
+        });
+    }
+    assert_eq!(
+        registry.versions("global").len(),
+        3,
+        "6 rounds at checkpoint_every=2 publish 3 versions"
+    );
+
+    // --- serve: load the latest global model from the registry
+    let server = Server::start(
+        Arc::clone(&registry),
+        "global",
+        replica,
+        &[IN],
+        ServerConfig::new(1, 256, BatchPolicy::new(8, 2_000)),
+    )
+    .unwrap();
+
+    let latest_version = registry.latest_version("global").unwrap();
+
+    // --- load: 4 closed-loop clients, each matching its responses against
+    // its own direct-inference reference replica, sample by sample
+    let global_weights = sim.global_model().weights();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let client = server.client();
+            let mut reference = {
+                let mut net = replica();
+                net.set_weights(&global_weights);
+                net
+            };
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(500 + t);
+                for i in 0..40 {
+                    let x = Tensor::rand_uniform(&[IN], -1.0, 1.0, &mut rng);
+                    let response = client.infer(x.clone(), None).unwrap();
+                    let expect = reference.infer(&x.reshape(&[1, IN])).clone();
+                    assert_eq!(response.logits.len(), CLASSES);
+                    for (a, b) in response.logits.iter().zip(expect.as_slice()) {
+                        assert!(
+                            (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                            "client {t} request {i}: served {a} vs direct {b}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 160);
+    assert_eq!(metrics.rejected + metrics.expired, 0);
+    assert!(
+        metrics.mean_batch > 1.0,
+        "4 concurrent closed-loop clients must coalesce into batches, histogram {:?}",
+        metrics.batch_histogram
+    );
+    assert!(metrics.p99_us >= metrics.p50_us);
+
+    // --- hot-swap mid-serving: publish an improved model and verify the
+    // server picks it up without restarting
+    let x = Tensor::ones(&[IN]);
+    let before = server.client().infer(x.clone(), None).unwrap();
+    assert_eq!(before.model_version, latest_version);
+    let mut improved = sim.global_model();
+    let mut w = improved.weights();
+    for v in w.iter_mut() {
+        *v *= 0.5;
+    }
+    improved.set_weights(&w);
+    let new_version = registry.publish("global", &mut improved);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let r = server.client().infer(x.clone(), None).unwrap();
+        if r.model_version == new_version {
+            let expect = improved.infer(&x.reshape(&[1, IN])).clone();
+            for (a, b) in r.logits.iter().zip(expect.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0));
+            }
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never swapped to the mid-serving publication"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,265 @@
+//! A minimal little-endian binary writer/reader backing the serde stand-in.
+//!
+//! The checkpoint format in `hs-nn` (and anything else that needs a
+//! byte-stable on-disk representation) serialises through these two types
+//! instead of hand-rolling `to_le_bytes` plumbing at every call site. The
+//! encoding is deliberately primitive — fixed-width little-endian integers,
+//! raw `f32` bit patterns, length-prefixed strings — so the same bytes come
+//! out of every build on every platform and a header can be pinned by a
+//! golden test.
+//!
+//! Swapping this directory for the crates.io `serde` ecosystem maps these
+//! call sites onto `bincode` (or any other fixed-layout format) without
+//! touching the framing logic above them.
+
+use std::fmt;
+
+/// An error raised by [`ByteReader`] when the input ends (or a length
+/// prefix points) before the requested value: the file is truncated or not
+/// in this format at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedInput {
+    /// What the reader was trying to decode.
+    pub expected: &'static str,
+    /// Byte offset at which the input ran out.
+    pub offset: usize,
+}
+
+impl fmt::Display for TruncatedInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input truncated at byte {} while reading {}",
+            self.offset, self.expected
+        )
+    }
+}
+
+impl std::error::Error for TruncatedInput {}
+
+/// Appends little-endian primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` as its little-endian bit pattern (bit-exact, NaN
+    /// payloads included).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a whole `f32` slice as consecutive little-endian bit patterns.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Writes a string as a `u32` byte-length prefix followed by UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Decodes little-endian primitives from a byte slice, tracking the read
+/// offset and failing cleanly on truncation.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, offset: 0 }
+    }
+
+    /// Current read offset in bytes.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    fn take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], TruncatedInput> {
+        if self.remaining() < n {
+            return Err(TruncatedInput {
+                expected,
+                offset: self.offset,
+            });
+        }
+        let slice = &self.data[self.offset..self.offset + n];
+        self.offset += n;
+        Ok(slice)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(
+        &mut self,
+        n: usize,
+        expected: &'static str,
+    ) -> Result<&'a [u8], TruncatedInput> {
+        self.take(n, expected)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, expected: &'static str) -> Result<u32, TruncatedInput> {
+        let b = self.take(4, expected)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, expected: &'static str) -> Result<u64, TruncatedInput> {
+        let b = self.take(8, expected)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f32` from its little-endian bit pattern.
+    pub fn get_f32(&mut self, expected: &'static str) -> Result<f32, TruncatedInput> {
+        let b = self.take(4, expected)?;
+        Ok(f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+    }
+
+    /// Reads `n` consecutive `f32` bit patterns into a vector.
+    pub fn get_f32_vec(
+        &mut self,
+        n: usize,
+        expected: &'static str,
+    ) -> Result<Vec<f32>, TruncatedInput> {
+        let bytes = self.take(
+            n.checked_mul(4).ok_or(TruncatedInput {
+                expected,
+                offset: self.offset,
+            })?,
+            expected,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+            .collect())
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string (invalid UTF-8 is replaced
+    /// lossily — the consumer treats names as diagnostics, not keys).
+    pub fn get_str(&mut self, expected: &'static str) -> Result<String, TruncatedInput> {
+        let len = self.get_u32(expected)? as usize;
+        let bytes = self.take(len, expected)?;
+        Ok(String::from_utf8_lossy(bytes).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"MAGIC");
+        w.put_u32(7);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-1.5);
+        w.put_f32_slice(&[0.0, f32::INFINITY, 3.25]);
+        w.put_str("running_mean");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_bytes(5, "magic").unwrap(), b"MAGIC");
+        assert_eq!(r.get_u32("v").unwrap(), 7);
+        assert_eq!(r.get_u64("v").unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f32("v").unwrap(), -1.5);
+        assert_eq!(
+            r.get_f32_vec(3, "v").unwrap(),
+            vec![0.0, f32::INFINITY, 3.25]
+        );
+        assert_eq!(r.get_str("name").unwrap(), "running_mean");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive_byte_exactly() {
+        let weird = f32::from_bits(0x7fc0_1234); // NaN with payload
+        let mut w = ByteWriter::new();
+        w.put_f32(weird);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_f32("nan").unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncation_reports_offset_and_context() {
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.get_u32("header").unwrap();
+        let err = r.get_u64("weight count").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("weight count"));
+    }
+
+    #[test]
+    fn string_length_beyond_input_is_truncation_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1000); // length prefix far beyond the data
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str("name").is_err());
+    }
+
+    #[test]
+    fn encoding_is_little_endian_and_stable() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0x0102_0304);
+        w.put_f32(1.0);
+        assert_eq!(
+            w.into_bytes(),
+            vec![0x04, 0x03, 0x02, 0x01, 0x00, 0x00, 0x80, 0x3f]
+        );
+    }
+}

@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bin;
 pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize, ToJson};

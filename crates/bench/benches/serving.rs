@@ -61,10 +61,10 @@ fn run_config(
     let sample = Tensor::rand_uniform(input_dims, 0.0, 1.0, &mut rng);
 
     // warm-up: plan arenas, crossover probes, batcher steady state
-    closed_loop(&client, CLIENTS, 4.min(per_client), &sample, None);
+    closed_loop(&client, CLIENTS, 4.min(per_client), &sample, None, None);
     server.reset_metrics();
 
-    let outcome = closed_loop(&client, CLIENTS, per_client, &sample, None);
+    let outcome = closed_loop(&client, CLIENTS, per_client, &sample, None, None);
     let metrics = server.metrics();
     assert_eq!(outcome.ok, CLIENTS * per_client, "{label}: lost requests");
     let per_request_ns = outcome.elapsed_ms * 1e6 / outcome.ok as f64;

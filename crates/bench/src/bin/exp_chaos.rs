@@ -1,0 +1,101 @@
+//! Chaos harness: a fixed-seed fault mix against the FL → registry →
+//! serving closed loop.
+//!
+//! Trains the CIFAR-synth CNN twice — a fault-free baseline, then under
+//! the paper-style fault mix (30% stragglers, 10% crashes, 5% corrupted
+//! updates, 5% transport drops) with deadline-driven semi-synchronous
+//! rounds — while the faulty run's checkpoints hot-swap into a live
+//! dynamically batched server under retrying closed-loop load with an
+//! injected worker panic. Reports convergence (accuracy gap vs baseline),
+//! the cohort fault accounting, and served availability. This is the
+//! measurement behind `docs/ROBUSTNESS.md` and the "PR 6" section of
+//! `docs/PERF.md`.
+//!
+//! ```text
+//! exp_chaos [--quick | --tiny] [--json-out PATH]
+//! ```
+//!
+//! `--tiny` runs in seconds (the CI smoke); `--quick` in minutes; the
+//! default is `--quick`. Identical seeds reproduce the FL side of the
+//! report bit-for-bit; serving latency/retry numbers vary with scheduling.
+
+use hs_bench::experiments::{chaos_study, ChaosConfig};
+use hs_bench::json_out_path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--tiny") {
+        ChaosConfig::tiny()
+    } else {
+        ChaosConfig::quick()
+    };
+
+    println!(
+        "chaos mix: {:.0}% stragglers ({}-{}x), {:.0}% crashes, {:.0}% transport drops, {:.0}% corrupted; \
+         semi-sync over-provision {:.2}, deadline {:.1}x median, norm bound {:.1}x median",
+        cfg.plan.straggler_rate * 100.0,
+        cfg.plan.straggler_slowdown.0,
+        cfg.plan.straggler_slowdown.1,
+        cfg.plan.crash_rate * 100.0,
+        cfg.plan.transport_drop_rate * 100.0,
+        cfg.plan.corrupt_rate * 100.0,
+        cfg.policy.over_provision,
+        cfg.policy.deadline_factor,
+        cfg.policy.norm_bound_factor,
+    );
+
+    let report = chaos_study(&cfg);
+
+    println!();
+    println!("== federated (semi-sync under faults) ==");
+    println!(
+        "baseline accuracy {:.4}   faulty accuracy {:.4}   gap {:+.2} pp",
+        report.baseline_accuracy, report.faulty_accuracy, report.accuracy_gap_pp
+    );
+    println!(
+        "cohort accounting over {} rounds: {} aggregated, {} deadline-dropped, {} crashed, {} transport-dropped, {} screen-rejected",
+        report.rounds.len(),
+        report.completed,
+        report.dropped_deadline,
+        report.dropped_crash,
+        report.dropped_transport,
+        report.rejected_corrupt,
+    );
+    if let Some(last) = report.rounds.last() {
+        println!(
+            "last round tail: p50 {:.1}  p95 {:.1}  max {:.1}  deadline {:.1} (sim time units)",
+            last.sim_time_p50, last.sim_time_p95, last.sim_time_max, last.deadline
+        );
+    }
+
+    println!();
+    println!("== serving under chaos ==");
+    let load = &report.load;
+    println!(
+        "{} requests: {} ok, {} rejected, {} expired, {} shed, {} aborted ({} retries, {} gave up)",
+        load.attempted(),
+        load.ok,
+        load.rejected,
+        load.expired,
+        load.shed,
+        load.aborted,
+        load.retries,
+        load.gave_up,
+    );
+    println!(
+        "availability (excluding shed) {:.4}   worker panics {}   restarts {}   brownout entries {}",
+        report.availability,
+        report.serving.worker_panics,
+        report.serving.worker_restarts,
+        report.serving.brownout_entries,
+    );
+    println!(
+        "latency p50 {} us  p99 {} us  mean batch {:.2}",
+        report.serving.p50_us, report.serving.p99_us, report.serving.mean_batch
+    );
+
+    if let Some(path) = json_out_path(&args) {
+        serde::json::write_file(&path, &report).expect("failed to write --json-out file");
+        println!("wrote chaos report to {}", path.display());
+    }
+}

@@ -82,9 +82,9 @@ fn main() {
             let client = server.client();
 
             for &clients in &closed_clients {
-                closed_loop(&client, clients, 3, &sample, None); // warm
+                closed_loop(&client, clients, 3, &sample, None, None); // warm
                 server.reset_metrics();
-                let outcome = closed_loop(&client, clients, per_client, &sample, None);
+                let outcome = closed_loop(&client, clients, per_client, &sample, None, None);
                 let metrics = server.metrics();
                 report(
                     &mut records,

@@ -3,10 +3,12 @@
 //! See DESIGN.md's experiment index for the mapping from paper artifact to
 //! function and binary.
 
+mod chaos;
 mod characterization;
 mod federated;
 mod swad_study;
 
+pub use chaos::{chaos_study, ChaosConfig, ChaosReport};
 pub use characterization::{
     cross_device_matrix, homo_vs_hetero, isp_ablation, train_centralized, IspAblationRow,
 };

@@ -22,7 +22,7 @@ pub mod scale;
 pub mod serving_load;
 
 pub use scale::Scale;
-pub use serving_load::{closed_loop, open_loop, LoadOutcome};
+pub use serving_load::{closed_loop, open_loop, LoadOutcome, RetryPolicy};
 
 /// Parses a `--json-out PATH` argument from an experiment binary's argument
 /// list. Returns `None` when absent; panics when the flag is given without a

@@ -31,11 +31,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
 mod fleet;
 mod jitter;
 mod profile;
 mod sensor;
 
+pub use fault::{Corruption, FaultInjector, FaultKind, FaultPlan};
 pub use fleet::{paper_devices, synthetic_fleet, DeviceId};
 pub use jitter::{random_jitter_profiles, JitterProfile};
 pub use profile::{DeviceProfile, Tier, Vendor};

@@ -41,6 +41,72 @@ pub fn weighted_average(updates: &[ClientUpdate]) -> Vec<f32> {
     out
 }
 
+/// Screens client updates before aggregation so one faulty or malicious
+/// client cannot poison the global model. Two screens run in order:
+///
+/// 1. **Non-finite screen** — any update whose weights or training loss
+///    contain NaN/infinity is rejected outright (a single NaN survives
+///    every weighted average).
+/// 2. **Norm-bound screen** — with at least three finite updates, the
+///    update norms `‖w_u − global‖₂` are compared against
+///    `norm_bound_factor ×` their median; updates past the bound are
+///    rejected. The median makes the bound robust: a garbage update
+///    inflates the mean but barely moves the median. Skipped when fewer
+///    than three updates survive (no robust median) or the median is zero.
+///
+/// Returns the accepted updates (input order preserved) and the sorted ids
+/// of rejected clients. `norm_bound_factor <= 0` disables the norm screen.
+pub fn screen_updates(
+    global: &[f32],
+    updates: Vec<ClientUpdate>,
+    norm_bound_factor: f32,
+) -> (Vec<ClientUpdate>, Vec<usize>) {
+    let mut finite = Vec::with_capacity(updates.len());
+    let mut rejected = Vec::new();
+    for u in updates {
+        let ok = u.train_loss.is_finite()
+            && u.init_loss.is_finite()
+            && u.weights.iter().all(|w| w.is_finite());
+        if ok {
+            finite.push(u);
+        } else {
+            rejected.push(u.client_id);
+        }
+    }
+
+    if finite.len() >= 3 && norm_bound_factor > 0.0 {
+        let norms: Vec<f32> = finite
+            .iter()
+            .map(|u| {
+                u.weights
+                    .iter()
+                    .zip(global.iter())
+                    .map(|(w, g)| (w - g) * (w - g))
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .collect();
+        let mut sorted = norms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("screened norms are finite"));
+        let median = sorted[sorted.len() / 2];
+        if median > 0.0 {
+            let bound = norm_bound_factor * median;
+            let mut kept = Vec::with_capacity(finite.len());
+            for (u, norm) in finite.into_iter().zip(norms) {
+                if norm <= bound {
+                    kept.push(u);
+                } else {
+                    rejected.push(u.client_id);
+                }
+            }
+            finite = kept;
+        }
+    }
+
+    rejected.sort_unstable();
+    (finite, rejected)
+}
+
 impl AggregationMethod {
     /// Produces the next global weight vector from the previous one and the
     /// round's client updates.
@@ -153,6 +219,81 @@ mod tests {
     #[should_panic(expected = "zero updates")]
     fn aggregation_rejects_empty_input() {
         let _ = weighted_average(&[]);
+    }
+
+    fn update_for(id: usize, weights: Vec<f32>) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            weights,
+            train_loss: 0.5,
+            init_loss: 0.7,
+            num_samples: 4,
+        }
+    }
+
+    #[test]
+    fn screen_rejects_non_finite_updates() {
+        let global = vec![0.0, 0.0];
+        let updates = vec![
+            update_for(0, vec![1.0, 1.0]),
+            update_for(1, vec![f32::NAN, 1.0]),
+            update_for(2, vec![1.0, f32::INFINITY]),
+            update_for(3, vec![0.9, 1.1]),
+        ];
+        let (accepted, rejected) = screen_updates(&global, updates, 8.0);
+        assert_eq!(
+            accepted.iter().map(|u| u.client_id).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        assert_eq!(rejected, vec![1, 2]);
+    }
+
+    #[test]
+    fn screen_rejects_non_finite_losses() {
+        let mut bad = update_for(1, vec![1.0]);
+        bad.train_loss = f32::NAN;
+        let (accepted, rejected) = screen_updates(&[0.0], vec![update_for(0, vec![1.0]), bad], 8.0);
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(rejected, vec![1]);
+    }
+
+    #[test]
+    fn screen_norm_bound_catches_garbage_updates() {
+        let global = vec![0.0, 0.0];
+        let updates = vec![
+            update_for(0, vec![1.0, 1.0]),
+            update_for(1, vec![1.1, 0.9]),
+            update_for(2, vec![0.9, 1.0]),
+            update_for(3, vec![1.0e6, -1.0e6]),
+        ];
+        let (accepted, rejected) = screen_updates(&global, updates, 8.0);
+        assert_eq!(accepted.len(), 3);
+        assert_eq!(rejected, vec![3]);
+    }
+
+    #[test]
+    fn screen_norm_bound_needs_three_updates() {
+        // with only two updates there is no robust median, so the huge
+        // update survives (the finiteness screen still applies)
+        let global = vec![0.0];
+        let updates = vec![update_for(0, vec![1.0]), update_for(1, vec![1.0e6])];
+        let (accepted, rejected) = screen_updates(&global, updates, 8.0);
+        assert_eq!(accepted.len(), 2);
+        assert!(rejected.is_empty());
+    }
+
+    #[test]
+    fn screen_accepts_identical_updates() {
+        // zero median norm must not reject everything
+        let global = vec![1.0, 2.0];
+        let updates = vec![
+            update_for(0, vec![1.0, 2.0]),
+            update_for(1, vec![1.0, 2.0]),
+            update_for(2, vec![1.0, 2.0]),
+        ];
+        let (accepted, rejected) = screen_updates(&global, updates, 8.0);
+        assert_eq!(accepted.len(), 3);
+        assert!(rejected.is_empty());
     }
 
     #[test]

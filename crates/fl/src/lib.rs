@@ -30,13 +30,13 @@ mod eval;
 mod simulation;
 mod trainer;
 
-pub use aggregate::{weighted_average, AggregationMethod};
+pub use aggregate::{screen_updates, weighted_average, AggregationMethod};
 pub use client::{ClientContext, ClientData, ClientUpdate};
 pub use config::FlConfig;
 pub use eval::{
     evaluate_accuracy, evaluate_average_precision, evaluate_heart_rate, per_device_accuracy,
 };
-pub use simulation::{FlSimulation, ModelFactory, RoundStats};
+pub use simulation::{FlSimulation, ModelFactory, RoundStats, SemiSyncPolicy};
 pub use trainer::{
     sgd_local_update, ClientTrainer, FedAvgTrainer, FedProxTrainer, LossKind, ScaffoldTrainer,
 };

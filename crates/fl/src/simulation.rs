@@ -1,10 +1,11 @@
 //! The federated-learning round loop.
 
 use crate::{
-    per_device_accuracy, AggregationMethod, ClientContext, ClientData, ClientTrainer, ClientUpdate,
-    FlConfig,
+    per_device_accuracy, screen_updates, AggregationMethod, ClientContext, ClientData,
+    ClientTrainer, ClientUpdate, FlConfig,
 };
 use hs_data::Dataset;
+use hs_device::{Corruption, FaultInjector, FaultKind};
 use hs_metrics::GroupAccuracy;
 use hs_nn::Network;
 use rand::rngs::StdRng;
@@ -19,24 +20,118 @@ use std::sync::Mutex;
 /// the very first global model.
 pub type ModelFactory = Box<dyn Fn(u64) -> Network + Send + Sync>;
 
+/// Policy knobs for deadline-driven semi-synchronous rounds (the fleet-
+/// realistic round semantics: over-provision the cohort, wait until a
+/// deadline, aggregate whoever made it).
+///
+/// Attached to an [`FlSimulation`] together with a
+/// [`FaultInjector`] via [`FlSimulation::with_faults`]; without one the
+/// simulation runs the classic fully synchronous round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SemiSyncPolicy {
+    /// Cohort over-provisioning: each round selects
+    /// `ceil(clients_per_round × over_provision)` clients (capped at the
+    /// population) so deadline drops still leave ≈ `clients_per_round`
+    /// completions. Must be ≥ 1.
+    pub over_provision: f32,
+    /// The round deadline as a multiple of the cohort's *median fault-free*
+    /// wall-clock: clients whose simulated time exceeds
+    /// `deadline_factor × median` are dropped. Must be > 0.
+    pub deadline_factor: f32,
+    /// Norm-bound screen aggressiveness passed to
+    /// [`screen_updates`]: updates whose delta norm
+    /// exceeds this multiple of the cohort median are rejected before
+    /// aggregation. `0` disables the norm screen (the non-finite screen
+    /// always runs).
+    pub norm_bound_factor: f32,
+}
+
+impl Default for SemiSyncPolicy {
+    fn default() -> Self {
+        SemiSyncPolicy {
+            over_provision: 1.5,
+            deadline_factor: 2.0,
+            norm_bound_factor: 8.0,
+        }
+    }
+}
+
+impl SemiSyncPolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over_provision < 1`, `deadline_factor <= 0`, or
+    /// `norm_bound_factor < 0` (or any knob is non-finite).
+    pub fn validate(&self) {
+        assert!(
+            self.over_provision.is_finite() && self.over_provision >= 1.0,
+            "over_provision must be >= 1, got {}",
+            self.over_provision
+        );
+        assert!(
+            self.deadline_factor.is_finite() && self.deadline_factor > 0.0,
+            "deadline_factor must be positive, got {}",
+            self.deadline_factor
+        );
+        assert!(
+            self.norm_bound_factor.is_finite() && self.norm_bound_factor >= 0.0,
+            "norm_bound_factor must be >= 0, got {}",
+            self.norm_bound_factor
+        );
+    }
+}
+
 /// Summary statistics of one communication round.
 ///
 /// The JSON shape (field order = declaration order) comes from
 /// `#[derive(serde::ToJson)]` — the derive that replaced the hand-written
 /// impl; `round_stats_json_shape_is_stable` pins the output.
-#[derive(Debug, Clone, Serialize, Deserialize, serde::ToJson)]
+///
+/// In a fault-free fully synchronous round `completed == participants.len()`
+/// and every drop/reject counter is zero; under [`FlSimulation::with_faults`]
+/// the counters partition the cohort:
+/// `completed + dropped_deadline + dropped_crash + dropped_transport +
+/// rejected_corrupt == participants.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, serde::ToJson)]
 pub struct RoundStats {
     /// Round index (0-based).
     pub round: usize,
-    /// Sample-weighted mean of the participating clients' training losses.
+    /// Sample-weighted mean of the aggregated clients' training losses
+    /// (NaN if no update survived to aggregation).
     pub mean_train_loss: f32,
-    /// Sample-weighted mean of the participating clients' initial losses.
+    /// Sample-weighted mean of the aggregated clients' initial losses
+    /// (NaN if no update survived to aggregation).
     pub mean_init_loss: f32,
     /// The EMA of the aggregated training loss after this round
     /// (the paper's `L_EMA`).
     pub loss_ema: f32,
-    /// Ids of the clients that participated.
+    /// Ids of the clients selected into the round's cohort (over-provisioned
+    /// under semi-sync; not all of them necessarily completed).
     pub participants: Vec<usize>,
+    /// Updates that were delivered, screened clean and aggregated.
+    pub completed: usize,
+    /// Clients dropped because their simulated wall-clock missed the round
+    /// deadline (stragglers).
+    pub dropped_deadline: usize,
+    /// Clients that crashed mid-round and never reported back.
+    pub dropped_crash: usize,
+    /// Clients whose finished update was lost in transport.
+    pub dropped_transport: usize,
+    /// Delivered updates rejected by the pre-aggregation screens
+    /// (non-finite weights/losses or norm-bound violations).
+    pub rejected_corrupt: usize,
+    /// Median simulated client wall-clock among clients that finished
+    /// compute this round (0 when fault simulation is off).
+    pub sim_time_p50: f32,
+    /// 95th-percentile simulated client wall-clock — the straggler tail
+    /// (0 when fault simulation is off).
+    pub sim_time_p95: f32,
+    /// Worst simulated client wall-clock (0 when fault simulation is off).
+    pub sim_time_max: f32,
+    /// The round deadline in the same simulated-time units
+    /// (0 when fault simulation is off).
+    pub deadline: f32,
 }
 
 /// A complete federated-learning simulation: clients, model, local-update
@@ -50,6 +145,7 @@ pub struct FlSimulation {
     global_weights: Vec<f32>,
     loss_ema: f32,
     rounds_run: usize,
+    faults: Option<(FaultInjector, SemiSyncPolicy)>,
 }
 
 impl FlSimulation {
@@ -87,7 +183,29 @@ impl FlSimulation {
             // so bias-gated strategies stay conservative in round 0.
             loss_ema: f32::NAN,
             rounds_run: 0,
+            faults: None,
         }
+    }
+
+    /// Switches the simulation to deadline-driven **semi-synchronous**
+    /// rounds with fault injection: each round over-provisions the cohort
+    /// per `policy`, simulates every cohort member's wall-clock from the
+    /// injector's fault draws and persistent compute factors, drops crashed
+    /// / transport-failed / deadline-missing clients, corrupts the updates
+    /// the injector marks, and screens the survivors (non-finite + norm
+    /// bound) before aggregating the partial cohort.
+    ///
+    /// Everything downstream of the plan seed is deterministic: the same
+    /// seed and plan replay bit-identical drop/reject sequences and
+    /// aggregated weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`SemiSyncPolicy::validate`]).
+    pub fn with_faults(mut self, injector: FaultInjector, policy: SemiSyncPolicy) -> Self {
+        policy.validate();
+        self.faults = Some((injector, policy));
+        self
     }
 
     /// The simulation configuration.
@@ -118,9 +236,19 @@ impl FlSimulation {
         net
     }
 
-    /// Runs one communication round: sample `K` clients, run local updates
+    /// Runs one communication round: sample the cohort, run local updates
     /// (in parallel on the shared [`hs_parallel`] pool), aggregate and
     /// update the loss EMA.
+    ///
+    /// Without [`FlSimulation::with_faults`] this is the classic fully
+    /// synchronous round: exactly `K` clients, all of them complete. With
+    /// faults attached the round is semi-synchronous — the cohort is
+    /// over-provisioned, per-client wall-clocks are simulated from the
+    /// fault plan, clients that crash / lose their upload / miss the
+    /// deadline are dropped without training (their outcome is decided
+    /// before any compute is spent), corrupted updates are screened out
+    /// before aggregation, and the partial cohort is aggregated with the
+    /// usual sample-count weighting.
     ///
     /// Client training shares one process-wide pool with the tensor kernels
     /// and the ISP: while clients fan out here, the per-client convolution
@@ -133,12 +261,58 @@ impl FlSimulation {
         );
         let mut ids: Vec<usize> = (0..self.config.num_clients).collect();
         ids.shuffle(&mut sample_rng);
-        let selected: Vec<usize> = ids[..self.config.clients_per_round].to_vec();
+        let k = self.config.clients_per_round;
+        let cohort_size = match &self.faults {
+            Some((_, policy)) => ((k as f32 * policy.over_provision).ceil() as usize)
+                .clamp(k, self.config.num_clients),
+            None => k,
+        };
+        let selected: Vec<usize> = ids[..cohort_size].to_vec();
 
-        let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(selected.len()));
-        let workers = hs_parallel::num_threads().min(selected.len()).max(1);
-        let chunks: Vec<Vec<usize>> = selected
-            .chunks(selected.len().div_ceil(workers))
+        // --- simulate the cohort's system behaviour and decide who trains
+        let mut dropped_crash = 0usize;
+        let mut dropped_transport = 0usize;
+        let mut dropped_deadline = 0usize;
+        let mut corrupt_marks: Vec<(usize, Corruption)> = Vec::new();
+        let mut times: Vec<f32> = Vec::new();
+        let mut deadline = 0.0f32;
+        let to_train: Vec<usize> = if let Some((injector, policy)) = &self.faults {
+            // one unit of work per sample per local epoch
+            let base_cost =
+                |cid: usize| self.clients[cid].data.len() as f32 * self.config.local_epochs as f32;
+            let mut healthy: Vec<f32> = selected
+                .iter()
+                .map(|&c| base_cost(c) * injector.compute_factor(c))
+                .collect();
+            healthy.sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+            deadline = policy.deadline_factor * healthy[healthy.len() / 2];
+
+            let mut trainees = Vec::with_capacity(selected.len());
+            for &cid in &selected {
+                let wall = injector.wall_clock(cid, round, base_cost(cid));
+                if wall.is_finite() {
+                    times.push(wall);
+                }
+                match injector.fault(cid, round) {
+                    FaultKind::Crash => dropped_crash += 1,
+                    FaultKind::TransportDrop => dropped_transport += 1,
+                    _ if wall > deadline => dropped_deadline += 1,
+                    FaultKind::Corrupt(kind) => {
+                        corrupt_marks.push((cid, kind));
+                        trainees.push(cid);
+                    }
+                    FaultKind::Healthy | FaultKind::Straggler(_) => trainees.push(cid),
+                }
+            }
+            trainees
+        } else {
+            selected.clone()
+        };
+
+        let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(to_train.len()));
+        let workers = hs_parallel::num_threads().min(to_train.len()).max(1);
+        let chunks: Vec<Vec<usize>> = to_train
+            .chunks(to_train.len().div_ceil(workers).max(1))
             .map(|c| c.to_vec())
             .collect();
 
@@ -183,30 +357,65 @@ impl FlSimulation {
         // deterministic aggregation order regardless of thread interleaving
         updates.sort_by_key(|u| u.client_id);
 
-        self.global_weights = self.aggregation.aggregate(&self.global_weights, &updates);
-
-        let total: f32 = updates
-            .iter()
-            .map(|u| u.num_samples as f32)
-            .sum::<f32>()
-            .max(1.0);
-        let mean_train_loss = updates
-            .iter()
-            .map(|u| u.train_loss * u.num_samples as f32)
-            .sum::<f32>()
-            / total;
-        let mean_init_loss = updates
-            .iter()
-            .map(|u| u.init_loss * u.num_samples as f32)
-            .sum::<f32>()
-            / total;
-        // paper Eq. 1: L_EMA ← α · L_cur + (1 − α) · L_EMA
-        self.loss_ema = if self.loss_ema.is_nan() {
-            mean_train_loss
+        // inject the marked corruptions into the delivered updates, then
+        // screen before they can reach aggregation
+        let norm_bound_factor = if let Some((injector, policy)) = &self.faults {
+            for &(cid, kind) in &corrupt_marks {
+                if let Some(u) = updates.iter_mut().find(|u| u.client_id == cid) {
+                    injector.corrupt(&mut u.weights, kind, cid, round);
+                }
+            }
+            policy.norm_bound_factor
         } else {
-            self.config.ema_alpha * mean_train_loss + (1.0 - self.config.ema_alpha) * self.loss_ema
+            // classic path: only the non-finite screen (norm screen off so
+            // fault-free results are bit-identical to the original loop)
+            0.0
         };
+        let (accepted, rejected) = screen_updates(&self.global_weights, updates, norm_bound_factor);
+        let completed = accepted.len();
+        let rejected_corrupt = rejected.len();
+
+        let (mean_train_loss, mean_init_loss) = if accepted.is_empty() {
+            // nothing survived: the global model and the EMA stand
+            (f32::NAN, f32::NAN)
+        } else {
+            self.global_weights = self.aggregation.aggregate(&self.global_weights, &accepted);
+            let total: f32 = accepted
+                .iter()
+                .map(|u| u.num_samples as f32)
+                .sum::<f32>()
+                .max(1.0);
+            let train = accepted
+                .iter()
+                .map(|u| u.train_loss * u.num_samples as f32)
+                .sum::<f32>()
+                / total;
+            let init = accepted
+                .iter()
+                .map(|u| u.init_loss * u.num_samples as f32)
+                .sum::<f32>()
+                / total;
+            (train, init)
+        };
+        if mean_train_loss.is_finite() {
+            // paper Eq. 1: L_EMA ← α · L_cur + (1 − α) · L_EMA
+            self.loss_ema = if self.loss_ema.is_nan() {
+                mean_train_loss
+            } else {
+                self.config.ema_alpha * mean_train_loss
+                    + (1.0 - self.config.ema_alpha) * self.loss_ema
+            };
+        }
         self.rounds_run += 1;
+
+        times.sort_by(|a, b| a.partial_cmp(b).expect("wall clocks are finite"));
+        let pct = |q: f32| {
+            if times.is_empty() {
+                0.0
+            } else {
+                times[((times.len() - 1) as f32 * q).round() as usize]
+            }
+        };
 
         RoundStats {
             round,
@@ -214,6 +423,15 @@ impl FlSimulation {
             mean_init_loss,
             loss_ema: self.loss_ema,
             participants: selected,
+            completed,
+            dropped_deadline,
+            dropped_crash,
+            dropped_transport,
+            rejected_corrupt,
+            sim_time_p50: pct(0.5),
+            sim_time_p95: pct(0.95),
+            sim_time_max: times.last().copied().unwrap_or(0.0),
+            deadline,
         }
     }
 
@@ -426,18 +644,169 @@ mod tests {
 
     #[test]
     fn round_stats_json_shape_is_stable() {
-        // pins that the derived ToJson matches the previously hand-written
-        // impl byte for byte (field order and names)
+        // pins the derived ToJson output byte for byte (field order and
+        // names), including the PR-6 robustness counters
         let stats = RoundStats {
             round: 3,
             mean_train_loss: 0.5,
             mean_init_loss: 1.5,
             loss_ema: 0.75,
             participants: vec![1, 4],
+            completed: 2,
+            dropped_deadline: 1,
+            dropped_crash: 2,
+            dropped_transport: 3,
+            rejected_corrupt: 4,
+            sim_time_p50: 1.5,
+            sim_time_p95: 2.5,
+            sim_time_max: 3.5,
+            deadline: 4.5,
         };
         assert_eq!(
             serde::json::to_string(&stats),
-            r#"{"round":3,"mean_train_loss":0.5,"mean_init_loss":1.5,"loss_ema":0.75,"participants":[1,4]}"#
+            concat!(
+                r#"{"round":3,"mean_train_loss":0.5,"mean_init_loss":1.5,"loss_ema":0.75,"#,
+                r#""participants":[1,4],"completed":2,"dropped_deadline":1,"dropped_crash":2,"#,
+                r#""dropped_transport":3,"rejected_corrupt":4,"sim_time_p50":1.5,"#,
+                r#""sim_time_p95":2.5,"sim_time_max":3.5,"deadline":4.5}"#
+            )
+        );
+    }
+
+    // ---- semi-synchronous rounds under fault injection -------------------
+
+    use hs_device::{FaultInjector, FaultPlan};
+
+    fn faulty_simulation(rounds: usize, plan: FaultPlan, policy: SemiSyncPolicy) -> FlSimulation {
+        let mut config = FlConfig::tiny();
+        config.rounds = rounds;
+        config.num_clients = 12;
+        config.clients_per_round = 6;
+        FlSimulation::new(
+            config,
+            clients(12, 9),
+            factory(),
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+            AggregationMethod::FedAvg,
+        )
+        .with_faults(FaultInjector::new(plan), policy)
+    }
+
+    #[test]
+    fn fault_free_semi_sync_round_completes_the_whole_cohort() {
+        let mut sim = faulty_simulation(1, FaultPlan::none(5), SemiSyncPolicy::default());
+        let stats = sim.run_round();
+        // over-provisioned: ceil(6 × 1.5) = 9 selected
+        assert_eq!(stats.participants.len(), 9);
+        // persistent compute heterogeneity alone can still drop extreme
+        // clients at the deadline, but nothing crashes or corrupts
+        assert_eq!(stats.dropped_crash + stats.dropped_transport, 0);
+        assert_eq!(stats.rejected_corrupt, 0);
+        assert_eq!(
+            stats.completed + stats.dropped_deadline,
+            stats.participants.len()
+        );
+        assert!(stats.completed >= 6, "deadline 2× median keeps most");
+        assert!(stats.deadline > 0.0);
+        assert!(stats.sim_time_max >= stats.sim_time_p95);
+        assert!(stats.sim_time_p95 >= stats.sim_time_p50);
+    }
+
+    #[test]
+    fn cohort_counters_partition_the_cohort_under_faults() {
+        let plan = FaultPlan {
+            seed: 9,
+            straggler_rate: 0.3,
+            straggler_slowdown: (4.0, 10.0),
+            crash_rate: 0.15,
+            transport_drop_rate: 0.1,
+            corrupt_rate: 0.1,
+        };
+        let mut sim = faulty_simulation(4, plan, SemiSyncPolicy::default());
+        let mut saw_drop = false;
+        for stats in sim.run() {
+            assert_eq!(
+                stats.completed
+                    + stats.dropped_deadline
+                    + stats.dropped_crash
+                    + stats.dropped_transport
+                    + stats.rejected_corrupt,
+                stats.participants.len(),
+                "counters must partition the cohort: {stats:?}"
+            );
+            saw_drop |= stats.completed < stats.participants.len();
+        }
+        assert!(saw_drop, "heavy fault mix must drop someone in 4 rounds");
+    }
+
+    #[test]
+    fn corrupted_updates_never_reach_the_global_model() {
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt_rate: 0.5,
+            ..FaultPlan::none(3)
+        };
+        let mut sim = faulty_simulation(3, plan, SemiSyncPolicy::default());
+        let mut rejected_total = 0;
+        for stats in sim.run() {
+            rejected_total += stats.rejected_corrupt;
+            assert!(
+                sim.global_weights().iter().all(|w| w.is_finite()),
+                "round {}: corruption leaked into the global model",
+                stats.round
+            );
+        }
+        assert!(rejected_total > 0, "50% corruption must trigger the screen");
+    }
+
+    #[test]
+    fn all_crashed_round_leaves_global_model_and_ema_standing() {
+        let plan = FaultPlan {
+            seed: 1,
+            crash_rate: 1.0,
+            ..FaultPlan::none(1)
+        };
+        let mut sim = faulty_simulation(1, plan, SemiSyncPolicy::default());
+        let before = sim.global_weights().to_vec();
+        let stats = sim.run_round();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.dropped_crash, stats.participants.len());
+        assert!(stats.mean_train_loss.is_nan());
+        assert_eq!(sim.global_weights(), &before[..]);
+        assert!(sim.loss_ema().is_nan(), "EMA untouched by an empty round");
+    }
+
+    #[test]
+    fn identical_seed_and_plan_replay_bit_identical_rounds() {
+        // the determinism contract: same seed + same fault plan ⇒ identical
+        // drop/reject sequences, stats and aggregated weights
+        let plan = FaultPlan {
+            seed: 77,
+            straggler_rate: 0.3,
+            straggler_slowdown: (2.0, 10.0),
+            crash_rate: 0.1,
+            transport_drop_rate: 0.05,
+            corrupt_rate: 0.05,
+        };
+        let mut a = faulty_simulation(5, plan, SemiSyncPolicy::default());
+        let mut b = faulty_simulation(5, plan, SemiSyncPolicy::default());
+        let ha = a.run();
+        let hb = b.run();
+        assert_eq!(ha, hb, "round stats must replay bit-identically");
+        let bits = |w: &[f32]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a.global_weights()), bits(b.global_weights()));
+    }
+
+    #[test]
+    #[should_panic(expected = "over_provision must be >= 1")]
+    fn sub_unit_over_provision_is_rejected() {
+        let _ = faulty_simulation(
+            1,
+            FaultPlan::none(0),
+            SemiSyncPolicy {
+                over_provision: 0.5,
+                ..SemiSyncPolicy::default()
+            },
         );
     }
 }

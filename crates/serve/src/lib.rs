@@ -79,9 +79,12 @@ mod metrics;
 mod queue;
 mod registry;
 mod server;
+mod sync;
 
 pub use batcher::{collect_batch, BatchPolicy, Collected};
 pub use metrics::{BatchBucket, MetricsSnapshot, ServerMetrics};
 pub use queue::{BoundedQueue, Popped, PushError};
 pub use registry::{ModelRegistry, ModelVersion};
-pub use server::{Pending, Response, ServeClient, ServeError, Server, ServerConfig, StartError};
+pub use server::{
+    BrownoutConfig, Pending, Response, ServeClient, ServeError, Server, ServerConfig, StartError,
+};

@@ -7,6 +7,7 @@
 //! of the latencies. [`MetricsSnapshot`] derives `serde::ToJson`, so the
 //! load-generator harness dumps it straight into the experiment JSON.
 
+use crate::sync::lock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -31,6 +32,9 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Requests dropped because their deadline passed before execution.
     pub expired: u64,
+    /// Requests shed by brownout mode (sustained overload, low deadline
+    /// slack → `ServeError::Shed`).
+    pub shed: u64,
     /// Median completion latency, microseconds.
     pub p50_us: u64,
     /// 95th-percentile completion latency, microseconds.
@@ -44,6 +48,13 @@ pub struct MetricsSnapshot {
     /// Mean executed batch size: completed requests divided by executed
     /// batches (how full the batcher ran on average).
     pub mean_batch: f64,
+    /// Worker threads that died to a panic (each aborts its in-flight
+    /// batch; the supervisor respawns the worker).
+    pub worker_panics: u64,
+    /// Worker respawns performed by the supervisor.
+    pub worker_restarts: u64,
+    /// Times the server entered brownout mode.
+    pub brownout_entries: u64,
     /// Executed batch sizes and their counts, ascending.
     pub batch_histogram: Vec<BatchBucket>,
 }
@@ -70,6 +81,10 @@ pub struct ServerMetrics {
     completed: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
+    shed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    brownout_entries: AtomicU64,
     recorded: Mutex<Recorded>,
 }
 
@@ -84,7 +99,7 @@ impl ServerMetrics {
     pub fn record_completion(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let mut rec = self.recorded.lock().unwrap();
+        let mut rec = lock(&self.recorded);
         if rec.latencies_us.len() < LATENCY_WINDOW {
             rec.latencies_us.push(us);
         } else {
@@ -104,9 +119,29 @@ impl ServerMetrics {
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one brownout shed.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one worker death by panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one supervisor worker respawn.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transition into brownout mode.
+    pub fn record_brownout_entry(&self) {
+        self.brownout_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records the size of one executed batch.
     pub fn record_batch(&self, size: usize) {
-        let mut rec = self.recorded.lock().unwrap();
+        let mut rec = lock(&self.recorded);
         if rec.batch_counts.len() <= size {
             rec.batch_counts.resize(size + 1, 0);
         }
@@ -128,9 +163,14 @@ impl ServerMetrics {
         self.expired.load(Ordering::Relaxed)
     }
 
+    /// Requests shed by brownout mode so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// Aggregates everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let rec = self.recorded.lock().unwrap();
+        let rec = lock(&self.recorded);
         let mut sorted = rec.latencies_us.clone();
         sorted.sort_unstable();
         // nearest-rank percentile: the smallest value with at least q of
@@ -167,12 +207,16 @@ impl ServerMetrics {
             completed: self.completed(),
             rejected: self.rejected(),
             expired: self.expired(),
+            shed: self.shed(),
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
             max_us: sorted.last().copied().unwrap_or(0),
             mean_us,
             mean_batch,
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            brownout_entries: self.brownout_entries.load(Ordering::Relaxed),
             batch_histogram,
         }
     }
@@ -182,7 +226,11 @@ impl ServerMetrics {
         self.completed.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
         self.expired.store(0, Ordering::Relaxed);
-        let mut rec = self.recorded.lock().unwrap();
+        self.shed.store(0, Ordering::Relaxed);
+        self.worker_panics.store(0, Ordering::Relaxed);
+        self.worker_restarts.store(0, Ordering::Relaxed);
+        self.brownout_entries.store(0, Ordering::Relaxed);
+        let mut rec = lock(&self.recorded);
         rec.latencies_us.clear();
         rec.next = 0;
         rec.batch_counts.clear();
@@ -225,11 +273,53 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_all_zero() {
+        // the empty-histogram guard: percentiles of zero completions must
+        // come out as 0, never NaN and never a panic
         let snap = ServerMetrics::new().snapshot();
         assert_eq!(snap.completed, 0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p95_us, 0);
         assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.max_us, 0);
+        assert_eq!(snap.mean_us, 0.0);
+        assert!(!snap.mean_us.is_nan());
         assert_eq!(snap.mean_batch, 0.0);
+        assert!(!snap.mean_batch.is_nan());
         assert!(snap.batch_histogram.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_serialises_without_nan() {
+        let text = serde::json::to_string(&ServerMetrics::new().snapshot());
+        assert!(!text.contains("NaN") && !text.contains("nan"), "{text}");
+        assert!(text.contains("\"p99_us\":0"));
+        assert!(text.contains("\"mean_us\":0"));
+    }
+
+    #[test]
+    fn robustness_counters_record_and_reset() {
+        let m = ServerMetrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_worker_panic();
+        m.record_worker_restart();
+        m.record_brownout_entry();
+        let snap = m.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.brownout_entries, 1);
+        m.reset();
+        let snap = m.snapshot();
+        assert_eq!(
+            (
+                snap.shed,
+                snap.worker_panics,
+                snap.worker_restarts,
+                snap.brownout_entries
+            ),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! Built on `Mutex` + `Condvar` like the `hs_parallel` pool — the build
 //! environment has no crates registry, so no crossbeam.
 
+use crate::sync::{lock, wait_timeout};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -74,7 +75,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        lock(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -90,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`].
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock(&self.state);
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -109,7 +110,7 @@ impl<T> BoundedQueue<T> {
     /// so shutdown never strands accepted requests.
     pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Popped::Item(item);
@@ -121,7 +122,7 @@ impl<T> BoundedQueue<T> {
             if now >= deadline {
                 return Popped::Empty;
             }
-            let (next, timed_out) = self.not_empty.wait_timeout(state, deadline - now).unwrap();
+            let (next, timed_out) = wait_timeout(&self.not_empty, state, deadline - now);
             state = next;
             if timed_out.timed_out() && state.items.is_empty() {
                 return if state.closed {
@@ -136,13 +137,13 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: every future push fails, every blocked consumer
     /// wakes, and remaining items stay poppable until drained.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock(&self.state).closed = true;
         self.not_empty.notify_all();
     }
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().unwrap().closed
+        lock(&self.state).closed
     }
 }
 

@@ -14,6 +14,7 @@
 //! Versions are retained (bounded by [`ModelRegistry::retain`]) so a sweep
 //! can pin, compare or roll back to a specific version.
 
+use crate::sync::lock;
 use hs_nn::Network;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +66,7 @@ impl ModelRegistry {
     /// either the registry before or after this version, never a partially
     /// published blob.
     pub fn publish_bytes(&self, name: &str, bytes: Vec<u8>) -> u64 {
-        let mut models = self.models.lock().unwrap();
+        let mut models = lock(&self.models);
         // version assignment happens INSIDE the critical section: assigning
         // outside would let two concurrent publishers append out of order,
         // regressing latest() to the older model (and letting retention
@@ -93,12 +94,7 @@ impl ModelRegistry {
 
     /// The most recently published version under `name`, if any.
     pub fn latest(&self, name: &str) -> Option<Arc<ModelVersion>> {
-        self.models
-            .lock()
-            .unwrap()
-            .get(name)
-            .and_then(|v| v.last())
-            .cloned()
+        lock(&self.models).get(name).and_then(|v| v.last()).cloned()
     }
 
     /// The most recent version *number* under `name` — the cheap check a
@@ -109,9 +105,7 @@ impl ModelRegistry {
 
     /// A specific retained version under `name`.
     pub fn get(&self, name: &str, version: u64) -> Option<Arc<ModelVersion>> {
-        self.models
-            .lock()
-            .unwrap()
+        lock(&self.models)
             .get(name)
             .and_then(|v| v.iter().find(|m| m.version == version))
             .cloned()
@@ -119,9 +113,7 @@ impl ModelRegistry {
 
     /// Retained version numbers under `name`, ascending.
     pub fn versions(&self, name: &str) -> Vec<u64> {
-        self.models
-            .lock()
-            .unwrap()
+        lock(&self.models)
             .get(name)
             .map(|v| v.iter().map(|m| m.version).collect())
             .unwrap_or_default()
@@ -129,7 +121,7 @@ impl ModelRegistry {
 
     /// Every model name with at least one retained version, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.lock().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = lock(&self.models).keys().cloned().collect();
         names.sort();
         names
     }

@@ -22,11 +22,13 @@
 
 use crate::batcher::{collect_batch, BatchPolicy, Collected};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
-use crate::queue::{BoundedQueue, PushError};
-use crate::registry::ModelRegistry;
+use crate::queue::{BoundedQueue, Popped, PushError};
+use crate::registry::{ModelRegistry, ModelVersion};
+use crate::sync::{lock, wait};
 use hs_nn::{CheckpointError, Network};
 use hs_tensor::Tensor;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,8 +57,18 @@ pub enum ServeError {
     /// The server is shutting down (or already shut down).
     Shutdown,
     /// The worker executing this request's batch panicked; the request was
-    /// aborted (the worker survives and keeps serving later batches).
+    /// aborted (the supervisor respawns the worker, so later requests keep
+    /// being served).
     WorkerPanicked,
+    /// Brownout load-shedding: the server is in sustained overload and this
+    /// request's deadline slack was too small to be worth executing. Unlike
+    /// [`ServeError::Backpressure`] (admission-time, queue full) this is an
+    /// execution-time decision; callers should retry with backoff or lower
+    /// their offered load.
+    Shed {
+        /// Queue depth observed when the request was shed.
+        queue_depth: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -81,6 +93,11 @@ impl fmt::Display for ServeError {
                 f,
                 "internal error: the worker executing this request's batch panicked; \
                  the request was aborted"
+            ),
+            ServeError::Shed { queue_depth } => write!(
+                f,
+                "request shed: the server is in brownout (queue depth {queue_depth}) and \
+                 this request's deadline slack was too small to execute; retry with backoff"
             ),
         }
     }
@@ -158,7 +175,7 @@ impl Slot {
     /// First completion wins; later writes (e.g. the [`Request`] drop
     /// guard firing after a normal completion) are ignored.
     fn complete(&self, result: Result<Response, ServeError>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock(&self.state);
         if state.is_none() {
             *state = Some(result);
             drop(state);
@@ -175,7 +192,7 @@ pub struct Pending {
 
 impl fmt::Debug for Pending {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let done = self.slot.state.lock().unwrap().is_some();
+        let done = lock(&self.slot.state).is_some();
         f.debug_struct("Pending").field("done", &done).finish()
     }
 }
@@ -183,12 +200,12 @@ impl fmt::Debug for Pending {
 impl Pending {
     /// Blocks until the request completes (successfully or not).
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = lock(&self.slot.state);
         loop {
             if let Some(result) = state.take() {
                 return result;
             }
-            state = self.slot.ready.wait(state).unwrap();
+            state = wait(&self.slot.ready, state);
         }
     }
 
@@ -197,7 +214,7 @@ impl Pending {
     /// completion single-shot — a redeemed handle cannot be waited on
     /// twice.
     pub fn try_wait(self) -> Result<Result<Response, ServeError>, Pending> {
-        let taken = self.slot.state.lock().unwrap().take();
+        let taken = lock(&self.slot.state).take();
         match taken {
             Some(result) => Ok(result),
             None => Err(self),
@@ -224,7 +241,68 @@ impl Drop for Request {
     }
 }
 
-/// Server sizing and batching knobs.
+/// Brownout (overload self-protection) knobs.
+///
+/// The supervisor samples the admission-queue depth every poll tick; when
+/// it stays at or above `high_watermark × queue_capacity` for
+/// `enter_ticks` consecutive ticks the server enters brownout, and it
+/// exits once the depth stays at or below `low_watermark × queue_capacity`
+/// for `exit_ticks` ticks (watermark hysteresis, so the mode doesn't
+/// flap). While browned out, workers close batches `wait_divisor`× sooner
+/// (trading batch fullness for queue drain rate) and shed queued requests
+/// whose deadline slack has fallen under `min_slack` with
+/// [`ServeError::Shed`] — those requests were going to expire anyway, and
+/// shedding them early spends the forward pass on requests that can still
+/// make their deadlines instead of letting p99 collapse for everyone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// Queue-depth fraction (of capacity) that counts as overload.
+    pub high_watermark: f32,
+    /// Queue-depth fraction at which the overload is considered over.
+    pub low_watermark: f32,
+    /// Consecutive over-watermark supervisor ticks before entering.
+    pub enter_ticks: u32,
+    /// Consecutive under-watermark supervisor ticks before exiting.
+    pub exit_ticks: u32,
+    /// Factor by which `max_wait` shrinks while browned out (≥ 1).
+    pub wait_divisor: u32,
+    /// Minimum deadline slack for a request to be worth executing while
+    /// browned out; requests with less are shed.
+    pub min_slack: Duration,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            enter_ticks: 3,
+            exit_ticks: 10,
+            wait_divisor: 4,
+            min_slack: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BrownoutConfig {
+    fn validate(&self) {
+        assert!(
+            self.high_watermark > 0.0 && self.high_watermark <= 1.0,
+            "high_watermark must be in (0, 1], got {}",
+            self.high_watermark
+        );
+        assert!(
+            self.low_watermark > 0.0 && self.low_watermark <= self.high_watermark,
+            "low_watermark must be in (0, high_watermark], got {}",
+            self.low_watermark
+        );
+        assert!(self.enter_ticks > 0, "enter_ticks must be positive");
+        assert!(self.exit_ticks > 0, "exit_ticks must be positive");
+        assert!(self.wait_divisor > 0, "wait_divisor must be positive");
+    }
+}
+
+/// Server sizing, batching and self-healing knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of worker threads, each with its own model replica.
@@ -237,10 +315,25 @@ pub struct ServerConfig {
     /// How long an idle worker blocks before re-checking the registry for
     /// hot-swaps (pure idle-path knob; requests wake workers immediately).
     pub idle_poll: Duration,
+    /// Restart budget per worker slot: how many times the supervisor
+    /// respawns a panicked worker before declaring the slot dead. When
+    /// every slot is dead the server closes its queue and fails remaining
+    /// requests with [`ServeError::Shutdown`] instead of hanging them.
+    pub max_worker_restarts: u32,
+    /// Base respawn delay; doubles per restart of the same slot (capped at
+    /// 64× the base) so a crash-looping model doesn't spin the CPU.
+    pub restart_backoff: Duration,
+    /// How often the supervisor reaps panicked workers and samples the
+    /// queue depth for brownout decisions.
+    pub supervisor_poll: Duration,
+    /// Brownout (overload self-protection) configuration.
+    pub brownout: BrownoutConfig,
 }
 
 impl ServerConfig {
-    /// A configuration with the given knobs and a 1 ms idle poll.
+    /// A configuration with the given knobs, a 1 ms idle poll, and default
+    /// self-healing knobs (5 restarts per worker at 5 ms base backoff,
+    /// default [`BrownoutConfig`]).
     pub fn new(workers: usize, queue_capacity: usize, policy: BatchPolicy) -> Self {
         assert!(workers > 0, "server needs at least one worker");
         ServerConfig {
@@ -248,6 +341,10 @@ impl ServerConfig {
             queue_capacity,
             policy,
             idle_poll: Duration::from_millis(1),
+            max_worker_restarts: 5,
+            restart_backoff: Duration::from_millis(5),
+            supervisor_poll: Duration::from_millis(1),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -258,7 +355,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by clients and workers.
+/// State shared by clients, workers and the supervisor.
 struct Shared {
     queue: BoundedQueue<Request>,
     metrics: ServerMetrics,
@@ -267,6 +364,16 @@ struct Shared {
     input_dims: Vec<usize>,
     policy: BatchPolicy,
     idle_poll: Duration,
+    brownout: BrownoutConfig,
+    /// Set by the supervisor's watermark hysteresis; read by workers to
+    /// shrink `max_wait` and shed low-slack requests.
+    brownout_active: AtomicBool,
+    /// Fault-injection hook ([`Server::inject_worker_panic`]): the next
+    /// worker to start a batch swaps this to false and panics.
+    panic_fuse: AtomicBool,
+    /// The start-validated first checkpoint — the respawn fallback when the
+    /// registry's latest version no longer loads into a fresh replica.
+    initial: Arc<ModelVersion>,
 }
 
 /// A cloneable request-submission handle (the "connection" object load
@@ -338,10 +445,11 @@ impl ServeClient {
     }
 }
 
-/// The serving engine: owns the admission queue and the worker pool.
+/// The serving engine: owns the admission queue, the worker pool and the
+/// supervisor that keeps the pool alive.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -375,12 +483,13 @@ impl Server {
             })?;
         // validate once up-front so a bad registry entry fails loudly here,
         // not inside a worker thread
-        let make_replica = Arc::new(replica);
+        let make_replica: Arc<dyn Fn() -> Network + Send + Sync> = Arc::new(replica);
         let mut probe = make_replica();
         probe.fuse_inference();
         probe.load_checkpoint_bytes(&initial.bytes)?;
         drop(probe);
 
+        config.brownout.validate();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: ServerMetrics::new(),
@@ -389,25 +498,33 @@ impl Server {
             input_dims: input_dims.to_vec(),
             policy: config.policy,
             idle_poll: config.idle_poll,
+            brownout: config.brownout,
+            brownout_active: AtomicBool::new(false),
+            panic_fuse: AtomicBool::new(false),
+            initial,
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let make_replica = Arc::clone(&make_replica);
-                let initial = Arc::clone(&initial);
-                std::thread::Builder::new()
-                    .name(format!("hs-serve-{i}"))
-                    .spawn(move || {
-                        let mut net = make_replica();
-                        net.fuse_inference();
-                        net.load_checkpoint_bytes(&initial.bytes)
-                            .expect("validated at start");
-                        worker_loop(&shared, &mut net, initial.version);
-                    })
-                    .expect("failed to spawn serving worker")
+        let slots: Vec<WorkerSlot> = (0..config.workers)
+            .map(|i| WorkerSlot::Running {
+                handle: spawn_worker(&shared, &make_replica, i),
+                restarts: 0,
             })
             .collect();
-        Ok(Server { shared, workers })
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let params = SupervisorParams {
+                max_restarts: config.max_worker_restarts,
+                backoff_base: config.restart_backoff,
+                poll: config.supervisor_poll,
+            };
+            std::thread::Builder::new()
+                .name("hs-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &make_replica, params, slots))
+                .expect("failed to spawn serving supervisor")
+        };
+        Ok(Server {
+            shared,
+            supervisor: Some(supervisor),
+        })
     }
 
     /// A cloneable submission handle.
@@ -427,11 +544,25 @@ impl Server {
         self.shared.metrics.reset()
     }
 
+    /// Whether the server is currently in brownout mode (diagnostic).
+    pub fn brownout_active(&self) -> bool {
+        self.shared.brownout_active.load(Ordering::Relaxed)
+    }
+
+    /// Fault-injection hook for chaos tests: the next worker to start
+    /// executing a batch panics. Its in-flight requests fail with
+    /// [`ServeError::WorkerPanicked`] and the supervisor respawns the
+    /// worker — exactly the life cycle the chaos harness asserts on.
+    pub fn inject_worker_panic(&self) {
+        self.shared.panic_fuse.store(true, Ordering::SeqCst);
+    }
+
     /// Graceful shutdown: stops admitting, lets the workers drain every
-    /// already-accepted request, and joins them.
+    /// already-accepted request, and joins the supervisor (which joins the
+    /// workers).
     pub fn shutdown(mut self) {
         self.shared.queue.close();
-        for handle in self.workers.drain(..) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
@@ -439,13 +570,182 @@ impl Server {
 
 impl Drop for Server {
     /// Dropping without [`Server::shutdown`] still stops admission and lets
-    /// the workers drain and exit on their own (they hold their own `Arc`s).
+    /// the workers and supervisor drain and exit on their own (they hold
+    /// their own `Arc`s).
     fn drop(&mut self) {
         self.shared.queue.close();
     }
 }
 
-/// One worker: hot-swap check, collect, execute, route — forever.
+/// One worker slot as the supervisor tracks it.
+enum WorkerSlot {
+    /// A live worker thread (or one that has exited and awaits reaping).
+    Running {
+        handle: JoinHandle<()>,
+        restarts: u32,
+    },
+    /// A panicked worker waiting out its respawn backoff.
+    Backoff { at: Instant, restarts: u32 },
+    /// Restart budget exhausted; this slot serves no more.
+    Dead,
+}
+
+/// Supervisor knobs captured at start.
+struct SupervisorParams {
+    max_restarts: u32,
+    backoff_base: Duration,
+    poll: Duration,
+}
+
+/// Spawns one worker thread on `slot_index`, loading the freshest weights
+/// it can: the registry's latest version, falling back to the
+/// start-validated initial checkpoint if that version no longer loads.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    make_replica: &Arc<dyn Fn() -> Network + Send + Sync>,
+    slot_index: usize,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let make_replica = Arc::clone(make_replica);
+    std::thread::Builder::new()
+        .name(format!("hs-serve-{slot_index}"))
+        .spawn(move || {
+            let mut net = make_replica();
+            net.fuse_inference();
+            let mut version = shared.initial.version;
+            let loaded_latest = shared
+                .registry
+                .latest(&shared.model_name)
+                .filter(|latest| net.load_checkpoint_bytes(&latest.bytes).is_ok())
+                .map(|latest| version = latest.version)
+                .is_some();
+            if !loaded_latest {
+                net.load_checkpoint_bytes(&shared.initial.bytes)
+                    .expect("validated at start");
+            }
+            worker_loop(&shared, &mut net, version);
+        })
+        .expect("failed to spawn serving worker")
+}
+
+/// The supervisor: reaps panicked workers, respawns them with exponential
+/// backoff under a bounded restart budget, runs the brownout watermark
+/// hysteresis, and — when the whole pool is dead or the server shuts down —
+/// makes sure no queued request is left hanging.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    make_replica: &Arc<dyn Fn() -> Network + Send + Sync>,
+    params: SupervisorParams,
+    mut slots: Vec<WorkerSlot>,
+) {
+    let brownout = shared.brownout;
+    let capacity = shared.queue.capacity() as f32;
+    let high_mark = (brownout.high_watermark * capacity).ceil() as usize;
+    let low_mark = (brownout.low_watermark * capacity).floor() as usize;
+    let mut high_ticks = 0u32;
+    let mut low_ticks = 0u32;
+
+    loop {
+        if shared.queue.is_closed() {
+            // shutdown: the workers drain the queue and exit; join them,
+            // then fail anything left (possible only if every worker died
+            // before draining finished)
+            for slot in slots {
+                if let WorkerSlot::Running { handle, .. } = slot {
+                    let _ = handle.join();
+                }
+            }
+            fail_queued(shared);
+            return;
+        }
+
+        // --- reap exited workers
+        for slot in slots.iter_mut() {
+            let finished =
+                matches!(slot, WorkerSlot::Running { handle, .. } if handle.is_finished());
+            if !finished {
+                continue;
+            }
+            let WorkerSlot::Running { handle, restarts } =
+                std::mem::replace(slot, WorkerSlot::Dead)
+            else {
+                unreachable!("checked above");
+            };
+            let panicked = handle.join().is_err();
+            if !panicked {
+                // normal exit with the queue open only happens in the
+                // close() race right before shutdown; Dead is correct
+                continue;
+            }
+            shared.metrics.record_worker_panic();
+            if restarts < params.max_restarts {
+                let backoff = params.backoff_base * 2u32.pow(restarts.min(6));
+                *slot = WorkerSlot::Backoff {
+                    at: Instant::now() + backoff,
+                    restarts: restarts + 1,
+                };
+            }
+            // else: stays Dead — restart budget exhausted
+        }
+
+        // --- respawn workers whose backoff elapsed
+        let now = Instant::now();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let WorkerSlot::Backoff { at, restarts } = *slot {
+                if now >= at {
+                    shared.metrics.record_worker_restart();
+                    *slot = WorkerSlot::Running {
+                        handle: spawn_worker(shared, make_replica, i),
+                        restarts,
+                    };
+                }
+            }
+        }
+
+        // --- a fully dead pool must not strand clients: stop admission and
+        // fail everything still queued
+        if slots.iter().all(|s| matches!(s, WorkerSlot::Dead)) {
+            shared.queue.close();
+            fail_queued(shared);
+            return;
+        }
+
+        // --- brownout watermark hysteresis
+        let depth = shared.queue.len();
+        if depth >= high_mark {
+            high_ticks += 1;
+            low_ticks = 0;
+        } else if depth <= low_mark {
+            low_ticks += 1;
+            high_ticks = 0;
+        } else {
+            high_ticks = 0;
+            low_ticks = 0;
+        }
+        let active = shared.brownout_active.load(Ordering::Relaxed);
+        if !active && high_ticks >= brownout.enter_ticks {
+            shared.brownout_active.store(true, Ordering::Relaxed);
+            shared.metrics.record_brownout_entry();
+        } else if active && low_ticks >= brownout.exit_ticks {
+            shared.brownout_active.store(false, Ordering::Relaxed);
+        }
+
+        std::thread::sleep(params.poll);
+    }
+}
+
+/// Drains the (closed) queue, completing every remaining request with
+/// [`ServeError::Shutdown`] so no waiter hangs.
+fn fail_queued(shared: &Shared) {
+    while let Popped::Item(request) = shared.queue.pop_timeout(Duration::ZERO) {
+        request.slot.complete(Err(ServeError::Shutdown));
+    }
+}
+
+/// One worker: hot-swap check, collect, execute, route — until the queue
+/// closes (or a panic unwinds the thread; the supervisor takes it from
+/// there, and the in-flight batch's requests fail via the [`Request`] drop
+/// guard rather than hanging).
 fn worker_loop(shared: &Shared, net: &mut Network, mut version: u64) {
     let mut batch_in = Tensor::zeros(&[0]);
     loop {
@@ -459,24 +759,23 @@ fn worker_loop(shared: &Shared, net: &mut Network, mut version: u64) {
                 version = latest.version;
             }
         }
-        match collect_batch(&shared.queue, &shared.policy, shared.idle_poll) {
+        // Brownout shrinks max_wait: under sustained overload, waiting for
+        // batch companions is pointless (the queue is full of them) and the
+        // drain rate is what protects p99.
+        let mut policy = shared.policy;
+        if shared.brownout_active.load(Ordering::Relaxed) {
+            policy.max_wait /= shared.brownout.wait_divisor;
+        }
+        match collect_batch(&shared.queue, &policy, shared.idle_poll) {
             Collected::Closed => break,
             Collected::Idle => continue,
             Collected::Batch(requests) => {
-                // Panic containment: a forward that panics (e.g. a custom
-                // layer blowing up on one input) must not kill the worker
-                // and strand every queued client. The unwound batch's
-                // requests complete with `WorkerPanicked` via the Request
-                // drop guard; the worker resumes with the next batch.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_batch(shared, net, version, &mut batch_in, requests)
-                }));
-                if result.is_err() {
-                    eprintln!(
-                        "hs-serve: worker survived a panic while executing a batch; \
-                         the batch's requests were aborted"
-                    );
+                if shared.panic_fuse.swap(false, Ordering::SeqCst) {
+                    // chaos hook: die exactly like a real mid-batch panic
+                    // (the requests vector unwinds → drop guards fire)
+                    panic!("injected worker panic (Server::inject_worker_panic)");
                 }
+                run_batch(shared, net, version, &mut batch_in, requests);
             }
         }
     }
@@ -491,8 +790,13 @@ fn run_batch(
     requests: Vec<Request>,
 ) {
     // deadline triage first: expired requests are dropped unexecuted so
-    // they cost no forward time
+    // they cost no forward time; in brownout, requests whose remaining
+    // slack is below the configured minimum are shed as well — they would
+    // expire before their response is useful, and the forward capacity is
+    // better spent on requests that can still make it
     let now = Instant::now();
+    let browned_out = shared.brownout_active.load(Ordering::Relaxed);
+    let min_slack = shared.brownout.min_slack;
     let mut live = Vec::with_capacity(requests.len());
     for request in requests {
         match request.deadline {
@@ -500,6 +804,12 @@ fn run_batch(
                 shared.metrics.record_expired();
                 request.slot.complete(Err(ServeError::DeadlineExceeded {
                     waited: now - request.enqueued,
+                }));
+            }
+            Some(d) if browned_out && d - now < min_slack => {
+                shared.metrics.record_shed();
+                request.slot.complete(Err(ServeError::Shed {
+                    queue_depth: shared.queue.len(),
                 }));
             }
             _ => live.push(request),

@@ -1,0 +1,56 @@
+//! Poison-recovering lock helpers used across the serving engine.
+//!
+//! Every `Mutex`/`Condvar` in this crate guards state that stays valid
+//! across a panicking holder: counters, rings, FIFO queues, append-only
+//! version maps and single-shot completion slots are all updated in place
+//! with no multi-step invariants that a mid-update unwind could tear. A
+//! poisoned lock therefore carries no information we need — but calling
+//! `.unwrap()` on it would *cascade* one panicked thread into panics in
+//! every other thread that touches the same lock, wedging the queue, the
+//! registry and every waiting client. These helpers recover the guard via
+//! [`PoisonError::into_inner`] instead, which is what lets the worker
+//! supervisor treat a panicked worker as an isolated, restartable event.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers the guard from a poisoned lock.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard from a poisoned lock.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_after_a_holder_panicked() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned(), "the panic must have poisoned the lock");
+        assert_eq!(*lock(&m), 7, "helper still reads the value");
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8, "helper still writes through");
+    }
+}

@@ -392,9 +392,157 @@ fn worker_panic_fails_the_batch_but_not_the_server() {
         Err(ServeError::WorkerPanicked) => {}
         other => panic!("expected WorkerPanicked, got {other:?}"),
     }
-    // …and the worker must survive to serve the next request
+    // …and the supervisor must respawn the worker to serve the next request
     let ok = client.infer(Tensor::full(&[4], 1.0), None).unwrap();
     assert_eq!(ok.logits.len(), 4);
+    let metrics = server.metrics();
+    assert_eq!(metrics.worker_panics, 1);
+    assert_eq!(metrics.worker_restarts, 1);
+    server.shutdown();
+}
+
+#[test]
+fn injected_worker_panic_recovers_via_supervisor_respawn() {
+    // the chaos hook: no special layers, a healthy model — the fuse alone
+    // kills the worker mid-batch and the supervisor brings the pool back
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "id", 1.0);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "id",
+        linear_net,
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()),
+    )
+    .unwrap();
+    let client = server.client();
+    server.inject_worker_panic();
+    match client.infer(Tensor::ones(&[4]), None) {
+        Err(ServeError::WorkerPanicked) => {}
+        other => panic!("expected WorkerPanicked from the fuse, got {other:?}"),
+    }
+    // respawned worker serves the next request with the same model
+    let ok = client.infer(Tensor::full(&[4], 2.0), None).unwrap();
+    assert_eq!(ok.logits, vec![2.0; 4]);
+    let metrics = server.metrics();
+    assert_eq!(metrics.worker_panics, 1);
+    assert_eq!(metrics.worker_restarts, 1);
+    server.shutdown();
+}
+
+#[test]
+fn exhausted_restart_budget_kills_the_pool_without_hanging_anyone() {
+    let registry = Arc::new(ModelRegistry::new());
+    publish_scaled_identity(&registry, "id", 1.0);
+    let mut config = ServerConfig::new(1, 16, BatchPolicy::batch_of_one());
+    config.max_worker_restarts = 0; // first panic is fatal for the pool
+    let server = Server::start(Arc::clone(&registry), "id", linear_net, &[4], config).unwrap();
+    let client = server.client();
+    server.inject_worker_panic();
+    match client.infer(Tensor::ones(&[4]), None) {
+        Err(ServeError::WorkerPanicked) => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // with zero restarts the pool is dead; the supervisor must close the
+    // queue so clients get a typed error instead of waiting forever
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.infer(Tensor::ones(&[4]), None) {
+            Err(ServeError::Shutdown) => break,
+            Err(ServeError::WorkerPanicked) => {} // raced the supervisor's close
+            Ok(_) => panic!("a dead pool must not serve"),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never closed the queue after the pool died"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.metrics().worker_restarts, 0);
+    server.shutdown();
+}
+
+#[test]
+fn brownout_sheds_low_slack_requests_under_sustained_overload() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("slow", &mut slow_net(Duration::from_millis(30)));
+    let mut config = ServerConfig::new(1, 8, BatchPolicy::batch_of_one());
+    config.brownout.high_watermark = 0.5; // 4 of 8 queued = overload
+    config.brownout.enter_ticks = 2;
+    config.brownout.exit_ticks = 1000; // stay browned out for the test
+    config.brownout.min_slack = Duration::from_secs(60); // shed every deadline'd request
+    let server = Server::start(
+        Arc::clone(&registry),
+        "slow",
+        || slow_net(Duration::from_millis(30)),
+        &[4],
+        config,
+    )
+    .unwrap();
+    let client = server.client();
+
+    // occupy the worker (no deadline: never sheddable), then pile up six
+    // deadline'd requests — depth 6 ≥ watermark 4 triggers brownout within
+    // a few supervisor ticks, after which they are shed, not executed
+    let in_flight = client.submit(Tensor::ones(&[4]), None).unwrap();
+    let doomed: Vec<_> = (0..6)
+        .map(|_| {
+            client
+                .submit(Tensor::ones(&[4]), Some(Duration::from_secs(30)))
+                .unwrap()
+        })
+        .collect();
+
+    in_flight.wait().unwrap();
+    let mut shed = 0;
+    let mut served = 0;
+    for p in doomed {
+        match p.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Shed { queue_depth: _ }) => shed += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(shed + served, 6, "every request resolved");
+    assert!(
+        shed >= 1,
+        "sustained overload must shed something (served {served})"
+    );
+    let metrics = server.metrics();
+    assert_eq!(metrics.shed, shed);
+    assert_eq!(metrics.brownout_entries, 1);
+    server.shutdown();
+}
+
+#[test]
+fn requests_without_deadlines_survive_brownout() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("slow", &mut slow_net(Duration::from_millis(20)));
+    let mut config = ServerConfig::new(1, 8, BatchPolicy::batch_of_one());
+    config.brownout.high_watermark = 0.25; // 2 queued = overload
+    config.brownout.enter_ticks = 1;
+    config.brownout.exit_ticks = 1000;
+    config.brownout.min_slack = Duration::from_secs(60);
+    let server = Server::start(
+        Arc::clone(&registry),
+        "slow",
+        || slow_net(Duration::from_millis(20)),
+        &[4],
+        config,
+    )
+    .unwrap();
+    let client = server.client();
+    let pending: Vec<_> = (0..5)
+        .map(|_| client.submit(Tensor::ones(&[4]), None).unwrap())
+        .collect();
+    // brownout certainly engages, but deadline-free requests are never shed
+    for p in pending {
+        p.wait().unwrap();
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 5);
+    assert_eq!(metrics.shed, 0);
     server.shutdown();
 }
 

@@ -19,7 +19,7 @@ use hs_bench::json_out_path;
 use hs_bench::serving_load::{closed_loop, open_loop, LoadOutcome};
 use hs_nn::models::{build_vision_model, ModelKind, VisionConfig};
 use hs_serve::{BatchPolicy, MetricsSnapshot, ModelRegistry, Server, ServerConfig};
-use hs_tensor::Tensor;
+use hs_tensor::{DType, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -30,6 +30,7 @@ use std::time::Duration;
 struct SweepRecord {
     model: String,
     mode: String,
+    dtype: String,
     clients: usize,
     offered_rps: f64,
     max_batch: usize,
@@ -90,6 +91,7 @@ fn main() {
                     &mut records,
                     kind.as_str(),
                     "closed",
+                    "f32",
                     clients,
                     0.0,
                     max_batch,
@@ -112,6 +114,7 @@ fn main() {
                     &mut records,
                     kind.as_str(),
                     "open",
+                    "f32",
                     0,
                     rate,
                     max_batch,
@@ -120,6 +123,42 @@ fn main() {
                     metrics,
                 );
             }
+            server.shutdown();
+        }
+
+        // dtype pass: the same closed-loop load on f32 vs f16 worker
+        // replicas (PR 7's quantized inference tier) at one fixed policy —
+        // the serving-level view of the f16 kernel speedup
+        let dtype_batch = 8usize;
+        for dtype in [DType::F32, DType::F16] {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.publish("m", &mut make());
+            let server = Server::start(
+                Arc::clone(&registry),
+                "m",
+                make,
+                &input_dims,
+                ServerConfig::new(1, 128, BatchPolicy::new(dtype_batch, max_wait_us))
+                    .with_dtype(dtype),
+            )
+            .expect("server must start");
+            let client = server.client();
+            closed_loop(&client, 8, 3, &sample, None, None); // warm
+            server.reset_metrics();
+            let outcome = closed_loop(&client, 8, per_client, &sample, None, None);
+            let metrics = server.metrics();
+            report(
+                &mut records,
+                kind.as_str(),
+                &format!("closed/{dtype}"),
+                dtype.as_str(),
+                8,
+                0.0,
+                dtype_batch,
+                max_wait_us,
+                outcome,
+                metrics,
+            );
             server.shutdown();
         }
         println!();
@@ -151,6 +190,7 @@ fn report(
     records: &mut Vec<SweepRecord>,
     model: &str,
     mode: &str,
+    dtype: &str,
     clients: usize,
     offered_rps: f64,
     max_batch: usize,
@@ -158,7 +198,7 @@ fn report(
     outcome: LoadOutcome,
     metrics: MetricsSnapshot,
 ) {
-    let load = if mode == "closed" {
+    let load = if mode.starts_with("closed") {
         format!("{clients}c")
     } else {
         format!("{offered_rps:.0}rps")
@@ -178,6 +218,7 @@ fn report(
     records.push(SweepRecord {
         model: model.to_string(),
         mode: mode.to_string(),
+        dtype: dtype.to_string(),
         clients,
         offered_rps,
         max_batch,

@@ -3,10 +3,10 @@
 //! SqueezeNet fire modules and ShuffleNetV2 units.
 
 use crate::{
-    BatchNorm2d, Conv2d, GlobalAvgPool, HardSigmoid, HardSwish, Layer, Linear, Param, Relu,
-    Sequential,
+    BatchNorm2d, Conv2d, GlobalAvgPool, HardSigmoid, HardSwish, Layer, Linear, Param, ParamStore,
+    Relu, Sequential,
 };
-use hs_tensor::Tensor;
+use hs_tensor::{DType, Tensor};
 use rand::rngs::StdRng;
 
 /// Extracts channels `[from, to)` of a `[n, c, h, w]` tensor.
@@ -130,6 +130,14 @@ impl Layer for Residual {
 
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         self.body.buffers_mut()
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        self.body.to_dtype(dtype);
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.body.param_stores()
     }
 
     fn name(&self) -> &'static str {
@@ -288,6 +296,14 @@ impl Layer for SqueezeExcite {
         self.squeeze.buffers_mut()
     }
 
+    fn to_dtype(&mut self, dtype: DType) {
+        self.squeeze.to_dtype(dtype);
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.squeeze.param_stores()
+    }
+
     fn name(&self) -> &'static str {
         "squeeze_excite"
     }
@@ -426,6 +442,14 @@ impl Layer for InvertedResidual {
 
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         self.body.buffers_mut()
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        self.body.to_dtype(dtype);
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.body.param_stores()
     }
 
     fn name(&self) -> &'static str {
@@ -571,6 +595,19 @@ impl Layer for Fire {
         b.extend(self.expand1.buffers_mut());
         b.extend(self.expand3.buffers_mut());
         b
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        self.squeeze.to_dtype(dtype);
+        self.expand1.to_dtype(dtype);
+        self.expand3.to_dtype(dtype);
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        let mut p = self.squeeze.param_stores();
+        p.extend(self.expand1.param_stores());
+        p.extend(self.expand3.param_stores());
+        p
     }
 
     fn name(&self) -> &'static str {
@@ -843,6 +880,21 @@ impl Layer for ShuffleUnit {
             b.extend(proj.buffers_mut());
         }
         b
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        self.branch_main.to_dtype(dtype);
+        if let Some(proj) = &mut self.branch_proj {
+            proj.to_dtype(dtype);
+        }
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        let mut p = self.branch_main.param_stores();
+        if let Some(proj) = &mut self.branch_proj {
+            p.extend(proj.param_stores());
+        }
+        p
     }
 
     fn name(&self) -> &'static str {

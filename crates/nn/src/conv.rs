@@ -46,12 +46,12 @@
 //! the baseline for the `nn_kernels` bench. (Its `== 0.0` weight-skip
 //! branches were removed: they broke NaN/Inf propagation.)
 
-use crate::{Layer, Param};
+use crate::{Layer, Param, ParamStore};
 use hs_tensor::gemm::NR;
 use hs_tensor::{
-    depthwise_conv2d, gemm, gemm_acc, gemm_batch_cyclic_acc_strided, gemm_batch_cyclic_strided,
-    gemm_batch_strided, gemm_epilogue, he_normal, transpose_into, valid_out_range,
-    winograd_conv3x3, Epilogue, EpilogueAct, Tensor,
+    depthwise_conv2d, gemm, gemm_acc, gemm_acc_q, gemm_batch_cyclic_acc_strided_q,
+    gemm_batch_cyclic_strided_q, gemm_batch_strided, gemm_epilogue_q, he_normal, transpose_into,
+    valid_out_range, winograd_conv3x3_q, DType, Epilogue, EpilogueAct, QTensor, Tensor, WeightMat,
 };
 use rand::rngs::StdRng;
 use std::cell::{Cell, RefCell};
@@ -537,6 +537,13 @@ fn col2im_reference(
 pub struct Conv2d {
     weight: Param,
     bias: Param,
+    /// Quantized inference weight. When set, `weight` is emptied (the halved
+    /// resident bytes and halved GEMM weight traffic are the point), the
+    /// backend is clamped to im2col-GEMM (whose packing layer widens
+    /// quantized panels on the fly) and training is disabled. Conv weights
+    /// quantize to f16 only — the per-tensor i8 scale is too coarse for
+    /// conv stacks, so an i8 request also stores f16 here.
+    qweight: Option<QTensor>,
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
@@ -600,6 +607,7 @@ impl Conv2d {
         Conv2d {
             weight,
             bias,
+            qweight: None,
             in_channels,
             out_channels,
             kernel,
@@ -666,6 +674,19 @@ impl Conv2d {
     /// (`groups == in_channels == out_channels`).
     fn is_depthwise(&self) -> bool {
         self.groups == self.in_channels && self.groups == self.out_channels
+    }
+
+    /// Whether the layer currently holds a quantized weight.
+    pub fn is_quantized(&self) -> bool {
+        self.qweight.is_some()
+    }
+
+    /// The weight as a runtime-dtype GEMM operand.
+    fn weight_mat(&self) -> WeightMat<'_> {
+        match &self.qweight {
+            Some(q) => q.as_mat(),
+            None => WeightMat::F32(self.weight.value.as_slice()),
+        }
     }
 
     /// Whether the Winograd backend can execute this layer's geometry.
@@ -749,7 +770,11 @@ impl Conv2d {
         }
 
         let x = input.as_slice();
+        // `wgt` feeds the depthwise branch, which never runs on a quantized
+        // layer (depthwise weights stay f32), so the empty parked f32 slice
+        // is never read; the GEMM and Winograd routes take `wmat`.
         let wgt = self.weight.value.as_slice();
+        let wmat = self.weight_mat();
         let bias = self.bias.value.as_slice();
         let out_channels = self.out_channels;
         out.resize_to(&[n, out_channels, oh, ow]);
@@ -760,9 +785,10 @@ impl Conv2d {
             ConvAlgo::Winograd => {
                 // whole-batch tile transforms + 16 batched tile-GEMMs; the
                 // caller's scratch buffer holds the transform slabs
-                winograd_conv3x3(
+                // (quantized weights widen inside the weight transform)
+                winograd_conv3x3_q(
                     x,
-                    wgt,
+                    wmat,
                     bias,
                     epilogue,
                     out_data,
@@ -875,8 +901,8 @@ impl Conv2d {
                 (&col_scratch[..n * groups * colsz], colsz)
             };
             match ep {
-                Some((scale, shift, act)) => gemm_batch_cyclic_strided(
-                    wgt,
+                Some((scale, shift, act)) => gemm_batch_cyclic_strided_q(
+                    wmat,
                     bs,
                     out_data,
                     cout_g,
@@ -897,8 +923,8 @@ impl Conv2d {
                             out_t[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
                         }
                     }
-                    gemm_batch_cyclic_acc_strided(
-                        wgt,
+                    gemm_batch_cyclic_acc_strided_q(
+                        wmat,
                         bs,
                         out_data,
                         cout_g,
@@ -928,10 +954,10 @@ impl Conv2d {
                 im2col(input_block, col, cin_g, h, w, k, k, stride, padding, oh, ow);
                 col
             };
-            let w_g = &wgt[g * cout_g * wrow..(g + 1) * cout_g * wrow];
+            let w_g = wmat.slice(g * cout_g * wrow, (g + 1) * cout_g * wrow);
             let out_g = &mut out_sample[g * cout_g * ohw..(g + 1) * cout_g * ohw];
             match ep {
-                Some((scale, shift, act)) => gemm_epilogue(
+                Some((scale, shift, act)) => gemm_epilogue_q(
                     w_g,
                     col_ref,
                     out_g,
@@ -948,7 +974,7 @@ impl Conv2d {
                     for oc in 0..cout_g {
                         out_g[oc * ohw..(oc + 1) * ohw].fill(bias[g * cout_g + oc]);
                     }
-                    gemm_acc(w_g, col_ref, out_g, cout_g, wrow, ohw);
+                    gemm_acc_q(w_g, col_ref, out_g, cout_g, wrow, ohw);
                 }
             }
         };
@@ -1155,6 +1181,10 @@ impl Layer for Conv2d {
             self.eval_col = col;
             return out;
         }
+        assert!(
+            self.qweight.is_none(),
+            "Conv2d: cannot train a quantized layer — call to_dtype(DType::F32) first"
+        );
 
         assert_eq!(input.rank(), 4, "Conv2d expects a [n, c, h, w] input");
         let dims = input.dims();
@@ -1274,6 +1304,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Conv2d: cannot backprop through a quantized layer — call to_dtype(DType::F32) first"
+        );
         let in_dims = self
             .cached_input_dims
             .clone()
@@ -1411,7 +1445,56 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        if self.qweight.is_some() {
+            // the f32 weight is parked empty while quantized; only the bias
+            // remains a trainable/exchangeable f32 parameter
+            vec![&mut self.bias]
+        } else {
+            vec![&mut self.weight, &mut self.bias]
+        }
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        // depthwise convolutions stay f32: their direct spatial micro-kernel
+        // has no packing layer to widen through, and their weights are tiny
+        // (k*k per channel) so there is nothing to win
+        if self.is_depthwise() && dtype != DType::F32 {
+            return;
+        }
+        // conv weights quantize to f16 only; per-tensor i8 is too coarse for
+        // conv stacks, so an i8 request also stores f16 here
+        let dtype = match dtype {
+            DType::I8 => DType::F16,
+            other => other,
+        };
+        match (dtype, self.qweight.take()) {
+            (DType::F32, Some(q)) => {
+                self.weight.value = q.to_f32();
+                self.weight.grad = Tensor::zeros(self.weight.value.dims());
+                self.cached_input_dims = None;
+            }
+            (DType::F32, None) => {}
+            (_, prior) => {
+                let f32_weight = match &prior {
+                    Some(q) => q.to_f32(),
+                    None => std::mem::replace(&mut self.weight.value, Tensor::zeros(&[0])),
+                };
+                self.qweight = QTensor::quantize(&f32_weight, dtype);
+                self.weight.value = Tensor::zeros(&[0]);
+                self.weight.grad = Tensor::zeros(&[0]);
+                self.cached_input_dims = None;
+            }
+        }
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        match &mut self.qweight {
+            Some(q) => vec![ParamStore::Quant(q), ParamStore::F32(&mut self.bias)],
+            None => vec![
+                ParamStore::F32(&mut self.weight),
+                ParamStore::F32(&mut self.bias),
+            ],
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -1703,5 +1786,80 @@ mod tests {
         for (a, b) in gw2.as_slice().iter().zip(gw1.as_slice()) {
             assert!((a - 2.0 * b).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn quantized_inference_stays_close_and_round_trips() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // grouped conv so the per-group wmat.slice path is exercised too
+        let mut conv = Conv2d::new(4, 6, 3, 1, 1, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 4, 9, 9], -1.0, 1.0, &mut rng);
+        let reference = conv.forward(&x, false);
+        let w_before = conv.params_mut()[0].value.clone();
+        for requested in [DType::F16, DType::I8] {
+            conv.to_dtype(requested);
+            assert!(conv.is_quantized());
+            // conv weights always quantize to f16 (i8 requests included)
+            let stores = conv.param_stores();
+            assert_eq!(stores.len(), 2);
+            assert_eq!(stores[0].dtype(), DType::F16);
+            assert_eq!(stores[0].dims(), &[6, 2, 3, 3]);
+            drop(stores);
+            assert_eq!(conv.params_mut().len(), 1);
+            assert_eq!(conv.planned_algo(), ConvAlgo::Im2colGemm);
+            let y = conv.forward(&x, false);
+            for (a, b) in reference.as_slice().iter().zip(y.as_slice()) {
+                assert!((a - b).abs() <= 5e-3 * a.abs().max(1.0), "{a} vs {b}");
+            }
+            conv.to_dtype(DType::F32);
+            assert!(!conv.is_quantized());
+        }
+        // f16 -> f32 weights round-trip within f16 precision; restore the
+        // pristine weights first so prior conversions don't compound
+        conv.params_mut()[0].value = w_before.clone();
+        conv.to_dtype(DType::F16);
+        conv.to_dtype(DType::F32);
+        for (a, b) in w_before
+            .as_slice()
+            .iter()
+            .zip(conv.params_mut()[0].value.as_slice())
+        {
+            assert!((a - b).abs() <= 4.9e-4 * a.abs().max(1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_batched_route_matches_f32() {
+        // small spatial output drives the cyclic batched-GEMM route; the
+        // quantized weight must flow through its packing layer identically
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut conv = Conv2d::new(8, 16, 1, 1, 0, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 8, 4, 4], -1.0, 1.0, &mut rng);
+        let reference = conv.forward(&x, false);
+        conv.to_dtype(DType::F16);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), reference.dims());
+        for (a, b) in reference.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() <= 5e-3 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn depthwise_layers_ignore_quantization() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut conv = Conv2d::depthwise(6, 3, 1, 1, &mut rng);
+        conv.to_dtype(DType::F16);
+        assert!(!conv.is_quantized());
+        assert_eq!(conv.params_mut().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train a quantized layer")]
+    fn training_a_quantized_conv_panics() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, 1, &mut rng);
+        conv.to_dtype(DType::F16);
+        let x = Tensor::zeros(&[1, 2, 5, 5]);
+        let _ = conv.forward(&x, true);
     }
 }

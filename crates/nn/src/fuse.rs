@@ -27,8 +27,8 @@
 //! whose width disagrees with the convolution, anything else in between —
 //! are left untouched, falling back to the exact layer-by-layer path.
 
-use crate::{Layer, Param, Sequential};
-use hs_tensor::{EpilogueAct, Tensor};
+use crate::{Layer, Param, ParamStore, Sequential};
+use hs_tensor::{DType, EpilogueAct, Tensor};
 
 /// Rewrites a layer list, fusing `conv (-> bn) (-> act)` and `linear -> act`
 /// runs. Composite layers are recursed into (via [`Layer::fuse_inference`])
@@ -237,6 +237,27 @@ impl Layer for FusedConvBnAct {
         b
     }
 
+    fn to_dtype(&mut self, dtype: DType) {
+        self.conv.to_dtype(dtype);
+        if let Some(bn) = &mut self.bn {
+            bn.to_dtype(dtype);
+        }
+        if let Some(act) = &mut self.act {
+            act.to_dtype(dtype);
+        }
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        let mut p = self.conv.param_stores();
+        if let Some(bn) = &mut self.bn {
+            p.extend(bn.param_stores());
+        }
+        if let Some(act) = &mut self.act {
+            p.extend(act.param_stores());
+        }
+        p
+    }
+
     fn name(&self) -> &'static str {
         "fused_conv_bn_act"
     }
@@ -318,6 +339,17 @@ impl Layer for FusedLinearAct {
         let mut b = self.linear.buffers_mut();
         b.extend(self.act.buffers_mut());
         b
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        self.linear.to_dtype(dtype);
+        self.act.to_dtype(dtype);
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        let mut p = self.linear.param_stores();
+        p.extend(self.act.param_stores());
+        p
     }
 
     fn name(&self) -> &'static str {

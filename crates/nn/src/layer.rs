@@ -2,7 +2,51 @@
 //! stack.
 
 use crate::{BatchNorm2d, Conv2d, Linear, Param};
-use hs_tensor::{EpilogueAct, Tensor};
+use hs_tensor::{DType, EpilogueAct, QTensor, Tensor};
+
+/// A view of one stored parameter tensor, in the fixed order the checkpoint
+/// format walks them. For an f32 network every store is `F32`; after
+/// [`crate::Network::to_dtype`] the quantized weights show up as `Quant`
+/// stores in the same positions, so the shape-based fingerprint (and thus
+/// checkpoint compatibility) is dtype-independent.
+pub enum ParamStore<'a> {
+    /// An `f32` parameter (value + gradient).
+    F32(&'a mut Param),
+    /// A quantized inference weight (no gradient; training is disabled on
+    /// quantized layers).
+    Quant(&'a mut QTensor),
+}
+
+impl ParamStore<'_> {
+    /// The stored tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            ParamStore::F32(p) => p.value.dims(),
+            ParamStore::Quant(q) => q.dims(),
+        }
+    }
+
+    /// Number of scalar elements in the stored tensor.
+    pub fn len(&self) -> usize {
+        match self {
+            ParamStore::F32(p) => p.len(),
+            ParamStore::Quant(q) => q.len(),
+        }
+    }
+
+    /// Whether the stored tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage dtype of the stored tensor.
+    pub fn dtype(&self) -> DType {
+        match self {
+            ParamStore::F32(_) => DType::F32,
+            ParamStore::Quant(q) => q.dtype(),
+        }
+    }
+}
 
 /// A differentiable network building block.
 ///
@@ -78,6 +122,22 @@ pub trait Layer: Send + Sync {
     /// server.
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
         Vec::new()
+    }
+
+    /// Converts this layer's inference weights to the requested storage
+    /// dtype (see [`crate::Network::to_dtype`]). Containers recurse; leaves
+    /// with weight tensors override; everything else keeps the no-op
+    /// default. Converting back to [`DType::F32`] restores dequantized `f32`
+    /// weights.
+    fn to_dtype(&mut self, _dtype: DType) {}
+
+    /// Mutable access to every stored parameter tensor, in the same fixed
+    /// order as [`Layer::params_mut`] on an f32 network. This is the walk
+    /// the checkpoint format uses: unlike `params_mut`, quantized weights
+    /// appear here (as [`ParamStore::Quant`]) so fingerprints and save/load
+    /// cover them.
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.params_mut().into_iter().map(ParamStore::F32).collect()
     }
 
     /// Typed view for the fusion pass: `Some` iff this layer is a plain
@@ -164,7 +224,9 @@ mod tests {
         let mut out = Tensor::zeros(&[0]);
         id.forward_into(&x, &mut out, false);
         assert_eq!(out.as_slice(), x.as_slice());
-        // fuse_inference is a no-op
+        // fuse_inference and to_dtype are no-ops; param_stores mirrors params
         id.fuse_inference();
+        id.to_dtype(DType::F16);
+        assert!(id.param_stores().is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
-use crate::{Layer, Param};
-use hs_tensor::{he_normal, EpilogueAct, Tensor};
+use crate::{Layer, Param, ParamStore};
+use hs_tensor::{he_normal, DType, EpilogueAct, QTensor, Tensor, WeightMat};
 use rand::rngs::StdRng;
 
 /// A fully-connected layer computing `y = x W^T + b`.
@@ -10,6 +10,11 @@ use rand::rngs::StdRng;
 pub struct Linear {
     weight: Param,
     bias: Param,
+    /// Quantized inference weight (f16 or i8). When set, `weight` is emptied
+    /// (halved/quartered resident bytes are the point) and the inference
+    /// GEMM streams the quantized buffer, widening on transpose. Training is
+    /// disabled while quantized.
+    qweight: Option<QTensor>,
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
@@ -23,6 +28,7 @@ impl Linear {
         Linear {
             weight,
             bias,
+            qweight: None,
             in_features,
             out_features,
             cached_input: None,
@@ -37,6 +43,19 @@ impl Linear {
     /// Number of output features.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Whether the layer currently holds a quantized weight.
+    pub fn is_quantized(&self) -> bool {
+        self.qweight.is_some()
+    }
+
+    /// The weight as a runtime-dtype GEMM operand.
+    fn weight_mat(&self) -> WeightMat<'_> {
+        match &self.qweight {
+            Some(q) => q.as_mat(),
+            None => WeightMat::F32(self.weight.value.as_slice()),
+        }
     }
 
     /// Inference forward into `out` (resized in place): `y = x W^T + b`
@@ -55,9 +74,9 @@ impl Linear {
         );
         let n = input.dims()[0];
         out.resize_to(&[n, self.out_features]);
-        hs_tensor::gemm_nt(
+        hs_tensor::gemm_nt_q(
             input.as_slice(),
-            self.weight.value.as_slice(),
+            self.weight_mat(),
             out.as_mut_slice(),
             n,
             self.in_features,
@@ -74,6 +93,16 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert!(
+            self.qweight.is_none() || !train,
+            "Linear: cannot train a quantized layer — call to_dtype(DType::F32) first"
+        );
+        if self.qweight.is_some() {
+            // allocating inference path on a quantized layer: reuse infer_into
+            let mut out = Tensor::zeros(&[0]);
+            self.infer_into(input, EpilogueAct::None, &mut out);
+            return out;
+        }
         assert_eq!(input.rank(), 2, "Linear expects a [n, features] input");
         assert_eq!(
             input.dims()[1],
@@ -94,6 +123,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.qweight.is_none(),
+            "Linear: cannot backprop through a quantized layer — call to_dtype(DType::F32) first"
+        );
         let input = self
             .cached_input
             .as_ref()
@@ -127,7 +160,47 @@ impl Layer for Linear {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        if self.qweight.is_some() {
+            // the f32 weight is parked empty while quantized; only the bias
+            // remains a trainable/exchangeable f32 parameter
+            vec![&mut self.bias]
+        } else {
+            vec![&mut self.weight, &mut self.bias]
+        }
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        match (dtype, self.qweight.take()) {
+            (DType::F32, Some(q)) => {
+                self.weight.value = q.to_f32();
+                self.weight.grad = Tensor::zeros(self.weight.value.dims());
+                self.cached_input = None;
+            }
+            (DType::F32, None) => {}
+            (_, prior) => {
+                // quantize from the full-precision weight when we still have
+                // it; otherwise re-quantize through f32 (lossless for the
+                // same dtype, best-effort across dtypes)
+                let f32_weight = match &prior {
+                    Some(q) => q.to_f32(),
+                    None => std::mem::replace(&mut self.weight.value, Tensor::zeros(&[0])),
+                };
+                self.qweight = QTensor::quantize(&f32_weight, dtype);
+                self.weight.value = Tensor::zeros(&[0]);
+                self.weight.grad = Tensor::zeros(&[0]);
+                self.cached_input = None;
+            }
+        }
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        match &mut self.qweight {
+            Some(q) => vec![ParamStore::Quant(q), ParamStore::F32(&mut self.bias)],
+            None => vec![
+                ParamStore::F32(&mut self.weight),
+                ParamStore::F32(&mut self.bias),
+            ],
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -201,5 +274,57 @@ mod tests {
         assert_eq!(params.len(), 2);
         assert_eq!(params[0].value.dims(), &[2, 4]);
         assert_eq!(params[1].value.dims(), &[2]);
+    }
+
+    #[test]
+    fn quantized_inference_stays_close_and_round_trips() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut l = Linear::new(16, 8, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 16], -1.0, 1.0, &mut rng);
+        let reference = l.forward(&x, false);
+        let w_before = l.params_mut()[0].value.clone();
+        for dtype in [DType::F16, DType::I8] {
+            l.to_dtype(dtype);
+            assert!(l.is_quantized());
+            // the f32 weight is parked empty while quantized
+            assert_eq!(l.params_mut().len(), 1);
+            let stores = l.param_stores();
+            assert_eq!(stores.len(), 2);
+            assert_eq!(stores[0].dtype(), dtype);
+            assert_eq!(stores[0].dims(), &[8, 16]);
+            drop(stores);
+            let y = l.forward(&x, false);
+            let tol = if dtype == DType::F16 { 5e-3 } else { 5e-2 };
+            for (a, b) in reference.as_slice().iter().zip(y.as_slice()) {
+                assert!(
+                    (a - b).abs() <= tol * a.abs().max(1.0),
+                    "{dtype}: {a} vs {b}"
+                );
+            }
+            l.to_dtype(DType::F32);
+            assert!(!l.is_quantized());
+        }
+        // f16 -> f32 -> (weights round-trip within f16 precision); restore
+        // the pristine weights first — the i8 round trip above was lossy
+        l.params_mut()[0].value = w_before.clone();
+        l.to_dtype(DType::F16);
+        l.to_dtype(DType::F32);
+        for (a, b) in w_before
+            .as_slice()
+            .iter()
+            .zip(l.params_mut()[0].value.as_slice())
+        {
+            assert!((a - b).abs() <= 4.9e-4 * a.abs().max(1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train a quantized layer")]
+    fn training_a_quantized_layer_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut l = Linear::new(4, 2, &mut rng);
+        l.to_dtype(DType::I8);
+        let x = Tensor::zeros(&[1, 4]);
+        let _ = l.forward(&x, true);
     }
 }

@@ -1,8 +1,8 @@
 //! The [`Network`] wrapper: a trainable model whose parameters and buffers
 //! can be flattened into a single weight vector for federated aggregation.
 
-use crate::{Layer, Loss, Param, Sequential, Target};
-use hs_tensor::Tensor;
+use crate::{Layer, Loss, Param, ParamStore, Sequential, Target};
+use hs_tensor::{DType, Tensor};
 
 /// The per-network inference arena: two ping-pong activation buffers that
 /// layers write into via [`Layer::forward_into`]. Sized lazily by the first
@@ -103,6 +103,27 @@ impl Network {
     /// Mutable access to all trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.params_mut()
+    }
+
+    /// Converts every weight-bearing layer's inference weights to `dtype`
+    /// (recursively, through blocks and fused layers). `DType::F16` halves
+    /// the resident weight bytes and streams less memory through the GEMM
+    /// packing layer; `DType::I8` additionally quantizes [`crate::Linear`]
+    /// weights to symmetric per-tensor int8 (convolutions stay f16 — the
+    /// per-tensor scale is too coarse for conv stacks — and depthwise
+    /// convolutions stay f32). Converting back to `DType::F32` restores
+    /// dequantized f32 weights and re-enables training; while quantized,
+    /// training panics.
+    pub fn to_dtype(&mut self, dtype: DType) {
+        self.layers.to_dtype(dtype);
+    }
+
+    /// Mutable access to every stored parameter tensor — the checkpoint
+    /// walk. Identical to [`Network::params_mut`] on an f32 network; after
+    /// [`Network::to_dtype`] the quantized weights appear as
+    /// [`ParamStore::Quant`] entries in the same positions.
+    pub fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.layers.param_stores()
     }
 
     /// Internal access to the top-level layer stack (checkpoint naming

@@ -1,7 +1,7 @@
 //! A container that chains layers in order.
 
-use crate::{Layer, Param};
-use hs_tensor::Tensor;
+use crate::{Layer, Param, ParamStore};
+use hs_tensor::{DType, Tensor};
 
 /// Runs a list of layers in sequence; the workhorse container for every model
 /// in the zoo.
@@ -137,6 +137,19 @@ impl Layer for Sequential {
         self.layers
             .iter_mut()
             .flat_map(|l| l.buffers_mut())
+            .collect()
+    }
+
+    fn to_dtype(&mut self, dtype: DType) {
+        for layer in &mut self.layers {
+            layer.to_dtype(dtype);
+        }
+    }
+
+    fn param_stores(&mut self) -> Vec<ParamStore<'_>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.param_stores())
             .collect()
     }
 

@@ -1,0 +1,92 @@
+//! Zoo-wide accuracy-drift gate for the quantized inference tier: every
+//! model in the zoo, converted to f16 (and i8, which falls back to f16 for
+//! convolutions), must stay within 1e-2 relative drift of its own f32
+//! outputs on the same inputs. This is the CI smoke the f16 bench speedup
+//! gate pairs with — fast kernels that drift are not a win.
+
+use hs_nn::models::{build_vision_model, ecg_net, ModelKind, VisionConfig};
+use hs_nn::Network;
+use hs_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ZOO: [ModelKind; 4] = [
+    ModelKind::SimpleCnn,
+    ModelKind::MobileNetV3Small,
+    ModelKind::ShuffleNetV2,
+    ModelKind::SqueezeNet,
+];
+
+/// Relative drift tolerance required by the perf gate for f16: 1e-2.
+/// Symmetric per-tensor int8 is deliberately coarser (8-bit mantissa vs 11),
+/// so it gets a proportionally wider band.
+fn rel_tol(dtype: DType) -> f32 {
+    match dtype {
+        DType::I8 => 5e-2,
+        _ => 1e-2,
+    }
+}
+
+fn assert_close(kind: &str, dtype: DType, expect: &Tensor, got: &Tensor) {
+    assert_eq!(expect.dims(), got.dims());
+    let tol = rel_tol(dtype);
+    for (i, (a, b)) in expect.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert!(
+            (a - b).abs() <= tol * a.abs().max(1.0),
+            "{kind}/{dtype}: output {i} drifted past {tol} rel: f32={a} quantized={b}"
+        );
+    }
+}
+
+fn check_drift(kind: &str, mut f32_net: Network, mut quant: Network, x: &Tensor, dtype: DType) {
+    let expect = f32_net.infer(x).clone();
+    quant.to_dtype(dtype);
+    let got = quant.infer(x).clone();
+    assert_close(kind, dtype, &expect, &got);
+    // converting back restores f32 inference exactly as before quantization
+    quant.to_dtype(DType::F32);
+    let restored = quant.infer(x).clone();
+    assert_close(kind, dtype, &expect, &restored);
+}
+
+#[test]
+fn zoo_f16_inference_drift_is_bounded() {
+    for kind in ZOO {
+        for dtype in [DType::F16, DType::I8] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let cfg = VisionConfig::new(3, 5, 16);
+            let f32_net = build_vision_model(kind, cfg, &mut rng);
+            let mut rng2 = StdRng::seed_from_u64(11);
+            let quant = build_vision_model(kind, cfg, &mut rng2);
+            let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+            check_drift(&format!("{kind:?}"), f32_net, quant, &x, dtype);
+        }
+    }
+}
+
+#[test]
+fn fused_zoo_f16_inference_drift_is_bounded() {
+    // the serving configuration: fuse first, then quantize the fused weights
+    for kind in ZOO {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = VisionConfig::new(3, 5, 16);
+        let mut f32_net = build_vision_model(kind, cfg, &mut rng);
+        f32_net.fuse_inference();
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let mut quant = build_vision_model(kind, cfg, &mut rng2);
+        quant.fuse_inference();
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        check_drift(&format!("{kind:?}/fused"), f32_net, quant, &x, DType::F16);
+    }
+}
+
+#[test]
+fn ecg_net_i8_linear_drift_is_bounded() {
+    // the linear-heavy model actually exercises the int8 path end to end
+    let mut rng = StdRng::seed_from_u64(13);
+    let f32_net = ecg_net(32, &mut rng);
+    let mut rng2 = StdRng::seed_from_u64(13);
+    let quant = ecg_net(32, &mut rng2);
+    let x = Tensor::rand_uniform(&[4, 32], -1.0, 1.0, &mut rng);
+    check_drift("ecg", f32_net, quant, &x, DType::I8);
+}

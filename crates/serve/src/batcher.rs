@@ -15,7 +15,7 @@
 use crate::queue::{BoundedQueue, Popped};
 use std::time::{Duration, Instant};
 
-/// The two knobs of the dynamic batching policy.
+/// The knobs of the dynamic batching policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// A batch closes as soon as it holds this many requests.
@@ -23,11 +23,18 @@ pub struct BatchPolicy {
     /// A batch closes this long after its first request was dequeued, full
     /// or not (the classic `max_wait_us` knob, held as a `Duration`).
     pub max_wait: Duration,
+    /// Adaptive batch sizing: clamp the effective `max_batch` to the queue
+    /// depth observed when the batch opens. Under light load the queue
+    /// holds the only companions a batch will ever get — waiting
+    /// `max_wait` for more just adds latency — while under heavy load the
+    /// clamp is a no-op (the queue is deeper than `max_batch`). Off by
+    /// default; enable with [`BatchPolicy::adaptive`].
+    pub adaptive: bool,
 }
 
 impl BatchPolicy {
     /// Creates a policy from the conventional `(max_batch, max_wait_us)`
-    /// pair.
+    /// pair (adaptive sizing off).
     ///
     /// # Panics
     ///
@@ -37,12 +44,19 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch,
             max_wait: Duration::from_micros(max_wait_us),
+            adaptive: false,
         }
     }
 
     /// The no-batching baseline: every request is its own batch.
     pub fn batch_of_one() -> Self {
         BatchPolicy::new(1, 0)
+    }
+
+    /// Enables adaptive batch sizing (see [`BatchPolicy::adaptive`]).
+    pub fn adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
     }
 }
 
@@ -75,10 +89,17 @@ pub fn collect_batch<T>(
         Popped::Empty => return Collected::Idle,
         Popped::Closed => return Collected::Closed,
     };
+    // adaptive sizing: the depth at open is everything this batch could
+    // coalesce without waiting; don't hold the door for more than that
+    let max_batch = if policy.adaptive {
+        policy.max_batch.min(queue.len() + 1)
+    } else {
+        policy.max_batch
+    };
     let close_at = Instant::now() + policy.max_wait;
-    let mut batch = Vec::with_capacity(policy.max_batch);
+    let mut batch = Vec::with_capacity(max_batch);
     batch.push(first);
-    while batch.len() < policy.max_batch {
+    while batch.len() < max_batch {
         let now = Instant::now();
         if now >= close_at {
             break;
@@ -162,5 +183,44 @@ mod tests {
     #[should_panic(expected = "max_batch must be positive")]
     fn zero_max_batch_is_rejected() {
         let _ = BatchPolicy::new(0, 100);
+    }
+
+    #[test]
+    fn adaptive_policy_closes_at_observed_queue_depth() {
+        // two queued requests, max_batch 8: the adaptive batch ships both
+        // immediately instead of waiting max_wait for six more
+        let q = BoundedQueue::new(16);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let policy = BatchPolicy::new(8, 50_000).adaptive(); // 50 ms
+        let t0 = Instant::now();
+        match collect_batch(&q, &policy, Duration::from_millis(1)) {
+            Collected::Batch(b) => assert_eq!(b, vec![1, 2]),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "adaptive batch should not have waited out max_wait"
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_still_honours_max_batch_under_load() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let policy = BatchPolicy::new(4, 10_000).adaptive();
+        match collect_batch(&q, &policy, Duration::from_millis(1)) {
+            Collected::Batch(b) => assert_eq!(b, vec![0, 1, 2, 3]),
+            other => panic!("expected a full batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_is_off_by_default() {
+        let policy = BatchPolicy::new(4, 100);
+        assert!(!policy.adaptive);
+        assert!(BatchPolicy::new(4, 100).adaptive().adaptive);
     }
 }

@@ -26,7 +26,7 @@ use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::sync::{lock, wait};
 use hs_nn::{CheckpointError, Network};
-use hs_tensor::Tensor;
+use hs_tensor::{DType, Tensor};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -328,12 +328,18 @@ pub struct ServerConfig {
     pub supervisor_poll: Duration,
     /// Brownout (overload self-protection) configuration.
     pub brownout: BrownoutConfig,
+    /// Inference dtype for every worker replica. Applied after fusion and
+    /// before the checkpoint load, so published f32 checkpoints quantize on
+    /// load (see `hs_nn::Network::to_dtype`). Defaults to the `HS_DTYPE`
+    /// environment override, falling back to f32.
+    pub replica_dtype: DType,
 }
 
 impl ServerConfig {
     /// A configuration with the given knobs, a 1 ms idle poll, and default
     /// self-healing knobs (5 restarts per worker at 5 ms base backoff,
-    /// default [`BrownoutConfig`]).
+    /// default [`BrownoutConfig`]); the replica dtype comes from `HS_DTYPE`
+    /// (f32 when unset).
     pub fn new(workers: usize, queue_capacity: usize, policy: BatchPolicy) -> Self {
         assert!(workers > 0, "server needs at least one worker");
         ServerConfig {
@@ -345,13 +351,31 @@ impl ServerConfig {
             restart_backoff: Duration::from_millis(5),
             supervisor_poll: Duration::from_millis(1),
             brownout: BrownoutConfig::default(),
+            replica_dtype: DType::from_env().unwrap_or(DType::F32),
         }
+    }
+
+    /// The default worker count: one per available hardware thread
+    /// (`std::thread::available_parallelism`), 1 when that is unknowable.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    }
+
+    /// Sets the worker-replica inference dtype explicitly, overriding the
+    /// `HS_DTYPE` environment default.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.replica_dtype = dtype;
+        self
     }
 }
 
 impl Default for ServerConfig {
+    /// One worker per available hardware thread, a 64-deep admission queue
+    /// and a `(8, 200 µs)` batching policy.
     fn default() -> Self {
-        ServerConfig::new(1, 64, BatchPolicy::new(8, 200))
+        ServerConfig::new(Self::default_workers(), 64, BatchPolicy::new(8, 200))
     }
 }
 
@@ -374,6 +398,9 @@ struct Shared {
     /// The start-validated first checkpoint — the respawn fallback when the
     /// registry's latest version no longer loads into a fresh replica.
     initial: Arc<ModelVersion>,
+    /// Inference dtype every worker replica is converted to before loading
+    /// weights (so checkpoints quantize on load).
+    replica_dtype: DType,
 }
 
 /// A cloneable request-submission handle (the "connection" object load
@@ -486,6 +513,7 @@ impl Server {
         let make_replica: Arc<dyn Fn() -> Network + Send + Sync> = Arc::new(replica);
         let mut probe = make_replica();
         probe.fuse_inference();
+        probe.to_dtype(config.replica_dtype);
         probe.load_checkpoint_bytes(&initial.bytes)?;
         drop(probe);
 
@@ -502,6 +530,7 @@ impl Server {
             brownout_active: AtomicBool::new(false),
             panic_fuse: AtomicBool::new(false),
             initial,
+            replica_dtype: config.replica_dtype,
         });
         let slots: Vec<WorkerSlot> = (0..config.workers)
             .map(|i| WorkerSlot::Running {
@@ -612,6 +641,7 @@ fn spawn_worker(
         .spawn(move || {
             let mut net = make_replica();
             net.fuse_inference();
+            net.to_dtype(shared.replica_dtype);
             let mut version = shared.initial.version;
             let loaded_latest = shared
                 .registry

@@ -547,6 +547,53 @@ fn requests_without_deadlines_survive_brownout() {
 }
 
 #[test]
+fn f16_replicas_serve_close_to_f32_outputs() {
+    use hs_tensor::DType;
+    // a non-trivial weight matrix so quantization actually rounds something
+    let registry = Arc::new(ModelRegistry::new());
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut published = Network::new(Sequential::new(vec![Box::new(Linear::new(4, 4, &mut rng))]));
+    registry.publish("m", &mut published);
+
+    let f32_server = Server::start(
+        Arc::clone(&registry),
+        "m",
+        linear_net,
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()).with_dtype(DType::F32),
+    )
+    .unwrap();
+    let f16_server = Server::start(
+        Arc::clone(&registry),
+        "m",
+        linear_net,
+        &[4],
+        ServerConfig::new(1, 16, BatchPolicy::batch_of_one()).with_dtype(DType::F16),
+    )
+    .unwrap();
+
+    let x = Tensor::full(&[4], 0.75);
+    let expect = f32_server.client().infer(x.clone(), None).unwrap();
+    let got = f16_server.client().infer(x, None).unwrap();
+    let mut differs = false;
+    for (a, b) in expect.logits.iter().zip(&got.logits) {
+        assert!(
+            (a - b).abs() <= 1e-2 * a.abs().max(1.0),
+            "f16 replica drifted past 1e-2 rel: {a} vs {b}"
+        );
+        differs |= a != b;
+    }
+    // sanity: the f16 path really quantized (bit-identical logits would
+    // mean the dtype conversion never happened)
+    assert!(
+        differs || expect.logits.iter().all(|&v| v == 0.0),
+        "f16 replica produced bit-identical logits — did to_dtype run?"
+    );
+    f32_server.shutdown();
+    f16_server.shutdown();
+}
+
+#[test]
 fn shutdown_drains_accepted_requests_then_rejects() {
     let registry = Arc::new(ModelRegistry::new());
     registry.publish("slow", &mut slow_net(Duration::from_millis(30)));

@@ -539,10 +539,181 @@ fn pack_b(b: &[f32], bpack: &mut Vec<f32>, pc: usize, kc: usize, n: usize) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Weight element views: convert-on-pack for quantized storage
+// ---------------------------------------------------------------------------
+
+/// A read-only view of a GEMM `A` operand whose elements widen to `f32` on
+/// access. The packing routines are generic over this trait, so f16/i8
+/// weights are converted *while being packed* — the micro-kernels and the
+/// epilogue only ever see packed `f32` panels and accumulation stays `f32`.
+pub(crate) trait WeightElems: Copy + Send + Sync {
+    /// Number of elements in the view.
+    fn len(&self) -> usize;
+    /// Element `i`, widened to `f32`.
+    fn at(&self, i: usize) -> f32;
+    /// The view starting at element `start` (the generic twin of
+    /// `&a[start..]`).
+    fn offset(&self, start: usize) -> Self;
+}
+
+impl WeightElems for &[f32] {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    #[inline(always)]
+    fn at(&self, i: usize) -> f32 {
+        self[i]
+    }
+    #[inline(always)]
+    fn offset(&self, start: usize) -> Self {
+        &self[start..]
+    }
+}
+
+/// IEEE binary16 weight elements (raw bit patterns), widened on access.
+#[derive(Clone, Copy)]
+pub(crate) struct F16Elems<'a>(pub &'a [u16]);
+
+impl WeightElems for F16Elems<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    #[inline(always)]
+    fn at(&self, i: usize) -> f32 {
+        crate::dtype::f16_bits_to_f32(self.0[i])
+    }
+    #[inline(always)]
+    fn offset(&self, start: usize) -> Self {
+        F16Elems(&self.0[start..])
+    }
+}
+
+/// Symmetric per-tensor int8 weight elements; the scale is folded in during
+/// widening, so the packed panels carry real-valued weights.
+#[derive(Clone, Copy)]
+pub(crate) struct I8Elems<'a> {
+    pub q: &'a [i8],
+    pub scale: f32,
+}
+
+impl WeightElems for I8Elems<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+    #[inline(always)]
+    fn at(&self, i: usize) -> f32 {
+        self.q[i] as f32 * self.scale
+    }
+    #[inline(always)]
+    fn offset(&self, start: usize) -> Self {
+        I8Elems {
+            q: &self.q[start..],
+            scale: self.scale,
+        }
+    }
+}
+
+/// A borrowed GEMM weight operand of runtime dtype — the argument type of
+/// the `_q` entry points ([`gemm_epilogue_q`], [`gemm_nt_q`], …). `F32`
+/// routes to exactly the same code as the plain-slice entries; `F16`/`I8`
+/// widen to `f32` inside the packing routines (convert-on-pack), so the
+/// bandwidth saving comes from streaming half/quarter-width weights while
+/// the arithmetic stays identical.
+#[derive(Clone, Copy, Debug)]
+pub enum WeightMat<'a> {
+    /// Plain `f32` weights.
+    F32(&'a [f32]),
+    /// IEEE binary16 bit patterns.
+    F16(&'a [u16]),
+    /// Symmetric per-tensor int8 values plus their dequantisation scale.
+    I8 {
+        /// The quantized values.
+        data: &'a [i8],
+        /// The per-tensor dequantisation scale.
+        scale: f32,
+    },
+}
+
+impl WeightMat<'_> {
+    /// Number of elements in the operand.
+    pub fn len(&self) -> usize {
+        match self {
+            WeightMat::F32(s) => s.len(),
+            WeightMat::F16(s) => s.len(),
+            WeightMat::I8 { data, .. } => data.len(),
+        }
+    }
+
+    /// Whether the operand holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element dtype.
+    pub fn dtype(&self) -> crate::dtype::DType {
+        match self {
+            WeightMat::F32(_) => crate::dtype::DType::F32,
+            WeightMat::F16(_) => crate::dtype::DType::F16,
+            WeightMat::I8 { .. } => crate::dtype::DType::I8,
+        }
+    }
+
+    /// Element `i`, widened to `f32` (used by the Winograd weight
+    /// transform, which reads each weight exactly once per call — elsewhere
+    /// widening happens inside the packing routines).
+    #[inline(always)]
+    pub fn at(&self, i: usize) -> f32 {
+        match self {
+            WeightMat::F32(s) => s[i],
+            WeightMat::F16(s) => crate::dtype::f16_bits_to_f32(s[i]),
+            WeightMat::I8 { data, scale } => data[i] as f32 * scale,
+        }
+    }
+
+    /// The sub-range `[start, end)` of the operand (the runtime twin of
+    /// `&w[start..end]`, used for grouped-conv per-group panels).
+    pub fn slice(&self, start: usize, end: usize) -> WeightMat<'_> {
+        match self {
+            WeightMat::F32(s) => WeightMat::F32(&s[start..end]),
+            WeightMat::F16(s) => WeightMat::F16(&s[start..end]),
+            WeightMat::I8 { data, scale } => WeightMat::I8 {
+                data: &data[start..end],
+                scale: *scale,
+            },
+        }
+    }
+}
+
+/// Dispatches a [`WeightMat`] to a monomorphised [`WeightElems`] body.
+macro_rules! with_elems {
+    ($w:expr, $a:ident => $body:expr) => {
+        match $w {
+            WeightMat::F32(s) => {
+                let $a: &[f32] = s;
+                $body
+            }
+            WeightMat::F16(s) => {
+                let $a = F16Elems(s);
+                $body
+            }
+            WeightMat::I8 { data, scale } => {
+                let $a = I8Elems { q: data, scale };
+                $body
+            }
+        }
+    };
+}
+
 /// Packs `A[row0..row0+rows, pc..pc+kc]` into `MR`-tall zero-padded tiles,
-/// column-major inside each tile: `apack[tile][p][i]`.
-fn pack_a(
-    a: &[f32],
+/// column-major inside each tile: `apack[tile][p][i]`. Generic over the
+/// element view: quantized weights widen to `f32` here, in the same pass
+/// that rearranges them.
+fn pack_a<A: WeightElems>(
+    a: A,
     apack: &mut Vec<f32>,
     row0: usize,
     rows: usize,
@@ -559,7 +730,7 @@ fn pack_a(
         let dst = &mut apack[it * kc * MR..(it + 1) * kc * MR];
         for p in 0..kc {
             for i in 0..mr {
-                dst[p * MR + i] = a[(i0 + i) * k + pc + p];
+                dst[p * MR + i] = a.at((i0 + i) * k + pc + p);
             }
             dst[p * MR + mr..(p + 1) * MR].fill(0.0);
         }
@@ -665,6 +836,17 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_acc_q(WeightMat::F32(a), b, out, m, k, n);
+}
+
+/// [`gemm_acc`] over a runtime-dtype `A` operand: quantized weights widen
+/// to `f32` inside the packing pass (convert-on-pack), the micro-kernels
+/// and accumulation stay `f32`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm_acc_q(a: WeightMat<'_>, b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     assert!(
         a.len() >= m * k,
         "A is {} elements, need m*k = {}",
@@ -693,7 +875,7 @@ pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
         && m >= 2 * MR
         && hs_parallel::num_threads() > 1
         && !hs_parallel::inside_pool();
-    gemm_acc_impl(a, b, out, m, k, n, parallel);
+    with_elems!(a, aa => gemm_impl(aa, b, out, m, k, n, parallel, None));
 }
 
 /// `out = act(scale ⊙ (A * B) + shift)` with the per-row affine + activation
@@ -710,6 +892,26 @@ pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
 /// epilogue's scale/shift hold fewer than `m` entries.
 pub fn gemm_epilogue(
     a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    gemm_epilogue_q(WeightMat::F32(a), b, out, m, k, n, ep);
+}
+
+/// [`gemm_epilogue`] over a runtime-dtype `A` operand: the fused
+/// scale/shift + activation path of the quantized inference tier. Quantized
+/// weights widen to `f32` while being packed; the epilogue semantics are
+/// identical to the `f32` entry.
+///
+/// # Panics
+///
+/// As [`gemm_epilogue`].
+pub fn gemm_epilogue_q(
+    a: WeightMat<'_>,
     b: &[f32],
     out: &mut [f32],
     m: usize,
@@ -752,11 +954,12 @@ pub fn gemm_epilogue(
         && m >= 2 * MR
         && hs_parallel::num_threads() > 1
         && !hs_parallel::inside_pool();
-    gemm_impl(a, b, out, m, k, n, parallel, Some(*ep));
+    with_elems!(a, aa => gemm_impl(aa, b, out, m, k, n, parallel, Some(*ep)));
 }
 
 /// Internal implementation with an explicit parallel/serial switch so tests
 /// can exercise both paths regardless of the host's core count.
+#[cfg(test)]
 pub(crate) fn gemm_acc_impl(
     a: &[f32],
     b: &[f32],
@@ -771,10 +974,11 @@ pub(crate) fn gemm_acc_impl(
 
 /// The blocked GEMM core behind [`gemm_acc`] and [`gemm_epilogue`]. `ep` is
 /// applied at store time on the final `k` panel only, so every output
-/// element is transformed exactly once.
+/// element is transformed exactly once. Generic over the `A` element view:
+/// quantized weights widen inside [`pack_a`].
 #[allow(clippy::too_many_arguments)]
-fn gemm_impl(
-    a: &[f32],
+fn gemm_impl<A: WeightElems>(
+    a: A,
     b: &[f32],
     out: &mut [f32],
     m: usize,
@@ -869,9 +1073,9 @@ fn gemm_impl(
 /// `B` full-width strips are read in place by the direct kernels, and only
 /// the ragged `n`-edge strip goes through a small packed panel.
 #[allow(clippy::too_many_arguments)]
-fn gemm_small_m(
+fn gemm_small_m<A: WeightElems>(
     which: Isa,
-    a: &[f32],
+    a: A,
     b: &[f32],
     out: &mut [f32],
     m: usize,
@@ -1018,10 +1222,10 @@ fn pack_b_batch(
 /// normal case when `n < NR`) run full-width into the bounce buffer and
 /// scatter per item segment.
 #[allow(clippy::too_many_arguments)]
-fn gemm_batch_core(
+fn gemm_batch_core<A: WeightElems>(
     which: Isa,
     scratch: &mut GemmScratch,
-    a: &[f32],
+    a: A,
     bs: &[f32],
     outs: &mut [f32],
     m: usize,
@@ -1372,7 +1576,7 @@ pub fn gemm_batch_acc_strided(
 /// [`gemm_batch_cyclic_strided`] and [`gemm_batch_cyclic_acc_strided`].
 #[allow(clippy::too_many_arguments)]
 fn assert_cyclic_contract(
-    a: &[f32],
+    a_len: usize,
     bs: &[f32],
     outs: &[f32],
     m: usize,
@@ -1413,9 +1617,9 @@ fn assert_cyclic_contract(
         );
     }
     assert!(
-        a.len() >= (groups - 1) * stride_a + m * k,
+        a_len >= (groups - 1) * stride_a + m * k,
         "A is {} elements, need (groups-1)*stride_a + m*k = {}",
-        a.len(),
+        a_len,
         (groups - 1) * stride_a + m * k
     );
     assert!(
@@ -1445,8 +1649,8 @@ fn assert_cyclic_contract(
 /// contiguous sample range, so output bands stay contiguous and
 /// `chunks_mut`-splittable).
 #[allow(clippy::too_many_arguments)]
-fn gemm_batch_cyclic_impl(
-    a: &[f32],
+fn gemm_batch_cyclic_impl<A: WeightElems>(
+    a: A,
     bs: &[f32],
     outs: &mut [f32],
     m: usize,
@@ -1492,7 +1696,7 @@ fn gemm_batch_cyclic_impl(
                 gemm_batch_core(
                     which,
                     scratch,
-                    &a[g * stride_a..],
+                    a.offset(g * stride_a),
                     &bs[g * stride_b..],
                     &mut outs[g * stride_out..],
                     m,
@@ -1525,7 +1729,7 @@ fn gemm_batch_cyclic_impl(
                     gemm_batch_core(
                         which,
                         &mut scratch,
-                        &a[g * stride_a..],
+                        a.offset(g * stride_a),
                         &bs[(s0 * groups + g) * stride_b..],
                         &mut out_band[g * stride_out..],
                         m,
@@ -1580,8 +1784,57 @@ pub fn gemm_batch_cyclic_strided(
     stride_out: usize,
     ep: Option<Epilogue<'_>>,
 ) {
+    gemm_batch_cyclic_strided_q(
+        WeightMat::F32(a),
+        bs,
+        outs,
+        m,
+        k,
+        n,
+        batch,
+        groups,
+        stride_a,
+        stride_b,
+        stride_out,
+        ep,
+    );
+}
+
+/// [`gemm_batch_cyclic_strided`] over a runtime-dtype weight operand:
+/// quantized `A` panels widen to `f32` while being packed (once per
+/// k-panel), so the per-sample streaming cost of the weights is halved
+/// (f16) or quartered (i8) while the arithmetic stays `f32`.
+///
+/// # Panics
+///
+/// As [`gemm_batch_cyclic_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_cyclic_strided_q(
+    a: WeightMat<'_>,
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+    ep: Option<Epilogue<'_>>,
+) {
     assert_cyclic_contract(
-        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out,
+        a.len(),
+        bs,
+        outs,
+        m,
+        k,
+        n,
+        batch,
+        groups,
+        stride_a,
+        stride_b,
+        stride_out,
     );
     if let Some(e) = &ep {
         assert!(
@@ -1596,9 +1849,9 @@ pub fn gemm_batch_cyclic_strided(
         );
     }
     let parallel = batch_parallel(m, k, n, batch) && batch / groups.max(1) >= 2;
-    gemm_batch_cyclic_impl(
-        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, false, ep, parallel,
-    );
+    with_elems!(a, aa => gemm_batch_cyclic_impl(
+        aa, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, false, ep, parallel,
+    ));
 }
 
 /// `outs[t] += A_{t % groups} * B_t` for `t < batch`; otherwise identical to
@@ -1622,13 +1875,58 @@ pub fn gemm_batch_cyclic_acc_strided(
     stride_b: usize,
     stride_out: usize,
 ) {
+    gemm_batch_cyclic_acc_strided_q(
+        WeightMat::F32(a),
+        bs,
+        outs,
+        m,
+        k,
+        n,
+        batch,
+        groups,
+        stride_a,
+        stride_b,
+        stride_out,
+    );
+}
+
+/// [`gemm_batch_cyclic_acc_strided`] over a runtime-dtype weight operand
+/// (see [`gemm_batch_cyclic_strided_q`] for the convert-on-pack semantics).
+///
+/// # Panics
+///
+/// As [`gemm_batch_cyclic_strided`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_batch_cyclic_acc_strided_q(
+    a: WeightMat<'_>,
+    bs: &[f32],
+    outs: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    groups: usize,
+    stride_a: usize,
+    stride_b: usize,
+    stride_out: usize,
+) {
     assert_cyclic_contract(
-        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out,
+        a.len(),
+        bs,
+        outs,
+        m,
+        k,
+        n,
+        batch,
+        groups,
+        stride_a,
+        stride_b,
+        stride_out,
     );
     let parallel = batch_parallel(m, k, n, batch) && batch / groups.max(1) >= 2;
-    gemm_batch_cyclic_impl(
-        a, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, true, None, parallel,
-    );
+    with_elems!(a, aa => gemm_batch_cyclic_impl(
+        aa, bs, outs, m, k, n, batch, groups, stride_a, stride_b, stride_out, true, None, parallel,
+    ));
 }
 
 /// `out = A * B^T` for row-major `A: [m, k]`, `B: [n, k]`, `out: [m, n]`.
@@ -1640,6 +1938,19 @@ pub fn gemm_batch_cyclic_acc_strided(
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` contract.
 pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nt_q(a, WeightMat::F32(b), out, m, k, n);
+}
+
+/// [`gemm_nt`] over a runtime-dtype `B` operand — the `Linear` inference
+/// path with quantized weights. The weights widen to `f32` *during the
+/// transpose staging pass* (the i8 scale is folded in there), so the inner
+/// GEMM runs all-`f32` and the bandwidth saving comes from streaming the
+/// narrow weight buffer exactly once.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` contract.
+pub fn gemm_nt_q(a: &[f32], b: WeightMat<'_>, out: &mut [f32], m: usize, k: usize, n: usize) {
     assert!(
         b.len() >= n * k,
         "B is {} elements, need n*k = {}",
@@ -1654,7 +1965,7 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     if buf.len() < k * n {
         buf.resize(k * n, 0.0);
     }
-    transpose_into(b, &mut buf, n, k);
+    with_elems!(b, bb => transpose_elems_into(bb, &mut buf, n, k));
     gemm(a, &buf, out, m, k, n);
     TRANSPOSE_SCRATCH.with(|cell| *cell.borrow_mut() = buf);
 }
@@ -1694,6 +2005,13 @@ pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
 ///
 /// Panics if either slice is shorter than `rows * cols`.
 pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    transpose_elems_into(src, dst, rows, cols);
+}
+
+/// The generic transpose body behind [`transpose_into`] and the quantized
+/// [`gemm_nt_q`] staging pass: elements widen to `f32` as they are scattered
+/// into `dst`.
+fn transpose_elems_into<A: WeightElems>(src: A, dst: &mut [f32], rows: usize, cols: usize) {
     assert!(src.len() >= rows * cols, "transpose src too short");
     assert!(dst.len() >= rows * cols, "transpose dst too short");
     // Tiled to keep both sides cache-resident for large matrices.
@@ -1706,7 +2024,7 @@ pub fn transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
             let c1 = (c0 + T).min(cols);
             for r in r0..r1 {
                 for c in c0..c1 {
-                    dst[c * rows + r] = src[r * cols + c];
+                    dst[c * rows + r] = src.at(r * cols + c);
                 }
             }
             c0 = c1;
@@ -1917,9 +2235,9 @@ mod tests {
                 act: EpilogueAct::LeakyRelu(0.2),
             };
             let mut serial = vec![0.0; m * n];
-            gemm_impl(&a, &b, &mut serial, m, k, n, false, Some(ep));
+            gemm_impl(a.as_slice(), &b, &mut serial, m, k, n, false, Some(ep));
             let mut parallel = vec![0.0; m * n];
-            gemm_impl(&a, &b, &mut parallel, m, k, n, true, Some(ep));
+            gemm_impl(a.as_slice(), &b, &mut parallel, m, k, n, true, Some(ep));
             assert_eq!(
                 serial, parallel,
                 "{m}x{k}x{n} epilogue parallel/serial divergence"
@@ -2543,7 +2861,7 @@ mod tests {
         let bs = random_matrix(&mut rng, batch * k * n);
         let mut serial = vec![0.0; batch * m * n];
         gemm_batch_cyclic_impl(
-            &a,
+            a.as_slice(),
             &bs,
             &mut serial,
             m,
@@ -2560,7 +2878,7 @@ mod tests {
         );
         let mut parallel = vec![0.0; batch * m * n];
         gemm_batch_cyclic_impl(
-            &a,
+            a.as_slice(),
             &bs,
             &mut parallel,
             m,
@@ -2602,6 +2920,186 @@ mod tests {
                     assert_eq!(t[j * r + i], src[i * c + j]);
                 }
             }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Quantized (_q) entry points: convert-on-pack must equal quantize-then-
+    // f32-GEMM exactly (the widened values are identical bit patterns).
+    // -----------------------------------------------------------------------
+
+    fn quantize_f16(w: &[f32]) -> Vec<u16> {
+        w.iter()
+            .map(|&v| crate::dtype::f32_to_f16_bits(v))
+            .collect()
+    }
+
+    fn widen_f16(bits: &[u16]) -> Vec<f32> {
+        bits.iter()
+            .map(|&h| crate::dtype::f16_bits_to_f32(h))
+            .collect()
+    }
+
+    #[test]
+    fn gemm_epilogue_q_f16_equals_widened_f32_gemm() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [
+            (5usize, 9usize, 7usize),
+            (MR, KC, NR),
+            (70, 33, 50),
+            (97, 64, 13),
+        ] {
+            let w = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let bits = quantize_f16(&w);
+            let wide = widen_f16(&bits);
+            let scale: Vec<f32> = (0..m).map(|i| 0.5 + 0.01 * i as f32).collect();
+            let shift: Vec<f32> = (0..m).map(|i| -0.2 + 0.02 * i as f32).collect();
+            let ep = Epilogue {
+                scale: &scale,
+                shift: &shift,
+                act: EpilogueAct::LeakyRelu(0.1),
+            };
+            let mut expect = vec![0.0; m * n];
+            gemm_epilogue(&wide, &b, &mut expect, m, k, n, &ep);
+            let mut got = vec![1.0; m * n];
+            gemm_epilogue_q(WeightMat::F16(&bits), &b, &mut got, m, k, n, &ep);
+            assert_eq!(expect, got, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_acc_q_i8_equals_dequantized_f32_gemm() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (23usize, 31usize, 19usize);
+        let w = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let scale = crate::dtype::i8_scale(&w);
+        let q: Vec<i8> = w
+            .iter()
+            .map(|&v| crate::dtype::f32_to_i8(v, scale))
+            .collect();
+        let deq: Vec<f32> = q.iter().map(|&v| v as f32 * scale).collect();
+        let mut expect = vec![0.25; m * n];
+        gemm_acc(&deq, &b, &mut expect, m, k, n);
+        let mut got = vec![0.25; m * n];
+        gemm_acc_q(WeightMat::I8 { data: &q, scale }, &b, &mut got, m, k, n);
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn gemm_nt_q_f16_equals_widened_gemm_nt() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for (m, k, n) in [(4usize, 12usize, 10usize), (32, 64, 48), (1, 100, 257)] {
+            let a = random_matrix(&mut rng, m * k);
+            let w = random_matrix(&mut rng, n * k);
+            let bits = quantize_f16(&w);
+            let wide = widen_f16(&bits);
+            let mut expect = vec![0.0; m * n];
+            gemm_nt(&a, &wide, &mut expect, m, k, n);
+            let mut got = vec![0.0; m * n];
+            gemm_nt_q(&a, WeightMat::F16(&bits), &mut got, m, k, n);
+            assert_eq!(expect, got, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_q_f16_equals_widened_cyclic_both_paths() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (m, k, n, groups, samples) = (6usize, 18usize, 11usize, 3usize, 8usize);
+        let batch = groups * samples;
+        let w = random_matrix(&mut rng, groups * m * k);
+        let bs = random_matrix(&mut rng, batch * k * n);
+        let bits = quantize_f16(&w);
+        let wide = widen_f16(&bits);
+        let scale: Vec<f32> = (0..groups * m).map(|i| 0.8 + 0.01 * i as f32).collect();
+        let shift: Vec<f32> = (0..groups * m).map(|i| 0.1 * i as f32).collect();
+        let ep = Epilogue {
+            scale: &scale,
+            shift: &shift,
+            act: EpilogueAct::Relu,
+        };
+        for parallel in [false, true] {
+            let mut expect = vec![0.0; batch * m * n];
+            gemm_batch_cyclic_impl(
+                &wide[..],
+                &bs,
+                &mut expect,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                m * k,
+                k * n,
+                m * n,
+                false,
+                Some(ep),
+                parallel,
+            );
+            let mut got = vec![0.5; batch * m * n];
+            with_elems!(WeightMat::F16(&bits), aa => gemm_batch_cyclic_impl(
+                aa,
+                &bs,
+                &mut got,
+                m,
+                k,
+                n,
+                batch,
+                groups,
+                m * k,
+                k * n,
+                m * n,
+                false,
+                Some(ep),
+                parallel,
+            ));
+            assert_eq!(expect, got, "parallel={parallel}");
+        }
+        // the public acc entry: bias-style initial value preserved
+        let mut expect = vec![0.3; batch * m * n];
+        gemm_batch_cyclic_acc_strided(
+            &wide,
+            &bs,
+            &mut expect,
+            m,
+            k,
+            n,
+            batch,
+            groups,
+            m * k,
+            k * n,
+            m * n,
+        );
+        let mut got = vec![0.3; batch * m * n];
+        gemm_batch_cyclic_acc_strided_q(
+            WeightMat::F16(&bits),
+            &bs,
+            &mut got,
+            m,
+            k,
+            n,
+            batch,
+            groups,
+            m * k,
+            k * n,
+            m * n,
+        );
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn weight_mat_slice_matches_slice_semantics() {
+        let w: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let bits = quantize_f16(&w);
+        let mat = WeightMat::F16(&bits);
+        assert_eq!(mat.len(), 12);
+        assert_eq!(mat.dtype(), crate::dtype::DType::F16);
+        let sub = mat.slice(4, 8);
+        assert_eq!(sub.len(), 4);
+        match sub {
+            WeightMat::F16(s) => assert_eq!(s, &bits[4..8]),
+            _ => panic!("slice changed dtype"),
         }
     }
 }

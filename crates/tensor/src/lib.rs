@@ -36,27 +36,32 @@
 #![deny(unsafe_code)] // allowed only inside gemm.rs's SIMD micro-kernels
 
 mod depthwise;
+pub mod dtype;
 mod error;
 pub mod gemm;
 mod init;
 pub mod naive;
 mod ops;
 mod shape;
+pub mod storage;
 mod tensor;
 pub mod winograd;
 
 pub use depthwise::{depthwise_conv2d, valid_out_range};
+pub use dtype::{f16_bits_to_f32, f32_to_f16_bits, DType};
 pub use error::TensorError;
 pub use gemm::{
-    gemm, gemm_acc, gemm_batch_acc_strided, gemm_batch_cyclic_acc_strided,
-    gemm_batch_cyclic_strided, gemm_batch_strided, gemm_epilogue, gemm_nt, gemm_tn, transpose_into,
-    Epilogue, EpilogueAct,
+    gemm, gemm_acc, gemm_acc_q, gemm_batch_acc_strided, gemm_batch_cyclic_acc_strided,
+    gemm_batch_cyclic_acc_strided_q, gemm_batch_cyclic_strided, gemm_batch_cyclic_strided_q,
+    gemm_batch_strided, gemm_epilogue, gemm_epilogue_q, gemm_nt, gemm_nt_q, gemm_tn,
+    transpose_into, Epilogue, EpilogueAct, WeightMat,
 };
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use naive::matmul_naive;
 pub use shape::Shape;
-pub use tensor::Tensor;
-pub use winograd::winograd_conv3x3;
+pub use storage::{F16Storage, I8Storage, QTensor, Storage};
+pub use tensor::{Tensor, TensorBase, TensorF16, TensorI8};
+pub use winograd::{winograd_conv3x3, winograd_conv3x3_q};
 
 /// Convenience alias for results produced by fallible tensor operations.
 pub type Result<T> = std::result::Result<T, TensorError>;

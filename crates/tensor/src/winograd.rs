@@ -25,7 +25,7 @@
 //! result matches direct convolution to ~1e-3 relative error in f32 — the
 //! tolerance the workspace's parity tests pin.
 
-use crate::gemm::{gemm_batch_strided, Epilogue};
+use crate::gemm::{gemm_batch_strided, Epilogue, WeightMat};
 
 /// Tiles transformed together as SIMD lanes: the tile transforms are pure
 /// lane-wise adds/subs in this SoA layout, so the compiler vectorises the
@@ -158,6 +158,41 @@ pub fn winograd_conv3x3(
     pad: usize,
     scratch: &mut Vec<f32>,
 ) {
+    winograd_conv3x3_q(
+        input,
+        WeightMat::F32(weights),
+        bias,
+        ep,
+        out,
+        n,
+        cin,
+        cout,
+        h,
+        w,
+        pad,
+        scratch,
+    );
+}
+
+/// [`winograd_conv3x3`] with a runtime-dtype weight operand: f16/i8 weights
+/// are widened to `f32` inside the weight transform (step 1), which reads
+/// each of the `cout * cin * 9` weights exactly once per call — the tile
+/// pipeline (steps 2–4) is unchanged and runs entirely in `f32`.
+#[allow(clippy::too_many_arguments)]
+pub fn winograd_conv3x3_q(
+    input: &[f32],
+    weights: WeightMat<'_>,
+    bias: &[f32],
+    ep: Option<Epilogue<'_>>,
+    out: &mut [f32],
+    n: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    scratch: &mut Vec<f32>,
+) {
     assert!(
         h + 2 * pad >= 3 && w + 2 * pad >= 3,
         "input too small for a 3x3 kernel"
@@ -194,10 +229,17 @@ pub fn winograd_conv3x3(
     let (v_slab, m_slab) = rest.split_at_mut(v_len);
 
     // 1. weight transform: U[xi][oc * cin + ic], once for the whole batch
+    // (quantized weights widen to f32 in the staging read — each weight is
+    // touched exactly once here, so the conversion cost is O(cout*cin*9))
+    let mut g = [0.0f32; 9];
     let mut u_tile = [0.0f32; 16];
     for oc in 0..cout {
         for ic in 0..cin {
-            weight_transform(&weights[(oc * cin + ic) * 9..], &mut u_tile);
+            let base = (oc * cin + ic) * 9;
+            for (j, gj) in g.iter_mut().enumerate() {
+                *gj = weights.at(base + j);
+            }
+            weight_transform(&g, &mut u_tile);
             for (xi, &uv) in u_tile.iter().enumerate() {
                 u_slab[(xi * cout + oc) * cin + ic] = uv;
             }
@@ -513,6 +555,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn quantized_weights_match_f32_within_dtype_tolerance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, cin, cout, h, w, pad) = (2usize, 4usize, 6usize, 8usize, 8usize, 1usize);
+        let input = rand_vec(&mut rng, n * cin * h * w);
+        let weights = rand_vec(&mut rng, cout * cin * 9);
+        let bias = rand_vec(&mut rng, cout);
+        let mut expect = vec![0.0f32; n * cout * h * w];
+        let mut scratch = Vec::new();
+        winograd_conv3x3(
+            &input,
+            &weights,
+            &bias,
+            None,
+            &mut expect,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        // f16 weights: the transform widens them; f16 rounding (~2^-11 rel)
+        // plus the usual Winograd cancellation bounds the drift
+        let f16: Vec<u16> = weights.iter().map(|&v| crate::f32_to_f16_bits(v)).collect();
+        let mut got = vec![0.0f32; expect.len()];
+        winograd_conv3x3_q(
+            &input,
+            WeightMat::F16(&f16),
+            &bias,
+            None,
+            &mut got,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        for (i, (e, g)) in expect.iter().zip(got.iter()).enumerate() {
+            assert!(
+                (e - g).abs() <= 5e-3 * e.abs().max(1.0),
+                "f16 element {i}: {e} vs {g}"
+            );
+        }
+        // and the f32 WeightMat route is bit-identical to the plain entry
+        let mut same = vec![0.0f32; expect.len()];
+        winograd_conv3x3_q(
+            &input,
+            WeightMat::F32(&weights),
+            &bias,
+            None,
+            &mut same,
+            n,
+            cin,
+            cout,
+            h,
+            w,
+            pad,
+            &mut scratch,
+        );
+        assert_eq!(expect, same);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use hs_nn::models::{build_vision_model, ecg_net, ModelKind, VisionConfig};
 use hs_nn::{CheckpointError, CrossEntropyLoss, Network, Sgd, Target, CHECKPOINT_MAGIC};
-use hs_tensor::Tensor;
+use hs_tensor::{DType, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -177,22 +177,123 @@ fn truncated_files_are_rejected_with_actionable_errors() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Hand-encodes the frozen v1 layout (flat f32 params, no dtype tags, no
+/// checksums) for an f32 network — what every pre-v2 checkpoint on disk
+/// looks like.
+fn encode_v1(net: &mut Network) -> Vec<u8> {
+    fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&net.fingerprint().to_le_bytes());
+    let total: usize = net.params_mut().iter().map(|p| p.len()).sum();
+    out.extend_from_slice(&(total as u64).to_le_bytes());
+    for p in net.params_mut() {
+        for v in p.value.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let buffers = net.buffers_mut();
+    out.extend_from_slice(&(buffers.len() as u64).to_le_bytes());
+    for b in buffers {
+        put_str(&mut out, "buffer");
+        let dims = b.dims();
+        out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for v in b.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[test]
+fn v1_checkpoints_load_bit_exactly_across_the_zoo() {
+    for kind in ZOO {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut original = zoo_model(kind, 1);
+        train_one_step(&mut original, &mut rng);
+        let v1 = encode_v1(&mut original);
+        let mut replica = zoo_model(kind, 2);
+        replica.load_checkpoint_bytes(&v1).unwrap();
+        assert_eq!(
+            weight_bits(&mut original),
+            weight_bits(&mut replica),
+            "{kind:?}: v1 load must be exact to the bit"
+        );
+        // and the migrated save is v2 with the same fingerprint
+        let v2 = replica.to_checkpoint_bytes();
+        assert_eq!(&v2[8..12], &2u32.to_le_bytes());
+        assert_eq!(v2[12..20], v1[12..20], "fingerprint must survive v1→v2");
+        let mut replica2 = zoo_model(kind, 3);
+        replica2.load_checkpoint_bytes(&v2).unwrap();
+        assert_eq!(weight_bits(&mut replica), weight_bits(&mut replica2));
+    }
+}
+
+#[test]
+fn quantized_replicas_round_trip_and_stay_close_across_the_zoo() {
+    for kind in ZOO {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut f32_net = zoo_model(kind, 1);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let expect = f32_net.infer(&x).clone();
+
+        // f32 checkpoint → f16 replica (quantize-on-load, the serving path)
+        let bytes = f32_net.to_checkpoint_bytes();
+        let mut f16_net = zoo_model(kind, 2);
+        f16_net.to_dtype(DType::F16);
+        assert_eq!(
+            f32_net.fingerprint(),
+            f16_net.fingerprint(),
+            "{kind:?}: quantization must not change the fingerprint"
+        );
+        f16_net.load_checkpoint_bytes(&bytes).unwrap();
+        let got = f16_net.infer(&x).clone();
+        for (a, b) in expect.as_slice().iter().zip(got.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-2 * a.abs().max(1.0),
+                "{kind:?}: f16 replica drifted past 1e-2 rel: {a} vs {b}"
+            );
+        }
+
+        // f16 save → f16 load is byte-stable (no quantize/dequantize churn)
+        let f16_bytes = f16_net.to_checkpoint_bytes();
+        let mut f16_twin = zoo_model(kind, 3);
+        f16_twin.to_dtype(DType::F16);
+        f16_twin.load_checkpoint_bytes(&f16_bytes).unwrap();
+        assert_eq!(
+            f16_twin.to_checkpoint_bytes(),
+            f16_bytes,
+            "{kind:?}: f16 round trip must be byte-stable"
+        );
+    }
+}
+
 #[test]
 fn checkpoint_header_is_byte_stable() {
     // golden pin of the 28-byte header (magic + version + fingerprint +
-    // parameter-scalar count) for the zoo SimpleCnn at VisionConfig(3, 5,
+    // parameter-tensor count) for the zoo SimpleCnn at VisionConfig(3, 5,
     // 16). This must only ever change with a deliberate format-version bump
     // or an intentional architecture change — update the constant in the
-    // same commit and say why.
+    // same commit and say why. Bumped to version 2 (and the count field
+    // from flat scalars to per-tensor entries) when dtype tags and CRC-32
+    // checksums were added; the fingerprint algorithm was untouched, so
+    // GOLDEN_FINGERPRINT survives from v1.
     let mut net = zoo_model(ModelKind::SimpleCnn, 1);
     let bytes = net.to_checkpoint_bytes();
     assert_eq!(&bytes[..8], &CHECKPOINT_MAGIC);
-    assert_eq!(&bytes[8..12], &1u32.to_le_bytes()); // format version
+    assert_eq!(&bytes[8..12], &2u32.to_le_bytes()); // format version
     let mut expected_header = Vec::new();
     expected_header.extend_from_slice(b"HSNNCKPT");
-    expected_header.extend_from_slice(&1u32.to_le_bytes());
+    expected_header.extend_from_slice(&2u32.to_le_bytes());
     expected_header.extend_from_slice(&net.fingerprint().to_le_bytes());
-    expected_header.extend_from_slice(&(GOLDEN_PARAM_SCALARS as u64).to_le_bytes());
+    expected_header.extend_from_slice(&(GOLDEN_PARAM_TENSORS as u64).to_le_bytes());
     assert_eq!(&bytes[..28], &expected_header[..]);
     // the golden values themselves, pinned as literals
     assert_eq!(
@@ -200,12 +301,10 @@ fn checkpoint_header_is_byte_stable() {
         GOLDEN_FINGERPRINT,
         "SimpleCnn topology fingerprint moved — format or architecture change?"
     );
-    let total: usize =
-        net.weights().len() - net.buffers_mut().iter().map(|b| b.len()).sum::<usize>();
-    assert_eq!(total, GOLDEN_PARAM_SCALARS);
+    assert_eq!(net.param_stores().len(), GOLDEN_PARAM_TENSORS);
 }
 
 /// Pinned by `checkpoint_header_is_byte_stable`.
 const GOLDEN_FINGERPRINT: u64 = 0x08d9_4900_839b_10a8;
 /// Pinned by `checkpoint_header_is_byte_stable`.
-const GOLDEN_PARAM_SCALARS: usize = 38341;
+const GOLDEN_PARAM_TENSORS: usize = 12;

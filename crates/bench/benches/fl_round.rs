@@ -6,7 +6,8 @@ use heteroswitch::{HeteroSwitchConfig, HeteroSwitchTrainer, Policy};
 use hs_bench::experiments::{build_fl_population, model_factory};
 use hs_bench::Scale;
 use hs_fl::{
-    AggregationMethod, ClientContext, ClientTrainer, FedAvgTrainer, FlSimulation, LossKind,
+    weighted_average, weighted_average_sharded, AggregationMethod, ClientContext, ClientTrainer,
+    ClientUpdate, FedAvgTrainer, FlSimulation, LossKind,
 };
 use hs_nn::models::VisionConfig;
 use rand::rngs::StdRng;
@@ -74,9 +75,43 @@ fn bench_full_round(c: &mut Criterion) {
     });
 }
 
+/// Deterministic synthetic cohort for the aggregation benches: `n` updates
+/// over a `len`-weight model with varied sample counts.
+fn synthetic_updates(n: usize, len: usize) -> Vec<ClientUpdate> {
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+    };
+    (0..n)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            weights: (0..len).map(|_| next()).collect(),
+            train_loss: 0.5,
+            init_loss: 0.7,
+            num_samples: 2 + id % 7,
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    // cohort 256 × 4k-weight model: the smallest cohort the CI gate covers
+    // (the tree reduce must beat the serial fold from cohort 256 up, even
+    // single-threaded where only the 4-way blocked accumulation helps)
+    let updates = synthetic_updates(256, 4_096);
+    c.bench_function("fl/aggregate_serial_c256", |b| {
+        b.iter(|| weighted_average(black_box(&updates)))
+    });
+    c.bench_function("fl/aggregate_tree_c256", |b| {
+        b.iter(|| weighted_average_sharded(black_box(&updates)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_client_updates, bench_full_round
+    targets = bench_client_updates, bench_full_round, bench_aggregation
 }
 criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Fleet-scale harness: 100k-client lazy fleet, ~1k stratified cohort,
+//! faulted semi-sync rounds.
+//!
+//! Sweeps fleet sizes at a fixed cohort to show rounds cost O(cohort) —
+//! resident client state and round wall-clock stay flat as the fleet grows
+//! 50× — and replays the headline run to verify bit-identical determinism.
+//! This is the measurement behind `docs/SCALE.md` and the "PR 8" section
+//! of `docs/PERF.md`.
+//!
+//! ```text
+//! exp_fleet_scale [--quick | --tiny] [--json-out PATH]
+//! ```
+//!
+//! `--tiny` runs in seconds; `--quick` (the default, also the CI artifact)
+//! runs the 100k-client sweep in minutes. Identical seeds reproduce every
+//! number except `round_ms` bit-for-bit.
+
+use hs_bench::experiments::{fleet_scale_study, FleetScaleConfig};
+use hs_bench::json_out_path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = if args.iter().any(|a| a == "--tiny") {
+        FleetScaleConfig::tiny()
+    } else {
+        FleetScaleConfig::quick()
+    };
+
+    println!(
+        "fleet sweep {:?} clients, cohort {} × {:.2} over-provision, {} round(s); \
+         fault mix: {:.0}% stragglers, {:.0}% crashes, {:.0}% transport drops, {:.0}% corrupted",
+        cfg.fleet_sizes,
+        cfg.clients_per_round,
+        cfg.policy.over_provision,
+        cfg.rounds,
+        cfg.plan.straggler_rate * 100.0,
+        cfg.plan.crash_rate * 100.0,
+        cfg.plan.transport_drop_rate * 100.0,
+        cfg.plan.corrupt_rate * 100.0,
+    );
+
+    let report = fleet_scale_study(&cfg);
+
+    println!();
+    println!(
+        "{:>10}  {:>8}  {:>14}  {:>10}  {:>9}  {:>8}",
+        "fleet", "cohort", "resident bytes", "round ms", "completed", "dropped"
+    );
+    for row in &report.rows {
+        println!(
+            "{:>10}  {:>8}  {:>14}  {:>10.1}  {:>9}  {:>8}",
+            row.fleet_size,
+            row.cohort_size,
+            row.resident_client_bytes,
+            row.round_ms,
+            row.completed,
+            row.dropped
+        );
+    }
+
+    println!();
+    println!(
+        "replay bit-identical: {}",
+        if report.replay_bit_identical {
+            "yes"
+        } else {
+            "NO — determinism contract violated"
+        }
+    );
+    if let Some(last) = report.headline_rounds.last() {
+        println!(
+            "headline fleet last round: {} completed, deadline {:.1}, p95 {:.1} (sim time units)",
+            last.completed, last.deadline, last.sim_time_p95
+        );
+    }
+    assert!(
+        report.replay_bit_identical,
+        "fleet-scale rounds must replay bit-identically"
+    );
+
+    if let Some(path) = json_out_path(&args) {
+        serde::json::write_file(&path, &report).expect("failed to write --json-out file");
+        println!("wrote fleet-scale report to {}", path.display());
+    }
+}

@@ -6,6 +6,7 @@
 mod chaos;
 mod characterization;
 mod federated;
+mod fleet_scale;
 mod swad_study;
 
 pub use chaos::{chaos_study, ChaosConfig, ChaosReport};
@@ -17,6 +18,7 @@ pub use federated::{
     run_fl_method, sensitivity_sweep, synthetic_cifar_study, table5_models, table6_flair,
     EcgResult, FlairResult, Method, MethodResult, SensitivityPoint,
 };
+pub use fleet_scale::{fleet_scale_study, FleetScaleConfig, FleetScaleReport, FleetSizeRow};
 pub use swad_study::{swad_robustness, RobustnessRow, TrainingVariant};
 
 use hs_fl::ModelFactory;

@@ -29,6 +29,7 @@ mod dataset;
 mod ecg;
 mod flair_synth;
 mod imagenet12;
+mod lazy;
 mod partition;
 mod scene;
 
@@ -38,5 +39,6 @@ pub use dataset::{Dataset, DeviceDataset, Labels};
 pub use ecg::{build_ecg_datasets, ecg_waveform, EcgConfig, EcgSensorKind};
 pub use flair_synth::{build_flair_datasets, FlairSynthConfig};
 pub use imagenet12::{build_device_datasets, Imagenet12Config, IMAGENET12_CLASSES};
+pub use lazy::LazyClientSet;
 pub use partition::{assign_clients_by_share, split_evenly};
 pub use scene::SceneGenerator;

@@ -14,10 +14,11 @@
 //! fleets behave, and what deadline-driven semi-synchronous FL rounds must
 //! cope with.
 
-use crate::Tier;
+use crate::{FleetSpec, Tier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Mixing constants for deriving independent per-(client, round) streams
 /// from one seed (splitmix64-style odd multipliers, same family the FL
@@ -130,6 +131,21 @@ pub enum FaultKind {
     Corrupt(Corruption),
 }
 
+/// Where an injector looks up a client's device [`Tier`].
+///
+/// A 100k-client fleet cannot afford the O(fleet) `Vec<Tier>` the
+/// per-client variant stores, so fleet-scale simulations hand the injector
+/// a shared [`FleetSpec`] and tiers are derived in O(log device-types).
+#[derive(Debug, Clone)]
+enum TierSource {
+    /// Tier-agnostic: every client scales 1×.
+    Flat,
+    /// Explicit per-client tiers (`tiers[client_id]`; missing ids scale 1×).
+    PerClient(Vec<Tier>),
+    /// Tiers derived on demand from an O(bytes) fleet description.
+    Fleet(Arc<FleetSpec>),
+}
+
 /// Deterministic fault oracle over a [`FaultPlan`]: every query is a pure
 /// function of `(plan.seed, client_id, round)`, so simulations replaying
 /// the same plan observe the same faults in the same order regardless of
@@ -139,7 +155,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Optional per-client device tiers; a low-tier device's baseline
     /// compute factor is scaled up (see [`FaultInjector::compute_factor`]).
-    tiers: Vec<Tier>,
+    tiers: TierSource,
 }
 
 impl FaultInjector {
@@ -152,7 +168,7 @@ impl FaultInjector {
         plan.validate();
         FaultInjector {
             plan,
-            tiers: Vec::new(),
+            tiers: TierSource::Flat,
         }
     }
 
@@ -166,7 +182,29 @@ impl FaultInjector {
     /// Panics if the plan is invalid.
     pub fn with_client_tiers(plan: FaultPlan, tiers: Vec<Tier>) -> Self {
         plan.validate();
-        FaultInjector { plan, tiers }
+        FaultInjector {
+            plan,
+            tiers: TierSource::PerClient(tiers),
+        }
+    }
+
+    /// Creates an injector whose tiers come from an O(bytes) [`FleetSpec`]
+    /// instead of an O(fleet) vector: a client in one of the fleet's
+    /// device-type blocks gets that type's tier scaling (low-end 2×, mid
+    /// 1.3×, high 1×). This is the fleet-scale variant of
+    /// [`FaultInjector::with_client_tiers`] — same per-(client, round)
+    /// seeding, so swapping a `Vec<Tier>` for the equivalent fleet
+    /// reproduces identical factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid.
+    pub fn with_fleet(plan: FaultPlan, fleet: Arc<FleetSpec>) -> Self {
+        plan.validate();
+        FaultInjector {
+            plan,
+            tiers: TierSource::Fleet(fleet),
+        }
     }
 
     /// The plan this injector draws from.
@@ -222,7 +260,14 @@ impl FaultInjector {
             self.plan.seed.wrapping_add(FACTOR_MIX) ^ (client_id as u64).wrapping_mul(CLIENT_MIX),
         );
         let base: f32 = rng.gen_range(0.6..1.8);
-        let tier_scale = match self.tiers.get(client_id) {
+        let tier = match &self.tiers {
+            TierSource::Flat => None,
+            TierSource::PerClient(tiers) => tiers.get(client_id).copied(),
+            TierSource::Fleet(fleet) => {
+                (client_id < fleet.num_clients()).then(|| fleet.tier_of(client_id))
+            }
+        };
+        let tier_scale = match tier {
             Some(Tier::Low) => 2.0,
             Some(Tier::Mid) => 1.3,
             Some(Tier::High) | None => 1.0,
@@ -373,6 +418,31 @@ mod tests {
         assert!(tiered.compute_factor(0) > flat.compute_factor(0));
         assert!(tiered.compute_factor(1) > flat.compute_factor(1));
         assert_eq!(tiered.compute_factor(2), flat.compute_factor(2));
+    }
+
+    #[test]
+    fn fleet_tiers_match_equivalent_per_client_tiers() {
+        use crate::{DeviceTypeSpec, FleetSpec};
+        let plan = FaultPlan::none(13);
+        let types = vec![
+            DeviceTypeSpec {
+                name: "low".into(),
+                tier: Tier::Low,
+                share: 0.5,
+            },
+            DeviceTypeSpec {
+                name: "high".into(),
+                tier: Tier::High,
+                share: 0.5,
+            },
+        ];
+        let fleet = Arc::new(FleetSpec::new(10, types, (1, 1), 0));
+        let tiers: Vec<Tier> = (0..10).map(|c| fleet.tier_of(c)).collect();
+        let by_fleet = FaultInjector::with_fleet(plan, fleet);
+        let by_vec = FaultInjector::with_client_tiers(plan, tiers);
+        for c in 0..10 {
+            assert_eq!(by_fleet.compute_factor(c), by_vec.compute_factor(c));
+        }
     }
 
     #[test]

@@ -36,9 +36,11 @@ mod fleet;
 mod jitter;
 mod profile;
 mod sensor;
+mod spec;
 
 pub use fault::{Corruption, FaultInjector, FaultKind, FaultPlan};
 pub use fleet::{paper_devices, synthetic_fleet, DeviceId};
 pub use jitter::{random_jitter_profiles, JitterProfile};
 pub use profile::{DeviceProfile, Tier, Vendor};
 pub use sensor::SensorModel;
+pub use spec::{ClientSpec, DeviceTypeSpec, FleetSpec, SharedFleet};

@@ -106,11 +106,11 @@ pub fn evaluate_accuracy(net: &mut Network, data: &Dataset) -> f32 {
     let predictions = std::sync::Mutex::new(vec![0usize; data.len()]);
     let sharded = for_each_batch_logits(net, data, |start, logits| {
         let preds = logits.argmax_rows();
-        let mut guard = predictions.lock().unwrap();
+        let mut guard = hs_parallel::sync::lock(&predictions);
         guard[start..start + preds.len()].copy_from_slice(&preds);
     });
     if sharded {
-        return accuracy(&predictions.into_inner().unwrap(), &labels);
+        return accuracy(&hs_parallel::sync::into_inner(predictions), &labels);
     }
     // serial fallback for models without a shared-state eval path
     let mut predictions = Vec::with_capacity(data.len());
@@ -151,11 +151,11 @@ pub fn evaluate_average_precision(net: &mut Network, data: &Dataset) -> f32 {
     let sharded = for_each_batch_logits(net, data, |start, logits| {
         let mut local = vec![0.0f32; logits.dims()[0]];
         per_sample_ap(start, logits, &mut local);
-        let mut guard = aps.lock().unwrap();
+        let mut guard = hs_parallel::sync::lock(&aps);
         guard[start..start + local.len()].copy_from_slice(&local);
     });
     if sharded {
-        let aps = aps.into_inner().unwrap();
+        let aps = hs_parallel::sync::into_inner(aps);
         return aps.iter().sum::<f32>() / aps.len() as f32;
     }
     // serial fallback
@@ -194,13 +194,13 @@ pub fn evaluate_heart_rate(
     let preds = std::sync::Mutex::new(vec![0.0f32; data.len()]);
     let sharded = for_each_batch_logits(net, data, |start, out| {
         let n = out.dims()[0];
-        let mut guard = preds.lock().unwrap();
+        let mut guard = hs_parallel::sync::lock(&preds);
         for i in 0..n {
             guard[start + i] = out.at(&[i, 0]) * denormalize;
         }
     });
     if sharded {
-        return (preds.into_inner().unwrap(), actual);
+        return (hs_parallel::sync::into_inner(preds), actual);
     }
     // serial fallback
     let mut preds = Vec::with_capacity(data.len());

@@ -25,18 +25,25 @@
 
 mod aggregate;
 mod client;
+mod cohort;
 mod config;
 mod eval;
 mod simulation;
+mod source;
 mod trainer;
 
-pub use aggregate::{screen_updates, weighted_average, AggregationMethod};
+pub use aggregate::{
+    screen_updates, screen_updates_sharded, tree_reduce_weighted, weighted_average,
+    weighted_average_sharded, AggregationMethod,
+};
 pub use client::{ClientContext, ClientData, ClientUpdate};
+pub use cohort::CohortStrategy;
 pub use config::FlConfig;
 pub use eval::{
     evaluate_accuracy, evaluate_average_precision, evaluate_heart_rate, per_device_accuracy,
 };
 pub use simulation::{FlSimulation, ModelFactory, RoundStats, SemiSyncPolicy};
+pub use source::ClientSource;
 pub use trainer::{
     sgd_local_update, ClientTrainer, FedAvgTrainer, FedProxTrainer, LossKind, ScaffoldTrainer,
 };

@@ -1,18 +1,19 @@
 //! The federated-learning round loop.
 
 use crate::{
-    per_device_accuracy, screen_updates, AggregationMethod, ClientContext, ClientData,
-    ClientTrainer, ClientUpdate, FlConfig,
+    per_device_accuracy, screen_updates_sharded, AggregationMethod, ClientContext, ClientData,
+    ClientSource, ClientTrainer, ClientUpdate, CohortStrategy, FlConfig,
 };
 use hs_data::Dataset;
 use hs_device::{Corruption, FaultInjector, FaultKind};
 use hs_metrics::GroupAccuracy;
 use hs_nn::Network;
+use hs_parallel::sync;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// Builds a fresh, structurally identical model replica. The argument is a
 /// seed for weight initialisation; replicas always have their weights
@@ -134,11 +135,61 @@ pub struct RoundStats {
     pub deadline: f32,
 }
 
+/// Where the simulation's client data lives: materialized up front
+/// (O(fleet) resident memory, the classic constructor) or synthesized per
+/// sampled client from an O(bytes) [`ClientSource`] (the fleet-scale path).
+enum ClientBackend {
+    /// Every client's dataset held in memory for the whole run.
+    Eager(Vec<ClientData>),
+    /// Datasets materialized on demand for sampled clients only and dropped
+    /// when their local training finishes.
+    Lazy(Arc<dyn ClientSource>),
+}
+
+impl ClientBackend {
+    fn num_clients(&self) -> usize {
+        match self {
+            ClientBackend::Eager(clients) => clients.len(),
+            ClientBackend::Lazy(source) => source.num_clients(),
+        }
+    }
+
+    /// O(1) sample count for deadline cost modelling — never synthesizes.
+    fn num_samples(&self, client_id: usize) -> usize {
+        match self {
+            ClientBackend::Eager(clients) => clients[client_id].data.len(),
+            ClientBackend::Lazy(source) => source.num_samples(client_id),
+        }
+    }
+
+    /// Runs `f` over `client_id`'s dataset. On the lazy path the dataset
+    /// exists only for the duration of the call — this is what keeps
+    /// resident client state O(cohort) instead of O(fleet).
+    fn with_data<R>(&self, client_id: usize, f: impl FnOnce(&Dataset) -> R) -> R {
+        match self {
+            ClientBackend::Eager(clients) => f(&clients[client_id].data),
+            ClientBackend::Lazy(source) => {
+                let data = source.materialize(client_id);
+                f(&data)
+            }
+        }
+    }
+
+    #[allow(clippy::single_range_in_vec_init)] // one all-covering stratum, not a collected range
+    fn strata(&self) -> Vec<Range<usize>> {
+        match self {
+            ClientBackend::Eager(clients) => vec![0..clients.len()],
+            ClientBackend::Lazy(source) => source.strata(),
+        }
+    }
+}
+
 /// A complete federated-learning simulation: clients, model, local-update
 /// strategy and aggregation rule.
 pub struct FlSimulation {
     config: FlConfig,
-    clients: Vec<ClientData>,
+    backend: ClientBackend,
+    cohort_strategy: CohortStrategy,
     model_factory: ModelFactory,
     trainer: Box<dyn ClientTrainer>,
     aggregation: AggregationMethod,
@@ -163,18 +214,67 @@ impl FlSimulation {
         trainer: Box<dyn ClientTrainer>,
         aggregation: AggregationMethod,
     ) -> Self {
+        Self::build(
+            config,
+            ClientBackend::Eager(clients),
+            // bit-compatible with the original round loop, so recorded
+            // experiment numbers for eager simulations are preserved
+            CohortStrategy::UniformShuffle,
+            model_factory,
+            trainer,
+            aggregation,
+        )
+    }
+
+    /// Creates a **fleet-scale** simulation over an on-demand
+    /// [`ClientSource`]: resident client state is the source's O(bytes)
+    /// description, and a sampled client's dataset exists only while its
+    /// local update runs. Defaults to the O(cohort)
+    /// [`CohortStrategy::Uniform`] sampler (see
+    /// [`with_cohort_strategy`](Self::with_cohort_strategy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the source describes fewer
+    /// clients than `config.num_clients` requires.
+    pub fn with_source(
+        config: FlConfig,
+        source: Arc<dyn ClientSource>,
+        model_factory: ModelFactory,
+        trainer: Box<dyn ClientTrainer>,
+        aggregation: AggregationMethod,
+    ) -> Self {
+        Self::build(
+            config,
+            ClientBackend::Lazy(source),
+            CohortStrategy::Uniform,
+            model_factory,
+            trainer,
+            aggregation,
+        )
+    }
+
+    fn build(
+        config: FlConfig,
+        backend: ClientBackend,
+        cohort_strategy: CohortStrategy,
+        model_factory: ModelFactory,
+        trainer: Box<dyn ClientTrainer>,
+        aggregation: AggregationMethod,
+    ) -> Self {
         config.validate();
         assert!(
-            clients.len() >= config.num_clients,
+            backend.num_clients() >= config.num_clients,
             "need at least {} clients, got {}",
             config.num_clients,
-            clients.len()
+            backend.num_clients()
         );
         let mut initial = model_factory(config.seed);
         let global_weights = initial.weights();
         FlSimulation {
             config,
-            clients,
+            backend,
+            cohort_strategy,
             model_factory,
             trainer,
             aggregation,
@@ -185,6 +285,19 @@ impl FlSimulation {
             rounds_run: 0,
             faults: None,
         }
+    }
+
+    /// Replaces the cohort sampling strategy (e.g.
+    /// [`CohortStrategy::DeviceStratified`] to guarantee every device
+    /// stratum representation each round). Changing the strategy changes
+    /// which clients are drawn, so it must be set before the first round.
+    pub fn with_cohort_strategy(mut self, strategy: CohortStrategy) -> Self {
+        assert_eq!(
+            self.rounds_run, 0,
+            "cohort strategy must be fixed before the first round"
+        );
+        self.cohort_strategy = strategy;
+        self
     }
 
     /// Switches the simulation to deadline-driven **semi-synchronous**
@@ -256,18 +369,20 @@ impl FlSimulation {
     /// inline, so a round never oversubscribes the machine.
     pub fn run_round(&mut self) -> RoundStats {
         let round = self.rounds_run;
-        let mut sample_rng = StdRng::seed_from_u64(
-            self.config.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
-        let mut ids: Vec<usize> = (0..self.config.num_clients).collect();
-        ids.shuffle(&mut sample_rng);
+        let sample_seed = self.config.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let k = self.config.clients_per_round;
         let cohort_size = match &self.faults {
             Some((_, policy)) => ((k as f32 * policy.over_provision).ceil() as usize)
                 .clamp(k, self.config.num_clients),
             None => k,
         };
-        let selected: Vec<usize> = ids[..cohort_size].to_vec();
+        let strata = match self.cohort_strategy {
+            CohortStrategy::DeviceStratified => self.backend.strata(),
+            _ => Vec::new(),
+        };
+        let selected =
+            self.cohort_strategy
+                .sample(self.config.num_clients, cohort_size, &strata, sample_seed);
 
         // --- simulate the cohort's system behaviour and decide who trains
         let mut dropped_crash = 0usize;
@@ -276,10 +391,13 @@ impl FlSimulation {
         let mut corrupt_marks: Vec<(usize, Corruption)> = Vec::new();
         let mut times: Vec<f32> = Vec::new();
         let mut deadline = 0.0f32;
-        let to_train: Vec<usize> = if let Some((injector, policy)) = &self.faults {
-            // one unit of work per sample per local epoch
+        // owned only on the fault path; fault-free rounds train `selected`
+        // as-is without cloning it
+        let to_train_owned: Option<Vec<usize>> = if let Some((injector, policy)) = &self.faults {
+            // one unit of work per sample per local epoch; sample counts are
+            // O(1) metadata — no dataset is materialized to cost the cohort
             let base_cost =
-                |cid: usize| self.clients[cid].data.len() as f32 * self.config.local_epochs as f32;
+                |cid: usize| self.backend.num_samples(cid) as f32 * self.config.local_epochs as f32;
             let mut healthy: Vec<f32> = selected
                 .iter()
                 .map(|&c| base_cost(c) * injector.compute_factor(c))
@@ -304,25 +422,23 @@ impl FlSimulation {
                     FaultKind::Healthy | FaultKind::Straggler(_) => trainees.push(cid),
                 }
             }
-            trainees
+            Some(trainees)
         } else {
-            selected.clone()
+            None
         };
+        let to_train: &[usize] = to_train_owned.as_deref().unwrap_or(&selected);
 
         let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(to_train.len()));
         let workers = hs_parallel::num_threads().min(to_train.len()).max(1);
-        let chunks: Vec<Vec<usize>> = to_train
-            .chunks(to_train.len().div_ceil(workers).max(1))
-            .map(|c| c.to_vec())
-            .collect();
+        let chunk_len = to_train.len().div_ceil(workers).max(1);
 
         hs_parallel::scope(|scope| {
-            for chunk in &chunks {
+            for chunk in to_train.chunks(chunk_len) {
                 let updates = &updates;
                 let global = &self.global_weights;
                 let trainer = self.trainer.as_ref();
                 let factory = &self.model_factory;
-                let clients = &self.clients;
+                let backend = &self.backend;
                 let config = self.config;
                 let loss_ema = self.loss_ema;
                 scope.spawn(move || {
@@ -330,7 +446,6 @@ impl FlSimulation {
                     for &client_id in chunk {
                         net.set_weights(global);
                         net.zero_grad();
-                        let client = &clients[client_id];
                         let ctx = ClientContext {
                             round,
                             loss_ema,
@@ -345,15 +460,18 @@ impl FlSimulation {
                                 ^ (client_id as u64).wrapping_mul(0x517c_c1b7_2722_0a95)
                                 ^ (round as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
                         );
-                        let update =
-                            trainer.client_update(&mut net, &client.data, &ctx, &mut client_rng);
-                        updates.lock().unwrap().push(update);
+                        // on the lazy backend the dataset lives exactly as
+                        // long as this closure — O(cohort) resident state
+                        let update = backend.with_data(client_id, |data| {
+                            trainer.client_update(&mut net, data, &ctx, &mut client_rng)
+                        });
+                        sync::lock(updates).push(update);
                     }
                 });
             }
         });
 
-        let mut updates = updates.into_inner().unwrap();
+        let mut updates = sync::into_inner(updates);
         // deterministic aggregation order regardless of thread interleaving
         updates.sort_by_key(|u| u.client_id);
 
@@ -371,7 +489,8 @@ impl FlSimulation {
             // fault-free results are bit-identical to the original loop)
             0.0
         };
-        let (accepted, rejected) = screen_updates(&self.global_weights, updates, norm_bound_factor);
+        let (accepted, rejected) =
+            screen_updates_sharded(&self.global_weights, updates, norm_bound_factor);
         let completed = accepted.len();
         let rejected_corrupt = rejected.len();
 
@@ -379,7 +498,6 @@ impl FlSimulation {
             // nothing survived: the global model and the EMA stand
             (f32::NAN, f32::NAN)
         } else {
-            self.global_weights = self.aggregation.aggregate(&self.global_weights, &accepted);
             let total: f32 = accepted
                 .iter()
                 .map(|u| u.num_samples as f32)
@@ -395,6 +513,11 @@ impl FlSimulation {
                 .map(|u| u.init_loss * u.num_samples as f32)
                 .sum::<f32>()
                 / total;
+            // the owning aggregate: accepted updates move into the sharded
+            // tree-reduce, which recycles their buffers instead of cloning
+            self.global_weights = self
+                .aggregation
+                .aggregate_owned(&self.global_weights, accepted);
             (train, init)
         };
         if mean_train_loss.is_finite() {
@@ -795,6 +918,161 @@ mod tests {
         assert_eq!(ha, hb, "round stats must replay bit-identically");
         let bits = |w: &[f32]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(a.global_weights()), bits(b.global_weights()));
+    }
+
+    // ---- lazy fleet-scale backend ----------------------------------------
+
+    use crate::{ClientSource, CohortStrategy};
+    use hs_data::LazyClientSet;
+    use hs_device::{paper_devices, FleetSpec};
+    use hs_nn::Flatten;
+    use std::sync::Arc;
+
+    fn image_factory(classes: usize) -> ModelFactory {
+        Box::new(move |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Network::new(Sequential::new(vec![
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(3 * 8 * 8, 8, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Linear::new(8, classes, &mut rng)),
+            ]))
+        })
+    }
+
+    fn lazy_simulation(num_clients: usize, strategy: CohortStrategy) -> FlSimulation {
+        let fleet = Arc::new(FleetSpec::from_profiles(
+            num_clients,
+            &paper_devices(),
+            (2, 4),
+            21,
+        ));
+        let source = Arc::new(LazyClientSet::new(Arc::clone(&fleet), 4, 8, 21));
+        let mut config = FlConfig::tiny();
+        config.rounds = 2;
+        config.num_clients = num_clients;
+        config.clients_per_round = 6;
+        FlSimulation::with_source(
+            config,
+            source,
+            image_factory(4),
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+            AggregationMethod::FedAvg,
+        )
+        .with_cohort_strategy(strategy)
+        .with_faults(
+            FaultInjector::with_fleet(FaultPlan::none(21), fleet),
+            SemiSyncPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn lazy_simulation_trains_and_replays_bit_identically() {
+        let mut a = lazy_simulation(300, CohortStrategy::Uniform);
+        let mut b = lazy_simulation(300, CohortStrategy::Uniform);
+        let ha = a.run();
+        let hb = b.run();
+        assert_eq!(ha, hb, "lazy rounds must replay bit-identically");
+        assert!(ha[0].completed > 0, "a fault-free round trains someone");
+        let bits = |w: &[f32]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a.global_weights()), bits(b.global_weights()));
+        // training genuinely happened
+        assert!(a.loss_ema().is_finite());
+    }
+
+    #[test]
+    fn stratified_cohorts_seat_strata_proportionally() {
+        let mut sim = lazy_simulation(900, CohortStrategy::DeviceStratified);
+        let stats = sim.run_round();
+        // cohort ceil(6 × 1.5) = 9: largest-remainder quotas proportional to
+        // market share, so every stratum holds ⌊9·share⌋..⌈9·share⌉ seats —
+        // the big device types are *guaranteed* representation every round
+        let fleet = FleetSpec::from_profiles(900, &paper_devices(), (2, 4), 21);
+        let k = stats.participants.len() as f32;
+        for (t, r) in fleet.strata().iter().enumerate() {
+            let seats = stats
+                .participants
+                .iter()
+                .filter(|id| r.contains(id))
+                .count();
+            let exact = k * r.len() as f32 / 900.0;
+            assert!(
+                (seats as f32 - exact).abs() <= 1.0,
+                "stratum {t} ({} clients) got {seats} seats, expected ≈{exact:.2}",
+                r.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cohort_strategy_changes_the_draw_but_not_the_contract() {
+        let mut uniform = lazy_simulation(300, CohortStrategy::Uniform);
+        let mut strat = lazy_simulation(300, CohortStrategy::DeviceStratified);
+        let su = uniform.run_round();
+        let ss = strat.run_round();
+        assert_ne!(su.participants, ss.participants);
+        assert_eq!(su.participants.len(), ss.participants.len());
+    }
+
+    #[test]
+    fn lazy_and_eager_backends_share_the_round_loop_contract() {
+        // the lazy path keeps the cohort-partition invariant under faults
+        let plan = FaultPlan {
+            seed: 5,
+            straggler_rate: 0.3,
+            straggler_slowdown: (4.0, 10.0),
+            crash_rate: 0.2,
+            transport_drop_rate: 0.1,
+            corrupt_rate: 0.1,
+        };
+        let fleet = Arc::new(FleetSpec::from_profiles(200, &paper_devices(), (2, 4), 8));
+        let source = Arc::new(LazyClientSet::new(Arc::clone(&fleet), 4, 8, 8));
+        let mut config = FlConfig::tiny();
+        config.rounds = 3;
+        config.num_clients = 200;
+        config.clients_per_round = 8;
+        let mut sim = FlSimulation::with_source(
+            config,
+            source,
+            image_factory(4),
+            Box::new(FedAvgTrainer::new(LossKind::CrossEntropy)),
+            AggregationMethod::FedAvg,
+        )
+        .with_faults(
+            FaultInjector::with_fleet(plan, fleet),
+            SemiSyncPolicy::default(),
+        );
+        for stats in sim.run() {
+            assert_eq!(
+                stats.completed
+                    + stats.dropped_deadline
+                    + stats.dropped_crash
+                    + stats.dropped_transport
+                    + stats.rejected_corrupt,
+                stats.participants.len(),
+                "counters must partition the cohort: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort strategy must be fixed")]
+    fn strategy_change_after_a_round_is_rejected() {
+        let mut sim = simulation(1);
+        sim.run_round();
+        let _ = sim.with_cohort_strategy(CohortStrategy::Uniform);
+    }
+
+    #[test]
+    fn source_metadata_is_consistent_with_materialization() {
+        let fleet = Arc::new(FleetSpec::from_profiles(100, &paper_devices(), (2, 4), 3));
+        let source = LazyClientSet::new(fleet, 4, 8, 3);
+        for id in [0usize, 42, 99] {
+            assert_eq!(
+                source.materialize(id).len(),
+                ClientSource::num_samples(&source, id)
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod sync;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -7,32 +7,15 @@
 //! poisoned lock therefore carries no information we need — but calling
 //! `.unwrap()` on it would *cascade* one panicked thread into panics in
 //! every other thread that touches the same lock, wedging the queue, the
-//! registry and every waiting client. These helpers recover the guard via
-//! [`PoisonError::into_inner`] instead, which is what lets the worker
+//! registry and every waiting client. The helpers recover the guard via
+//! `PoisonError::into_inner` instead, which is what lets the worker
 //! supervisor treat a panicked worker as an isolated, restartable event.
+//!
+//! The implementations live in [`hs_parallel::sync`] (shared with the FL
+//! round loop); this module re-exports them under the crate-local names the
+//! serving engine has always used.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
-use std::time::Duration;
-
-/// Locks `m`, recovering the guard if a previous holder panicked.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// [`Condvar::wait`] that recovers the guard from a poisoned lock.
-pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
-/// [`Condvar::wait_timeout`] that recovers the guard from a poisoned lock.
-pub(crate) fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
-    cv.wait_timeout(guard, timeout)
-        .unwrap_or_else(PoisonError::into_inner)
-}
+pub(crate) use hs_parallel::sync::{lock, wait, wait_timeout};
 
 #[cfg(test)]
 mod tests {

@@ -183,6 +183,7 @@ mod tests {
         // seed content check is awkward; instead check the profile lookup
         // path: names come from the paper fleet
         let set = tiny_set(1000);
+        // hs-lint: allow(nondeterminism, "test-only coverage check; only len() is read, never iterated")
         let names: std::collections::HashSet<&str> = (0..1000)
             .step_by(97)
             .map(|id| set.device_name(id))

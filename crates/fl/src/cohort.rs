@@ -180,6 +180,7 @@ mod tests {
 
     fn assert_valid_cohort(ids: &[usize], n: usize, k: usize) {
         assert_eq!(ids.len(), k);
+        // hs-lint: allow(nondeterminism, "test-only distinctness check; only len() is read, never iterated")
         let distinct: std::collections::HashSet<usize> = ids.iter().copied().collect();
         assert_eq!(distinct.len(), k, "cohort ids must be distinct");
         assert!(ids.iter().all(|&id| id < n), "ids must be in range");

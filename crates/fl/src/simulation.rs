@@ -402,7 +402,9 @@ impl FlSimulation {
                 .iter()
                 .map(|&c| base_cost(c) * injector.compute_factor(c))
                 .collect();
-            healthy.sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+            // total_cmp: a NaN compute factor must not panic the round loop
+            // (it would rank last and stretch the deadline instead)
+            healthy.sort_by(f32::total_cmp);
             deadline = policy.deadline_factor * healthy[healthy.len() / 2];
 
             let mut trainees = Vec::with_capacity(selected.len());
@@ -531,7 +533,7 @@ impl FlSimulation {
         }
         self.rounds_run += 1;
 
-        times.sort_by(|a, b| a.partial_cmp(b).expect("wall clocks are finite"));
+        times.sort_by(f32::total_cmp);
         let pct = |q: f32| {
             if times.is_empty() {
                 0.0

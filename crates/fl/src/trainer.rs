@@ -7,6 +7,7 @@
 use crate::{ClientContext, ClientUpdate};
 use hs_data::Dataset;
 use hs_nn::{BceWithLogitsLoss, CrossEntropyLoss, Loss, MseLoss, Network, Sgd};
+use hs_parallel::sync;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -233,14 +234,14 @@ impl ClientTrainer for ScaffoldTrainer {
         let init_loss = initial_loss(net, data, loss.as_ref());
         let weight_len = ctx.global_weights.len();
         let server_c = {
-            let mut sc = self.server_control.lock().unwrap();
+            let mut sc = sync::lock(&self.server_control);
             if sc.len() != weight_len {
                 *sc = vec![0.0; weight_len];
             }
             sc.clone()
         };
         let client_c = {
-            let mut cc = self.client_controls.lock().unwrap();
+            let mut cc = sync::lock(&self.client_controls);
             cc.entry(ctx.client_id)
                 .or_insert_with(|| vec![0.0; weight_len])
                 .clone()
@@ -273,15 +274,12 @@ impl ClientTrainer for ScaffoldTrainer {
         }
         // server control absorbs (c_i⁺ − c_i) / N
         {
-            let mut sc = self.server_control.lock().unwrap();
+            let mut sc = sync::lock(&self.server_control);
             for i in 0..weight_len {
                 sc[i] += (new_client_c[i] - client_c[i]) / self.num_clients as f32;
             }
         }
-        self.client_controls
-            .lock()
-            .unwrap()
-            .insert(ctx.client_id, new_client_c);
+        sync::lock(&self.client_controls).insert(ctx.client_id, new_client_c);
 
         ClientUpdate {
             client_id: ctx.client_id,
@@ -398,8 +396,8 @@ mod tests {
                 &mut StdRng::seed_from_u64(6),
             );
         }
-        assert_eq!(trainer.client_controls.lock().unwrap().len(), 2);
-        let sc = trainer.server_control.lock().unwrap();
+        assert_eq!(sync::lock(&trainer.client_controls).len(), 2);
+        let sc = sync::lock(&trainer.server_control);
         assert!(sc.iter().any(|&v| v != 0.0), "server control should move");
     }
 

@@ -1,0 +1,458 @@
+//! A hand-rolled Rust lexer — just enough of the language for the rule
+//! engine in [`crate::rules`].
+//!
+//! Like the vendored `serde_derive` token parser, this deliberately avoids
+//! `syn`/`quote` (the build environment has no crates registry): it
+//! tokenises identifiers, literals and punctuation, skips comments and
+//! string/char contents (so a `.lock().unwrap()` *mentioned in a comment or
+//! string* never fires a rule), and records every comment with its line
+//! span (so `// SAFETY:` justifications and `// hs-lint: allow(..)`
+//! suppressions can be located relative to findings).
+//!
+//! It is not a full lexer — no float-vs-range ambiguity resolution beyond
+//! what the rules need, no keyword table — but it handles the constructs
+//! that would otherwise break token-level pattern matching: nested block
+//! comments, raw strings (`r#".."#`), byte strings, char literals vs
+//! lifetimes, and numeric literals with exponents (`1e-3` is one token, so
+//! its `-` never looks like a binary operator).
+
+/// Token classes the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `partial_cmp`, `HashMap`, ...).
+    Ident,
+    /// An integer or float literal, including suffix and exponent.
+    Num,
+    /// A string, raw-string, byte-string or char literal (contents opaque).
+    Lit,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators (`+=`, `::`, `->`) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's source text (literals keep only their delimiter kind).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based line span and full text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (== `line` for `//` comments).
+    pub end_line: u32,
+    /// The raw comment text, including delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one file: the token stream (comments excluded) and
+/// the comment list (for SAFETY / suppression lookup).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `src` into tokens + comments. Never fails: malformed input (e.g.
+/// an unterminated string) is consumed to end-of-file, which is the right
+/// degradation for a lint that must not crash on the tree it polices.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        // whitespace
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comment
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // block comment (nested)
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // string-ish literals, including r"", r#""#, b"", br#""#, b''
+        if c == '"' {
+            let start_line = line;
+            i = consume_string(&b, i, &mut line);
+            out.toks.push(tok(TokKind::Lit, "\"..\"", start_line));
+            continue;
+        }
+        if (c == 'r' || c == 'b') && is_string_prefix(&b, i) {
+            let start_line = line;
+            i = consume_prefixed_literal(&b, i, &mut line);
+            out.toks.push(tok(TokKind::Lit, "\"..\"", start_line));
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            if is_lifetime(&b, i) {
+                let start = i;
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                i = consume_char_literal(&b, i);
+                out.toks.push(tok(TokKind::Lit, "'.'", line));
+            }
+            continue;
+        }
+        // identifier / keyword
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // numeric literal (exponent signs belong to the token: `1e-3`)
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut prev = c;
+            let mut seen_dot = false;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                if d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || ((d == '+' || d == '-') && (prev == 'e' || prev == 'E'))
+                {
+                    prev = d;
+                    i += 1;
+                } else if d == '.' && !seen_dot && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    seen_dot = true;
+                    prev = d;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // punctuation, longest multi-char operator first
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == **op {
+                matched = Some((op.to_string(), len));
+                break;
+            }
+        }
+        let (text, len) = matched.unwrap_or_else(|| (c.to_string(), 1));
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+        });
+        i += len;
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// True when the `r`/`b` at `i` starts a raw/byte string or byte char.
+fn is_string_prefix(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    match b[i] {
+        'r' => {
+            // r".." or r#".."# (any number of #s)
+            let mut j = i + 1;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            j < n && b[j] == '"' && (b[i + 1] == '"' || b[i + 1] == '#')
+        }
+        'b' => {
+            if i + 1 >= n {
+                return false;
+            }
+            match b[i + 1] {
+                '"' | '\'' => true,
+                'r' => {
+                    let mut j = i + 2;
+                    while j < n && b[j] == '#' {
+                        j += 1;
+                    }
+                    j < n && b[j] == '"' && (b[i + 2] == '"' || b[i + 2] == '#')
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a literal starting with an `r`/`b` prefix; returns the index
+/// past its closing delimiter.
+fn consume_prefixed_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    // skip the prefix letters
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < n && b[i] == 'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < n && b[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        // at the opening quote
+        i += 1;
+        while i < n {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < n && b[j] == '#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        n
+    } else if i < n && b[i] == '"' {
+        consume_string(b, i, line)
+    } else {
+        // b'..' byte char
+        consume_char_literal(b, i)
+    }
+}
+
+/// Consumes a `"..."` string starting at the opening quote; returns the
+/// index past the closing quote.
+fn consume_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Consumes a `'x'` / `'\n'` / `b'x'` char literal starting at the quote;
+/// returns the index past the closing quote.
+fn consume_char_literal(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Distinguishes a lifetime/label (`'a`, `'static`) from a char literal
+/// (`'a'`, `'\n'`) at the `'` in position `i`.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if c1 == '\\' {
+        return false; // escaped char literal
+    }
+    if !(c1.is_alphabetic() || c1 == '_') {
+        return false; // e.g. '0' digit start is a char literal
+    }
+    // 'x' is a char literal; 'xy / 'x) / 'x, are lifetimes
+    !(i + 2 < n && b[i + 2] == '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// a.lock().unwrap() in a comment
+let s = "b.lock().unwrap() in a string";
+let r = r#"raw "quoted" lock().unwrap()"#;
+/* block
+   partial_cmp */
+real_ident();
+"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"lock".to_string()));
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 5);
+        assert_eq!(lexed.comments[1].end_line, 6);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .collect();
+        assert_eq!(lits.len(), 1);
+    }
+
+    #[test]
+    fn exponent_sign_is_part_of_the_number() {
+        let lexed = lex("let x = 1.5e-3 - 2;");
+        let minus: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == "-")
+            .collect();
+        assert_eq!(minus.len(), 1, "only the binary minus survives");
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let lexed = lex("a += b; c -= d; e..=f; g::h; i -> j");
+        let texts: Vec<_> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        for op in ["+=", "-=", "..=", "::", "->"] {
+            assert!(texts.contains(&op), "{op} should be one token: {texts:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let lexed = lex("for i in 0..n {}");
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(lexed.toks.iter().any(|t| t.text == ".."));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"a\nb\";\nmarker();");
+        let marker = lexed
+            .toks
+            .iter()
+            .find(|t| t.text == "marker")
+            .expect("marker lexed");
+        assert_eq!(marker.line, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! The `hs-lint` CLI: walks the workspace, prints findings, and gates CI.
+//!
+//! ```text
+//! cargo run -p hs-lint                   # report findings, exit 0
+//! cargo run -p hs-lint -- --check        # exit 1 when any active finding
+//! cargo run -p hs-lint -- --check --json-out target/lint-findings.json
+//! cargo run -p hs-lint -- --root /path/to/workspace
+//! ```
+//!
+//! An *active* finding is one without a written
+//! `// hs-lint: allow(<rule>, "<reason>")` justification; only active
+//! findings fail `--check`. The JSON report includes suppressed findings
+//! (with their reasons) so the justification inventory stays auditable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json-out needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd is readable");
+            match hs_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "hs-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match hs_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hs-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (path, f) in report.active() {
+        println!("{path}:{}: [{}] {}", f.line, f.rule.name(), f.message);
+    }
+    let active = report.active().count();
+    let suppressed = report.suppressed().count();
+    println!(
+        "hs-lint: {active} finding{} ({suppressed} suppressed with a written \
+         justification) across {} files",
+        if active == 1 { "" } else { "s" },
+        report.files_scanned
+    );
+
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = serde::json::write_file(path, &report.to_json()) {
+            eprintln!("hs-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("hs-lint: findings report written to {}", path.display());
+    }
+
+    if check && active > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("hs-lint: {err}");
+    }
+    eprintln!("usage: hs-lint [--check] [--json-out <path>] [--root <workspace>]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

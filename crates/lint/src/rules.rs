@@ -1,0 +1,575 @@
+//! The five repo-invariant rules and the suppression machinery.
+//!
+//! Each rule encodes a bug class that has already cost this repo a PR (the
+//! history lives in `docs/LINTS.md`):
+//!
+//! 1. **nan-ordering** — `partial_cmp(..).unwrap()/.expect(..)`: one NaN in
+//!    a comparator panics a sort (the PR 4 denoise class). Use `total_cmp`.
+//! 2. **raw-lock** — `.lock().unwrap()` / condvar `.wait(..).unwrap()`:
+//!    unwrapping a poisoned lock cascades one panicked holder into every
+//!    other thread (the PR 6 class). Use `hs_parallel::sync::{lock, wait,
+//!    wait_timeout}`.
+//! 3. **nondeterminism** — wall clocks and `HashMap`/`HashSet` in the
+//!    bit-exact modules break the replay contract (`docs/SCALE.md`).
+//! 4. **float-accum** — `acc += a + b` groups the right-hand side first and
+//!    diverges from the left-associated chain `acc + a + b` in the last ULP
+//!    (the PR 8 tree-reduce trap). Only fires when the RHS is itself a
+//!    top-level sum/difference; `i += 1` and `*o += w * v` are exact.
+//! 5. **undocumented-unsafe** — every `unsafe` block/impl needs a
+//!    `// SAFETY:` comment; every `unsafe fn` needs `# Safety` docs (or a
+//!    `SAFETY:` comment).
+//!
+//! A finding is suppressed by `// hs-lint: allow(<rule>, "<reason>")` on
+//! the same line or the line directly above; the reason is mandatory — an
+//! allow that does not parse suppresses nothing.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// The enforced rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// NaN-unsafe `partial_cmp(..).unwrap()/.expect(..)` chains.
+    NanOrdering,
+    /// Poison-prone raw `.lock().unwrap()` / `.wait(..).unwrap()`.
+    RawLock,
+    /// Wall clocks / hash-order collections in bit-exact modules.
+    Nondeterminism,
+    /// Reassociating compound float accumulation in bit-exact modules.
+    FloatAccum,
+    /// `unsafe` without a written safety justification.
+    UndocumentedUnsafe,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NanOrdering,
+        Rule::RawLock,
+        Rule::Nondeterminism,
+        Rule::FloatAccum,
+        Rule::UndocumentedUnsafe,
+    ];
+
+    /// The kebab-case name used in reports and `allow(..)` suppressions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NanOrdering => "nan-ordering",
+            Rule::RawLock => "raw-lock",
+            Rule::Nondeterminism => "nondeterminism",
+            Rule::FloatAccum => "float-accum",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+        }
+    }
+
+    /// Parses a rule name as written inside `allow(..)`.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// One rule violation (possibly suppressed by a written justification).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub message: String,
+    /// `Some(reason)` when an `hs-lint: allow` justification covers the
+    /// finding; suppressed findings do not fail `--check`.
+    pub suppressed: Option<String>,
+}
+
+/// Per-file lint context, derived from the file's workspace path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileCtx {
+    /// File belongs to a bit-exact module (rules 3 and 4 apply).
+    pub bit_exact: bool,
+    /// File *is* the poison-recovering sync helper module (rule 2 exempt —
+    /// the helpers themselves are the one place allowed to touch raw
+    /// `lock()` results).
+    pub raw_lock_exempt: bool,
+}
+
+/// Lints one file's source text under `ctx`, returning every finding with
+/// suppressions already resolved.
+pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    nan_ordering(&lexed.toks, &mut findings);
+    if !ctx.raw_lock_exempt {
+        raw_lock(&lexed.toks, &mut findings);
+    }
+    if ctx.bit_exact {
+        nondeterminism(&lexed.toks, &mut findings);
+        float_accum(&lexed.toks, &mut findings);
+    }
+    undocumented_unsafe(&lexed.toks, &lines, &mut findings);
+
+    let allows = parse_allows(&lexed.comments);
+    for f in &mut findings {
+        f.suppressed = allows
+            .iter()
+            .find(|a| a.rule == f.rule && (a.line == f.line || a.end_line + 1 == f.line))
+            .map(|a| a.reason.clone());
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// suppression comments
+// ---------------------------------------------------------------------------
+
+struct Allow {
+    rule: Rule,
+    reason: String,
+    line: u32,
+    end_line: u32,
+}
+
+/// Extracts every well-formed `hs-lint: allow(<rule>, "<reason>")` from the
+/// comment list. Malformed allows (unknown rule, missing or empty reason)
+/// are dropped, so the finding they meant to cover still fails the gate —
+/// which is how a typo gets noticed.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("hs-lint: allow(") {
+            rest = &rest[pos + "hs-lint: allow(".len()..];
+            let Some(comma) = rest.find(',') else { break };
+            let Some(rule) = Rule::from_name(rest[..comma].trim()) else {
+                continue;
+            };
+            let tail = rest[comma + 1..].trim_start();
+            let Some(stripped) = tail.strip_prefix('"') else {
+                continue;
+            };
+            let Some(endq) = stripped.find('"') else {
+                continue;
+            };
+            let reason = stripped[..endq].trim().to_string();
+            if reason.is_empty() {
+                continue;
+            }
+            out.push(Allow {
+                rule,
+                reason,
+                line: c.line,
+                end_line: c.end_line,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// token-stream helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Given `toks[open]` == `(`, returns the index of the matching `)`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// rule 1: nan-ordering
+// ---------------------------------------------------------------------------
+
+fn nan_ordering(toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "partial_cmp") {
+            continue;
+        }
+        if i == 0 || !is_punct(&toks[i - 1], ".") {
+            continue;
+        }
+        if i + 1 >= toks.len() || !is_punct(&toks[i + 1], "(") {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else {
+            continue;
+        };
+        let Some(dot) = toks.get(close + 1) else {
+            continue;
+        };
+        let Some(method) = toks.get(close + 2) else {
+            continue;
+        };
+        if is_punct(dot, ".") && (is_ident(method, "unwrap") || is_ident(method, "expect")) {
+            out.push(Finding {
+                rule: Rule::NanOrdering,
+                line: toks[i].line,
+                message: format!(
+                    "NaN-unsafe ordering: `partial_cmp(..).{}()` panics on the first NaN \
+                     (one NaN input took down the whole denoise pipeline in PR 4); \
+                     use `f32::total_cmp`/`f64::total_cmp`",
+                    method.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rule 2: raw-lock
+// ---------------------------------------------------------------------------
+
+fn raw_lock(toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if i == 0 || !is_punct(&toks[i - 1], ".") {
+            continue;
+        }
+        let t = &toks[i];
+        let is_lock = is_ident(t, "lock");
+        let is_wait = is_ident(t, "wait") || is_ident(t, "wait_timeout");
+        if !is_lock && !is_wait {
+            continue;
+        }
+        if i + 1 >= toks.len() || !is_punct(&toks[i + 1], "(") {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else {
+            continue;
+        };
+        // `.lock()` takes no arguments; condvar `.wait(guard)` takes at
+        // least one. A no-argument `.wait()` is some other API (e.g. the
+        // serve crate's `Pending::wait`), not a condvar, and is left alone.
+        let args_empty = close == i + 2;
+        if (is_lock && !args_empty) || (is_wait && args_empty) {
+            continue;
+        }
+        let Some(dot) = toks.get(close + 1) else {
+            continue;
+        };
+        let Some(method) = toks.get(close + 2) else {
+            continue;
+        };
+        if is_punct(dot, ".") && (is_ident(method, "unwrap") || is_ident(method, "expect")) {
+            out.push(Finding {
+                rule: Rule::RawLock,
+                line: t.line,
+                message: format!(
+                    "raw `.{}(..).{}()` turns one panicked lock holder into a panic in every \
+                     thread that touches the lock; use the poison-recovering \
+                     `hs_parallel::sync::{{lock, wait, wait_timeout}}`",
+                    t.text, method.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rule 3: nondeterminism (bit-exact modules only)
+// ---------------------------------------------------------------------------
+
+fn nondeterminism(toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if is_ident(t, "HashMap") || is_ident(t, "HashSet") {
+            out.push(Finding {
+                rule: Rule::Nondeterminism,
+                line: t.line,
+                message: format!(
+                    "`{}` in a bit-exact module: iteration order is randomized per process, \
+                     which breaks the bit-identical replay contract (docs/SCALE.md); \
+                     use `BTreeMap`/`BTreeSet`/`Vec`",
+                    t.text
+                ),
+                suppressed: None,
+            });
+        }
+        if (is_ident(t, "Instant") || is_ident(t, "SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+            && toks.get(i + 2).is_some_and(|n| is_ident(n, "now"))
+        {
+            out.push(Finding {
+                rule: Rule::Nondeterminism,
+                line: t.line,
+                message: format!(
+                    "`{}::now()` in a bit-exact module: wall-clock reads differ across runs, \
+                     which breaks the bit-identical replay contract (docs/SCALE.md); \
+                     derive simulated time from seeds or take it as an input",
+                    t.text
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rule 4: float-accum (bit-exact modules only)
+// ---------------------------------------------------------------------------
+
+/// Flags `+=`/`-=` whose right-hand side is itself a top-level sum or
+/// difference: `acc += a + b` evaluates as `acc + (a + b)` — the RHS groups
+/// first — while the bit-exact reference chains are left-associated
+/// (`acc + a + b`). The two differ in the last ULP, which is exactly the
+/// trap PR 8's tree-reduce documented. Single-term RHS (`i += 1`,
+/// `*o += w * v`, `x -= d / h`) is exact and never flagged; `+`/`-` inside
+/// parentheses or brackets group explicitly and are likewise exact.
+fn float_accum(toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let op = &toks[i];
+        if !(is_punct(op, "+=") || is_punct(op, "-=")) {
+            continue;
+        }
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut brace = 0isize;
+        for j in i + 1..toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    _ => {}
+                }
+                if paren < 0 || bracket < 0 || brace < 0 {
+                    break; // statement ended by an enclosing close delimiter
+                }
+                let depth0 = paren == 0 && bracket == 0 && brace == 0;
+                if depth0 && (t.text == ";" || t.text == ",") {
+                    break;
+                }
+                if depth0 && (t.text == "+" || t.text == "-") && binary_position(toks, j) {
+                    out.push(Finding {
+                        rule: Rule::FloatAccum,
+                        line: op.line,
+                        message: format!(
+                            "`{}` with a sum/difference right-hand side groups the RHS before \
+                             the accumulator (`a {} b + c` is `a = a {} (b + c)`), which \
+                             diverges from a left-associated chain in the last ULP (the PR 8 \
+                             tree-reduce trap); write the grouping out explicitly with \
+                             `a = a {} ..`",
+                            op.text,
+                            op.text.trim_end_matches('='),
+                            op.text.trim_end_matches('='),
+                            op.text.trim_end_matches('=')
+                        ),
+                        suppressed: None,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// True when the `+`/`-` at `j` is a binary operator (its left operand is a
+/// value), as opposed to a unary sign (`-x`, `* -y`, `(= -z`).
+fn binary_position(toks: &[Tok], j: usize) -> bool {
+    let Some(prev) = toks.get(j.wrapping_sub(1)) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident | TokKind::Num | TokKind::Lit | TokKind::Lifetime => true,
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rule 5: undocumented-unsafe
+// ---------------------------------------------------------------------------
+
+/// Requires a written safety justification on every `unsafe` site:
+///
+/// - `unsafe fn`: a `# Safety` rustdoc section (the std convention for the
+///   *caller's* contract) or a `SAFETY:` comment, in the contiguous
+///   doc/attribute block directly above.
+/// - `unsafe {` / `unsafe impl` / anything else: a `SAFETY:` comment —
+///   directly above (attributes between comment and item are fine), at the
+///   end of the same line, or on the first line inside the block (the
+///   `match arm => unsafe {` style used by the GEMM dispatch).
+fn undocumented_unsafe(toks: &[Tok], lines: &[&str], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "unsafe") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        let is_fn = is_ident(next, "fn");
+        let line = toks[i].line;
+        let mut attached = attached_comment_block(lines, line);
+        // the unsafe line itself (trailing comment) and, for non-fn sites,
+        // the first line of the block body
+        attached.push_str(line_at(lines, line));
+        if !is_fn {
+            attached.push_str(line_at(lines, line + 1));
+        }
+        let documented = attached.contains("SAFETY:") || (is_fn && attached.contains("# Safety"));
+        if !documented {
+            let what = if is_fn {
+                "`unsafe fn` without a `# Safety` doc section"
+            } else {
+                "`unsafe` without a `// SAFETY:` comment"
+            };
+            out.push(Finding {
+                rule: Rule::UndocumentedUnsafe,
+                line,
+                message: format!(
+                    "{what}: every unsafe site must state the invariant it relies on \
+                     (bounds, alignment, ISA availability, lifetime) next to the code"
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+fn line_at<'a>(lines: &[&'a str], line: u32) -> &'a str {
+    lines.get(line as usize - 1).copied().unwrap_or("")
+}
+
+/// Collects the text of the contiguous comment/attribute block directly
+/// above `line` (doc comments, line/block comments and `#[..]` attributes
+/// all keep the block contiguous).
+fn attached_comment_block(lines: &[&str], line: u32) -> String {
+    let mut text = String::new();
+    let mut l = line - 1;
+    while l >= 1 {
+        let s = lines.get(l as usize - 1).copied().unwrap_or("").trim();
+        let attached = s.starts_with("//")
+            || s.starts_with("#[")
+            || s.starts_with("#!")
+            || s.starts_with("/*")
+            || s.starts_with('*')
+            || s.ends_with("*/")
+            || s.starts_with(")]");
+        if !attached {
+            break;
+        }
+        text.push_str(s);
+        text.push('\n');
+        l -= 1;
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active(src: &str, ctx: &FileCtx) -> Vec<Finding> {
+        lint_source(src, ctx)
+            .into_iter()
+            .filter(|f| f.suppressed.is_none())
+            .collect()
+    }
+
+    #[test]
+    fn multiline_chains_are_still_matched() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock()\n        .unwrap()\n}\n";
+        let f = active(src, &FileCtx::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::RawLock);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses_with_reason() {
+        let src = "fn f(xs: &mut [f32]) {\n\
+                   // hs-lint: allow(nan-ordering, \"inputs screened finite two lines up\")\n\
+                   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let all = lint_source(src, &FileCtx::default());
+        assert_eq!(all.len(), 1);
+        assert_eq!(
+            all[0].suppressed.as_deref(),
+            Some("inputs screened finite two lines up")
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "fn f(xs: &mut [f32]) {\n\
+                   // hs-lint: allow(nan-ordering, \"\")\n\
+                   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert_eq!(active(src, &FileCtx::default()).len(), 1);
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "fn f(xs: &mut [f32]) {\n\
+                   // hs-lint: allow(raw-lock, \"wrong rule\")\n\
+                   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert_eq!(active(src, &FileCtx::default()).len(), 1);
+    }
+
+    #[test]
+    fn bit_exact_rules_are_off_outside_bit_exact_files() {
+        let src = "use std::collections::HashMap;\nfn f(a: &mut f32) { *a += 1.0 + 2.0; }\n";
+        assert!(active(src, &FileCtx::default()).is_empty());
+        let f = active(
+            src,
+            &FileCtx {
+                bit_exact: true,
+                raw_lock_exempt: false,
+            },
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn single_term_compound_assignment_is_exact_and_clean() {
+        let ctx = FileCtx {
+            bit_exact: true,
+            raw_lock_exempt: false,
+        };
+        let src = "fn f(o: &mut f32, w: f32, v: f32, i: &mut usize, xs: &[f32]) {\n\
+                   *o += w * v;\n\
+                   *i += 1;\n\
+                   *o -= xs[*i + 1];\n\
+                   *o += (w + v);\n}\n";
+        assert!(active(src, &ctx).is_empty(), "no top-level RHS sum here");
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Does things.\n///\n/// # Safety\n///\n/// Caller upholds X.\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn f() {}\n";
+        assert!(active(src, &FileCtx::default()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_accepts_first_inner_line_comment() {
+        let src = "fn f() {\n    let x = unsafe {\n        // SAFETY: justified here\n        g()\n    };\n}\n";
+        assert!(active(src, &FileCtx::default()).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixture suite: one deliberately-firing and one clean fixture per rule.
+//!
+//! The fixtures under `tests/fixtures/` are **data**, not compiled code —
+//! cargo only builds top-level `tests/*.rs`, so the firing fixtures can
+//! contain the exact anti-patterns the rules exist to ban (and the clean
+//! fixtures can reference types that don't resolve). Each firing test pins
+//! the rule **and** the line of every expected finding, so a rule that
+//! drifts to a different site — or starts double-reporting — fails loudly,
+//! not just a rule that stops firing.
+
+use hs_lint::rules::{lint_source, FileCtx, Finding, Rule};
+use std::fs;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+const BIT_EXACT: FileCtx = FileCtx {
+    bit_exact: true,
+    raw_lock_exempt: false,
+};
+
+fn active(src: &str, ctx: &FileCtx) -> Vec<Finding> {
+    lint_source(src, ctx)
+        .into_iter()
+        .filter(|f| f.suppressed.is_none())
+        .collect()
+}
+
+/// Asserts the findings are exactly `expected` as (rule, line) pairs.
+fn assert_findings(found: &[Finding], expected: &[(Rule, u32)]) {
+    let got: Vec<(Rule, u32)> = found.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got, expected,
+        "findings (rule, line) diverged from the fixture's expectations"
+    );
+}
+
+#[test]
+fn nan_ordering_fires_on_unwrapped_partial_cmp() {
+    let found = active(&fixture("nan_ordering_fires.rs"), &FileCtx::default());
+    assert_findings(&found, &[(Rule::NanOrdering, 5), (Rule::NanOrdering, 13)]);
+    assert!(
+        found[0].message.contains("total_cmp"),
+        "message must name the fix"
+    );
+}
+
+#[test]
+fn nan_ordering_stays_silent_on_total_cmp_and_justified_sites() {
+    assert_findings(
+        &active(&fixture("nan_ordering_clean.rs"), &FileCtx::default()),
+        &[],
+    );
+}
+
+#[test]
+fn raw_lock_fires_on_unwrapped_lock_and_condvar_wait() {
+    assert_findings(
+        &active(&fixture("raw_lock_fires.rs"), &FileCtx::default()),
+        &[(Rule::RawLock, 7), (Rule::RawLock, 11), (Rule::RawLock, 13)],
+    );
+}
+
+#[test]
+fn raw_lock_is_exempt_inside_the_sync_helper_module() {
+    // The helpers themselves are the one place allowed to touch raw lock
+    // results — the same source produces nothing under the exempt ctx.
+    let ctx = FileCtx {
+        bit_exact: false,
+        raw_lock_exempt: true,
+    };
+    assert_findings(&active(&fixture("raw_lock_fires.rs"), &ctx), &[]);
+}
+
+#[test]
+fn raw_lock_stays_silent_on_sync_helpers_and_non_condvar_wait() {
+    assert_findings(
+        &active(&fixture("raw_lock_clean.rs"), &FileCtx::default()),
+        &[],
+    );
+}
+
+#[test]
+fn nondeterminism_fires_on_hash_collections_and_wall_clocks() {
+    assert_findings(
+        &active(&fixture("nondeterminism_fires.rs"), &BIT_EXACT),
+        &[
+            (Rule::Nondeterminism, 5),  // HashMap in the use list
+            (Rule::Nondeterminism, 5),  // HashSet in the use list
+            (Rule::Nondeterminism, 8),  // Instant::now()
+            (Rule::Nondeterminism, 14), // SystemTime::now()
+            (Rule::Nondeterminism, 20), // HashMap in a return type
+            (Rule::Nondeterminism, 22), // HashMap::new()
+        ],
+    );
+}
+
+#[test]
+fn nondeterminism_only_applies_to_bit_exact_modules() {
+    // Outside the bit-exact list the same source is legal.
+    assert_findings(
+        &active(&fixture("nondeterminism_fires.rs"), &FileCtx::default()),
+        &[],
+    );
+}
+
+#[test]
+fn nondeterminism_stays_silent_on_btree_and_clock_arithmetic() {
+    assert_findings(
+        &active(&fixture("nondeterminism_clean.rs"), &BIT_EXACT),
+        &[],
+    );
+}
+
+#[test]
+fn float_accum_fires_on_sum_valued_rhs() {
+    assert_findings(
+        &active(&fixture("float_accum_fires.rs"), &BIT_EXACT),
+        &[(Rule::FloatAccum, 8), (Rule::FloatAccum, 13)],
+    );
+}
+
+#[test]
+fn float_accum_only_applies_to_bit_exact_modules() {
+    assert_findings(
+        &active(&fixture("float_accum_fires.rs"), &FileCtx::default()),
+        &[],
+    );
+}
+
+#[test]
+fn float_accum_stays_silent_on_exact_accumulation_shapes() {
+    // single-term RHS, explicit parens, indexing sums, call arguments and
+    // the spelled-out left-associated form are all bit-exact.
+    assert_findings(&active(&fixture("float_accum_clean.rs"), &BIT_EXACT), &[]);
+}
+
+#[test]
+fn undocumented_unsafe_fires_on_bare_blocks_and_fns() {
+    assert_findings(
+        &active(&fixture("unsafe_fires.rs"), &FileCtx::default()),
+        &[
+            (Rule::UndocumentedUnsafe, 5),
+            (Rule::UndocumentedUnsafe, 8),
+            (Rule::UndocumentedUnsafe, 14),
+        ],
+    );
+}
+
+#[test]
+fn undocumented_unsafe_accepts_every_documented_style() {
+    // SAFETY above, `# Safety` rustdoc, match-arm comment above, and the
+    // first-inner-line style must all pass.
+    assert_findings(
+        &active(&fixture("unsafe_clean.rs"), &FileCtx::default()),
+        &[],
+    );
+}
+
+#[test]
+fn clean_fixture_suppression_is_recorded_not_dropped() {
+    // The justified site in the nan clean fixture must surface as a
+    // *suppressed* finding (for the JSON report), not disappear.
+    let all = lint_source(&fixture("nan_ordering_clean.rs"), &FileCtx::default());
+    let suppressed: Vec<&Finding> = all.iter().filter(|f| f.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, Rule::NanOrdering);
+    assert_eq!(
+        suppressed[0].suppressed.as_deref(),
+        Some("inputs are validated finite at the API boundary")
+    );
+}

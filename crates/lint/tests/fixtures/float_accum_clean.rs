@@ -1,0 +1,35 @@
+// Fixture: bit-exact accumulation patterns that must NOT fire
+// `float-accum`, even with `FileCtx { bit_exact: true, .. }`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn single_term(mut acc: f32, w: f32, v: f32) -> f32 {
+    acc += w * v; // product RHS: `acc + (w*v)` either way — exact
+    acc
+}
+
+fn counter(mut i: usize) -> usize {
+    i += 1; // single literal — exact
+    i
+}
+
+fn explicit_grouping(mut h: f32, a: f32, b: f32) -> f32 {
+    // Parenthesizing states the grouping; `h + (a + b)` is the written
+    // semantics, not an accident of `+=` desugaring.
+    h += (a + b);
+    h
+}
+
+fn indexed(xs: &mut [f32], i: usize, w: f32) {
+    xs[i + 1] += w; // `+` inside brackets is indexing, not accumulation
+}
+
+fn call_args(mut acc: f32, a: f32, b: f32) -> f32 {
+    acc += f32::mul_add(a, b, 0.0); // `,`-separated args, no top-level sum
+    acc
+}
+
+fn left_associated(mut h: f32, a: f32, b: f32) -> f32 {
+    // The explicit form the rule pushes you toward: grouping is visible.
+    h = h + a + b;
+    h
+}

@@ -1,0 +1,15 @@
+// Fixture: reassociating compound float accumulation that must fire
+// `float-accum` in a bit-exact module.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs with
+// `FileCtx { bit_exact: true, .. }`.
+
+fn objective(grad_norm_sq: f32, loss: f32, lr: f32) -> f32 {
+    let mut h = 0.0f32;
+    h += grad_norm_sq * lr + loss / lr; // line 8: fires (RHS is a sum)
+    h
+}
+
+fn drift(mut x: f64, a: f64, b: f64, c: f64) -> f64 {
+    x -= a - b + c; // line 13: fires (top-level - and +)
+    x
+}

@@ -1,0 +1,27 @@
+// Fixture: NaN-safe orderings that must NOT fire `nan-ordering`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn select_threshold(mut scores: Vec<f32>) -> f32 {
+    scores.sort_by(f32::total_cmp);
+    scores[scores.len() / 2]
+}
+
+fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn partial_without_unwrap(a: f32, b: f32) -> Option<std::cmp::Ordering> {
+    // partial_cmp alone is fine — only the `.unwrap()`/`.expect()` chain
+    // erases the NaN case.
+    a.partial_cmp(&b)
+}
+
+fn mentioned_in_comment_only() {
+    // a.partial_cmp(b).unwrap() inside a comment never fires
+    let _s = "a.partial_cmp(b).unwrap() inside a string never fires";
+}
+
+fn justified(mut xs: Vec<f32>) {
+    // hs-lint: allow(nan-ordering, "inputs are validated finite at the API boundary")
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,17 @@
+// Fixture: NaN-unsafe comparator chains that must fire `nan-ordering`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn select_threshold(mut scores: Vec<f32>) -> f32 {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: fires
+    scores[scores.len() / 2]
+}
+
+fn best(xs: &[f64]) -> f64 {
+    xs.iter()
+        .cloned()
+        .max_by(|a, b| {
+            a.partial_cmp(b) // line 13: chain is split across lines
+                .expect("comparable")
+        })
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,29 @@
+// Fixture: deterministic equivalents that must NOT fire `nondeterminism`,
+// even with `FileCtx { bit_exact: true, .. }`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+fn tally(ids: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn distinct(ids: &[u32]) -> BTreeSet<u32> {
+    ids.iter().copied().collect()
+}
+
+fn elapsed_between(start: Instant, end: Instant) -> f64 {
+    // Holding or subtracting Instants someone else produced is fine — only
+    // `Instant::now()` / `SystemTime::now()` reads the wall clock.
+    end.duration_since(start).as_secs_f64()
+}
+
+fn simulated_time(seed: u64, round: u64) -> u64 {
+    // HashMap::new() mentioned in a comment never fires
+    seed.wrapping_mul(0x9E37_79B9).wrapping_add(round)
+}

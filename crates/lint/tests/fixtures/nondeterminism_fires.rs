@@ -1,0 +1,27 @@
+// Fixture: nondeterminism sources that must fire in a bit-exact module.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs with
+// `FileCtx { bit_exact: true, .. }`.
+
+use std::collections::{HashMap, HashSet}; // line 5: fires twice
+
+fn stamp_round(history: &mut Vec<u64>) {
+    let t = std::time::Instant::now(); // line 8: fires
+    history.push(t.elapsed().as_nanos() as u64);
+}
+
+fn wall_clock_epoch() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now() // line 14: fires
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}
+
+fn tally(ids: &[u32]) -> HashMap<u32, u32> {
+    // line 20 above: HashMap in the return type fires
+    let mut counts = HashMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,33 @@
+// Fixture: lock usage that must NOT fire `raw-lock`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+use hs_parallel::sync;
+use std::sync::{Condvar, Mutex};
+
+fn read_counter(m: &Mutex<u64>) -> u64 {
+    *sync::lock(m)
+}
+
+fn drain(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Vec<u32> {
+    let mut guard = sync::lock(m);
+    while guard.is_empty() {
+        guard = sync::wait(cv, guard);
+    }
+    std::mem::take(&mut *guard)
+}
+
+fn pending_wait_is_not_a_condvar(p: &Pending) -> Result<Output, Error> {
+    // A no-argument `.wait()` (serve's `Pending::wait()`) returns a Result
+    // that is legitimately unwrapped — the rule only matches the condvar
+    // shape `.wait(guard)` with a non-empty argument list.
+    p.wait().unwrap()
+}
+
+fn try_lock_is_out_of_scope(m: &Mutex<u64>) -> u64 {
+    // `try_lock` failure means contention, not poison; handling it
+    // explicitly is a different idiom the rule does not police.
+    match m.try_lock() {
+        Ok(g) => *g,
+        Err(_) => 0,
+    }
+}

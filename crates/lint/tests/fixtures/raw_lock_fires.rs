@@ -1,0 +1,16 @@
+// Fixture: poison-prone raw lock usage that must fire `raw-lock`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+use std::sync::{Condvar, Mutex};
+
+fn read_counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() // line 7: fires
+}
+
+fn drain(m: &Mutex<Vec<u32>>, cv: &Condvar) -> Vec<u32> {
+    let mut guard = m.lock().expect("not poisoned"); // line 11: fires
+    while guard.is_empty() {
+        guard = cv.wait(guard).unwrap(); // line 13: fires (condvar wait)
+    }
+    std::mem::take(&mut *guard)
+}

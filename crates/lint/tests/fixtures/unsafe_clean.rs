@@ -1,0 +1,36 @@
+// Fixture: documented `unsafe` that must NOT fire `undocumented-unsafe`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn read_first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // first element is in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Adds `v` through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads and writes of one `f32` and properly
+/// aligned; no other reference to `*p` may exist for the duration.
+unsafe fn raw_add(p: *mut f32, v: f32) {
+    // SAFETY: caller upholds the `# Safety` contract above.
+    unsafe { *p += v }
+}
+
+fn dispatch(kind: u8, p: *const f32) -> f32 {
+    match kind {
+        // SAFETY: callers pass pointers produced by `as_ptr` on live slices.
+        0 => unsafe { *p },
+        _ => 0.0,
+    }
+}
+
+fn first_inner_line_style(p: *const f32) -> f32 {
+    unsafe {
+        // SAFETY: justification on the first line inside the block is
+        // accepted for blocks (the gemm dispatch style).
+        *p
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: undocumented `unsafe` that must fire `undocumented-unsafe`.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn read_first(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr() } // line 5: block with no justification
+}
+
+unsafe fn raw_add(p: *mut f32, v: f32) {
+    // line 8 fires: no rustdoc contract section, no justification comment
+    *p += v;
+}
+
+/// Doc comment that talks about speed, not the caller's contract.
+unsafe fn documented_but_not_about_the_contract(p: *const u8) -> u8 {
+    // line 14 fires: rustdoc without the conventional contract section
+    *p
+}

@@ -1,0 +1,46 @@
+//! Self-lint: the workspace must be clean under its own rules.
+//!
+//! This is the test-suite twin of the CI `hs-lint --check` gate: every
+//! `.rs` file in the workspace (fixtures excluded) is linted, and any
+//! active finding fails with the same `path:line: [rule] message` line the
+//! CLI prints, so the failure is actionable without re-running anything.
+
+use hs_lint::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_its_own_rules() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/lint lives two levels under the workspace root");
+    let report = lint_workspace(&root).expect("walking the workspace");
+
+    let active: Vec<String> = report
+        .active()
+        .map(|(path, f)| format!("{path}:{}: [{}] {}", f.line, f.rule.name(), f.message))
+        .collect();
+    assert!(
+        active.is_empty(),
+        "the workspace violates its own invariants:\n{}",
+        active.join("\n")
+    );
+
+    // Sanity-check the walk actually covered the tree: a path bug that
+    // scanned an empty directory would otherwise pass vacuously.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — the workspace walk looks broken",
+        report.files_scanned
+    );
+
+    // Every suppression the walk recorded carries a written reason (the
+    // parser drops reason-less allows, so this pins that contract end to
+    // end).
+    for (path, f) in report.suppressed() {
+        let reason = f.suppressed.as_deref().unwrap_or("");
+        assert!(
+            !reason.is_empty(),
+            "{path}:{}: suppressed finding without a reason",
+            f.line
+        );
+    }
+}

@@ -988,11 +988,38 @@ mod tests {
         let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 8, 1, 1]);
         let y = shuffle.forward(&x, false);
         let mut sorted: Vec<f32> = y.as_slice().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f32::total_cmp);
         assert_eq!(sorted, x.as_slice());
         // backward applies the inverse permutation
         let back = shuffle.backward(&y);
         assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn channel_shuffle_carries_nan_inputs_without_panicking() {
+        // Regression for the PR 4 denoise class: this test's permutation
+        // check used to sort with `partial_cmp(..).unwrap()`, which panics
+        // on the first NaN — `total_cmp` gives NaN a defined (last) rank.
+        let mut shuffle = ChannelShuffle::new(2);
+        let mut vals: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        vals[3] = f32::NAN;
+        let x = Tensor::from_vec(vals, &[1, 8, 1, 1]);
+        let y = shuffle.forward(&x, false);
+        let mut sorted: Vec<f32> = y.as_slice().to_vec();
+        sorted.sort_by(f32::total_cmp);
+        assert!(
+            sorted[7].is_nan(),
+            "positive NaN sorts last under total_cmp"
+        );
+        assert_eq!(&sorted[..7], &[0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 7.0]);
+        // the permutation and its inverse carry the NaN payload through
+        let back = shuffle.backward(&y);
+        assert!(back.as_slice()[3].is_nan());
+        for (i, (&b, &orig)) in back.as_slice().iter().zip(x.as_slice()).enumerate() {
+            if i != 3 {
+                assert_eq!(b, orig);
+            }
+        }
     }
 
     #[test]

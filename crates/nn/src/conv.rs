@@ -47,6 +47,7 @@
 //! branches were removed: they broke NaN/Inf propagation.)
 
 use crate::{Layer, Param, ParamStore};
+use hs_parallel::sync;
 use hs_tensor::gemm::NR;
 use hs_tensor::{
     depthwise_conv2d, gemm, gemm_acc, gemm_acc_q, gemm_batch_cyclic_acc_strided_q,
@@ -253,14 +254,14 @@ fn batched_ohw_max(m: usize, k: usize) -> usize {
     }
     let class = shape_class(m, k);
     let table = CROSSOVER_TABLE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(&th) = table.lock().unwrap().get(&class) {
+    if let Some(&th) = sync::lock(table).get(&class) {
         return th;
     }
     // probe outside the lock (it runs GEMMs that may fan out over the pool);
     // a racing thread probing the same class just overwrites with its own
     // measurement of the same crossover
     let th = probe_crossover(m, k);
-    table.lock().unwrap().insert(class, th);
+    sync::lock(table).insert(class, th);
     th
 }
 
@@ -273,8 +274,7 @@ pub fn batched_gemm_crossovers() -> Vec<(usize, usize, usize)> {
     let mut out: Vec<(usize, usize, usize)> = CROSSOVER_TABLE
         .get()
         .map(|t| {
-            t.lock()
-                .unwrap()
+            sync::lock(t)
                 .iter()
                 .map(|(&(mc, kc), &th)| (1usize << mc, 1usize << kc, th))
                 .collect()

@@ -71,7 +71,7 @@ impl TaskGroup {
     }
 
     fn task_finished(&self, panic: Option<PanicPayload>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = sync::lock(&self.state);
         state.pending -= 1;
         if state.panic.is_none() {
             state.panic = panic;
@@ -124,12 +124,12 @@ impl Pool {
     fn worker_loop(&self) {
         loop {
             let task = {
-                let mut queue = self.queue.lock().unwrap();
+                let mut queue = sync::lock(&self.queue);
                 loop {
                     if let Some(task) = queue.pop_front() {
                         break task;
                     }
-                    queue = self.work_ready.wait(queue).unwrap();
+                    queue = sync::wait(&self.work_ready, queue);
                 }
             };
             task.run();
@@ -137,12 +137,12 @@ impl Pool {
     }
 
     fn push(&self, task: QueuedTask) {
-        self.queue.lock().unwrap().push_back(task);
+        sync::lock(&self.queue).push_back(task);
         self.work_ready.notify_one();
     }
 
     fn try_pop(&self) -> Option<QueuedTask> {
-        self.queue.lock().unwrap().pop_front()
+        sync::lock(&self.queue).pop_front()
     }
 }
 
@@ -228,7 +228,7 @@ impl<'scope> Scope<'scope> {
             return;
         }
         {
-            let mut state = self.group.state.lock().unwrap();
+            let mut state = sync::lock(&self.group.state);
             state.pending += 1;
         }
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
@@ -282,9 +282,9 @@ where
         while let Some(task) = pool.try_pop() {
             task.run();
         }
-        let mut state = s.group.state.lock().unwrap();
+        let mut state = sync::lock(&s.group.state);
         while state.pending > 0 {
-            state = s.group.done.wait(state).unwrap();
+            state = sync::wait(&s.group.done, state);
         }
         if let Some(payload) = state.panic.take() {
             drop(state);

@@ -27,6 +27,7 @@ mod tests {
         let m = Arc::new(Mutex::new(7));
         let m2 = Arc::clone(&m);
         let _ = std::thread::spawn(move || {
+            // hs-lint: allow(raw-lock, "this test deliberately panics while holding to poison the lock")
             let _guard = m2.lock().unwrap();
             panic!("poison the lock");
         })

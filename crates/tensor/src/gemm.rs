@@ -241,6 +241,8 @@ fn isa() -> Isa {
 /// floats, rows `b[p*ldb .. p*ldb+NR]` for `p < kc` are in bounds,
 /// `out` rows `out[i*ldc .. i*ldc+NR]` for `i < MR` are in bounds, and
 /// `ep`'s scale/shift pointers (when present) are valid for `MR` reads.
+/// There is **no alignment precondition**: every vector access is an
+/// unaligned `loadu`/`storeu`, so any 4-byte-aligned `f32` slice works.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn kernel_avx512_direct(
@@ -316,7 +318,9 @@ unsafe fn kernel_avx512_direct(
 ///
 /// # Safety
 ///
-/// Same contract as [`kernel_avx512_direct`], requiring `avx2` and `fma`.
+/// Same contract as [`kernel_avx512_direct`] — bounds as documented there,
+/// no alignment requirement beyond `f32` (unaligned `loadu`/`storeu`
+/// throughout) — requiring the `avx2` and `fma` ISA extensions instead.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn kernel_avx2_direct(

@@ -34,7 +34,11 @@ struct CountingAllocator;
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every operation is forwarded verbatim to `System` (which upholds
+// the GlobalAlloc contract); the only added behaviour is lock-free atomic
+// bookkeeping, which cannot allocate or re-enter the allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller's layout contract is passed through to `System` as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
@@ -44,6 +48,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         ptr
     }
 
+    // SAFETY: caller's ptr/layout contract is passed through to `System`
+    // as-is; the counter updates after freeing touch no freed memory.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);

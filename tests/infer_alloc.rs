@@ -29,22 +29,34 @@ struct CountingAlloc;
 // behaviour is bumping a thread-local counter, which cannot re-enter the
 // allocator (`Cell<u64>` with const init performs no allocation).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller's layout contract is passed through to `System` as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same layout the caller vouched for, forwarded unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller's layout contract is passed through to `System` as-is.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same layout the caller vouched for, forwarded unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller's ptr/layout contract is passed through to `System`
+    // as-is.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same ptr/layout the caller vouched for, forwarded
+        // unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller's ptr/layout contract is passed through to `System`
+    // as-is.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same ptr/layout the caller vouched for, forwarded
+        // unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

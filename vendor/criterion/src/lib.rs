@@ -303,7 +303,9 @@ impl Bencher {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: a NaN sample (e.g. a zero-duration clock artefact fed
+        // through a ratio) must not panic the stats pass
+        sorted.sort_by(f64::total_cmp);
         Some((
             sorted[0],
             sorted[sorted.len() / 2],

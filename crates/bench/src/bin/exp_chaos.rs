@@ -12,15 +12,21 @@
 //! `docs/PERF.md`.
 //!
 //! ```text
-//! exp_chaos [--quick | --tiny] [--json-out PATH]
+//! exp_chaos [--quick | --tiny] [--json-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! `--tiny` runs in seconds (the CI smoke); `--quick` in minutes; the
 //! default is `--quick`. Identical seeds reproduce the FL side of the
 //! report bit-for-bit; serving latency/retry numbers vary with scheduling.
+//!
+//! When tracing is on (`HS_TRACE=1`), the whole study — FL round phases,
+//! serving request lifecycles, supervisor instants — is captured and
+//! written as a Chrome trace-event file (open it in Perfetto or
+//! `chrome://tracing`) to `--trace-out` (default `target/chaos-trace.json`).
 
 use hs_bench::experiments::{chaos_study, ChaosConfig};
 use hs_bench::json_out_path;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,5 +103,27 @@ fn main() {
     if let Some(path) = json_out_path(&args) {
         serde::json::write_file(&path, &report).expect("failed to write --json-out file");
         println!("wrote chaos report to {}", path.display());
+    }
+
+    if hs_obs::trace::enabled() {
+        let path = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .map(|i| {
+                PathBuf::from(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| panic!("--trace-out requires a path argument")),
+                )
+            })
+            .unwrap_or_else(|| PathBuf::from("target/chaos-trace.json"));
+        let snapshot = hs_obs::trace::snapshot();
+        let events = hs_obs::export::write_chrome_trace(&path, &snapshot)
+            .expect("failed to write the Chrome trace");
+        println!(
+            "wrote Chrome trace to {} ({events} events, {} records, {} dropped)",
+            path.display(),
+            snapshot.total_records(),
+            snapshot.total_dropped(),
+        );
     }
 }

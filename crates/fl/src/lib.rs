@@ -28,6 +28,7 @@ mod client;
 mod cohort;
 mod config;
 mod eval;
+mod phases;
 mod simulation;
 mod source;
 mod trainer;

@@ -369,6 +369,10 @@ impl FlSimulation {
     /// inline, so a round never oversubscribes the machine.
     pub fn run_round(&mut self) -> RoundStats {
         let round = self.rounds_run;
+        // tracing never reads the clock *here* — this module is bit-exact
+        // and replayed; all timestamping lives inside the phase guards
+        // (see `crate::phases`), which are inert unless tracing is on
+        let _round_span = crate::phases::phase("fl_round", round);
         let sample_seed = self.config.seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let k = self.config.clients_per_round;
         let cohort_size = match &self.faults {
@@ -376,6 +380,7 @@ impl FlSimulation {
                 .clamp(k, self.config.num_clients),
             None => k,
         };
+        let draw_span = crate::phases::phase("cohort_draw", round);
         let strata = match self.cohort_strategy {
             CohortStrategy::DeviceStratified => self.backend.strata(),
             _ => Vec::new(),
@@ -383,6 +388,7 @@ impl FlSimulation {
         let selected =
             self.cohort_strategy
                 .sample(self.config.num_clients, cohort_size, &strata, sample_seed);
+        drop(draw_span);
 
         // --- simulate the cohort's system behaviour and decide who trains
         let mut dropped_crash = 0usize;
@@ -393,6 +399,7 @@ impl FlSimulation {
         let mut deadline = 0.0f32;
         // owned only on the fault path; fault-free rounds train `selected`
         // as-is without cloning it
+        let triage_span = crate::phases::phase("fault_triage", round);
         let to_train_owned: Option<Vec<usize>> = if let Some((injector, policy)) = &self.faults {
             // one unit of work per sample per local epoch; sample counts are
             // O(1) metadata — no dataset is materialized to cost the cohort
@@ -429,11 +436,13 @@ impl FlSimulation {
             None
         };
         let to_train: &[usize] = to_train_owned.as_deref().unwrap_or(&selected);
+        drop(triage_span);
 
         let updates = Mutex::new(Vec::<ClientUpdate>::with_capacity(to_train.len()));
         let workers = hs_parallel::num_threads().min(to_train.len()).max(1);
         let chunk_len = to_train.len().div_ceil(workers).max(1);
 
+        let train_span = crate::phases::phase("client_train", round);
         hs_parallel::scope(|scope| {
             for chunk in to_train.chunks(chunk_len) {
                 let updates = &updates;
@@ -474,11 +483,13 @@ impl FlSimulation {
         });
 
         let mut updates = sync::into_inner(updates);
+        drop(train_span);
         // deterministic aggregation order regardless of thread interleaving
         updates.sort_by_key(|u| u.client_id);
 
         // inject the marked corruptions into the delivered updates, then
         // screen before they can reach aggregation
+        let screen_span = crate::phases::phase("screen", round);
         let norm_bound_factor = if let Some((injector, policy)) = &self.faults {
             for &(cid, kind) in &corrupt_marks {
                 if let Some(u) = updates.iter_mut().find(|u| u.client_id == cid) {
@@ -495,7 +506,9 @@ impl FlSimulation {
             screen_updates_sharded(&self.global_weights, updates, norm_bound_factor);
         let completed = accepted.len();
         let rejected_corrupt = rejected.len();
+        drop(screen_span);
 
+        let aggregate_span = crate::phases::phase("aggregate", round);
         let (mean_train_loss, mean_init_loss) = if accepted.is_empty() {
             // nothing survived: the global model and the EMA stand
             (f32::NAN, f32::NAN)
@@ -522,6 +535,7 @@ impl FlSimulation {
                 .aggregate_owned(&self.global_weights, accepted);
             (train, init)
         };
+        drop(aggregate_span);
         if mean_train_loss.is_finite() {
             // paper Eq. 1: L_EMA ← α · L_cur + (1 − α) · L_EMA
             self.loss_ema = if self.loss_ema.is_nan() {

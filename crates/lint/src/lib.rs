@@ -46,6 +46,27 @@ pub const BIT_EXACT_MODULES: &[&str] = &[
 /// recovery.
 pub const RAW_LOCK_EXEMPT: &[&str] = &["crates/parallel/src/sync.rs"];
 
+/// The sanctioned wall-clock homes: the only places allowed to call
+/// `Instant::now()` / `SystemTime::now()` outside the bit-exact modules
+/// (which ban the clock outright). Entries ending in `/` are directory
+/// prefixes; the rest are exact files.
+///
+/// `crates/obs/` is the canonical home — it anchors every timestamp to one
+/// process epoch so traces from different threads compare. The serving
+/// engine, benches, examples, integration tests and vendored stand-ins
+/// predate `hs-obs` and legitimately measure wall-clock (deadlines,
+/// batching windows, bench timing); new code elsewhere should read time
+/// through `hs_obs::now_ns()`.
+pub const WALL_CLOCK_SANCTIONED: &[&str] = &[
+    "crates/obs/",
+    "crates/serve/",
+    "crates/bench/",
+    "examples/",
+    "tests/",
+    "vendor/",
+    "crates/nn/src/conv.rs",
+];
+
 /// Directories never walked: build output, VCS metadata, and this crate's
 /// own rule fixtures (which contain deliberate violations).
 const SKIP_DIRS: &[&str] = &["target", ".git"];
@@ -142,6 +163,13 @@ pub fn ctx_for(rel_path: &str) -> FileCtx {
     FileCtx {
         bit_exact: BIT_EXACT_MODULES.contains(&rel_path),
         raw_lock_exempt: RAW_LOCK_EXEMPT.contains(&rel_path),
+        wall_clock_sanctioned: WALL_CLOCK_SANCTIONED.iter().any(|s| {
+            if let Some(prefix) = s.strip_suffix('/') {
+                rel_path.starts_with(prefix) && rel_path.as_bytes().get(prefix.len()) == Some(&b'/')
+            } else {
+                rel_path == *s
+            }
+        }),
     }
 }
 
@@ -229,5 +257,25 @@ mod tests {
         assert!(!ctx_for("crates/fl/src/trainer.rs").bit_exact);
         assert!(ctx_for("crates/parallel/src/sync.rs").raw_lock_exempt);
         assert!(!ctx_for("crates/serve/src/sync.rs").raw_lock_exempt);
+    }
+
+    #[test]
+    fn wall_clock_sanction_matches_prefixes_and_exact_files() {
+        // directory prefixes cover everything underneath
+        assert!(ctx_for("crates/obs/src/clock.rs").wall_clock_sanctioned);
+        assert!(ctx_for("crates/serve/src/batcher.rs").wall_clock_sanctioned);
+        assert!(ctx_for("crates/serve/tests/serving.rs").wall_clock_sanctioned);
+        assert!(ctx_for("crates/bench/src/serving_load.rs").wall_clock_sanctioned);
+        assert!(ctx_for("examples/serve_quickstart.rs").wall_clock_sanctioned);
+        assert!(ctx_for("tests/serving_e2e.rs").wall_clock_sanctioned);
+        assert!(ctx_for("vendor/criterion/src/lib.rs").wall_clock_sanctioned);
+        // one exact-file exemption
+        assert!(ctx_for("crates/nn/src/conv.rs").wall_clock_sanctioned);
+        // prefixes don't leak into sibling names or other crates
+        assert!(!ctx_for("crates/nn/src/gemm.rs").wall_clock_sanctioned);
+        assert!(!ctx_for("crates/fl/src/phases.rs").wall_clock_sanctioned);
+        assert!(!ctx_for("crates/parallel/src/lib.rs").wall_clock_sanctioned);
+        assert!(!ctx_for("crates/serve2/src/lib.rs").wall_clock_sanctioned);
+        assert!(!ctx_for("tests2/foo.rs").wall_clock_sanctioned);
     }
 }

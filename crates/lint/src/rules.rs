@@ -10,7 +10,12 @@
 //!    other thread (the PR 6 class). Use `hs_parallel::sync::{lock, wait,
 //!    wait_timeout}`.
 //! 3. **nondeterminism** — wall clocks and `HashMap`/`HashSet` in the
-//!    bit-exact modules break the replay contract (`docs/SCALE.md`).
+//!    bit-exact modules break the replay contract (`docs/SCALE.md`). Since
+//!    the `hs-obs` tracing crate landed, the wall-clock half also applies
+//!    *outside* bit-exact modules: `Instant::now`/`SystemTime::now` are
+//!    only legal in the sanctioned wall-clock homes
+//!    (`hs_lint::WALL_CLOCK_SANCTIONED`) — everything else should read
+//!    time through `hs_obs` so traces share one process anchor.
 //! 4. **float-accum** — `acc += a + b` groups the right-hand side first and
 //!    diverges from the left-associated chain `acc + a + b` in the last ULP
 //!    (the PR 8 tree-reduce trap). Only fires when the RHS is itself a
@@ -90,6 +95,11 @@ pub struct FileCtx {
     /// the helpers themselves are the one place allowed to touch raw
     /// `lock()` results).
     pub raw_lock_exempt: bool,
+    /// File lives in a sanctioned wall-clock home
+    /// (`hs_lint::WALL_CLOCK_SANCTIONED`): the clock half of rule 3 is
+    /// skipped there. Ignored for bit-exact files, where the clock is
+    /// banned outright.
+    pub wall_clock_sanctioned: bool,
 }
 
 /// Lints one file's source text under `ctx`, returning every finding with
@@ -104,8 +114,12 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
         raw_lock(&lexed.toks, &mut findings);
     }
     if ctx.bit_exact {
-        nondeterminism(&lexed.toks, &mut findings);
+        nondeterminism(&lexed.toks, true, &mut findings);
         float_accum(&lexed.toks, &mut findings);
+    } else if !ctx.wall_clock_sanctioned {
+        // outside both bit-exact modules and the sanctioned wall-clock
+        // homes, only the clock half of rule 3 applies
+        nondeterminism(&lexed.toks, false, &mut findings);
     }
     undocumented_unsafe(&lexed.toks, &lines, &mut findings);
 
@@ -293,10 +307,14 @@ fn raw_lock(toks: &[Tok], out: &mut Vec<Finding>) {
 // rule 3: nondeterminism (bit-exact modules only)
 // ---------------------------------------------------------------------------
 
-fn nondeterminism(toks: &[Tok], out: &mut Vec<Finding>) {
+/// `bit_exact` selects the rule's scope: in bit-exact modules both halves
+/// (hash-order collections and wall clocks) fire with the replay-contract
+/// message; elsewhere only the clock half fires, pointing the author at
+/// the sanctioned wall-clock homes (`hs-obs` and friends).
+fn nondeterminism(toks: &[Tok], bit_exact: bool, out: &mut Vec<Finding>) {
     for i in 0..toks.len() {
         let t = &toks[i];
-        if is_ident(t, "HashMap") || is_ident(t, "HashSet") {
+        if bit_exact && (is_ident(t, "HashMap") || is_ident(t, "HashSet")) {
             out.push(Finding {
                 rule: Rule::Nondeterminism,
                 line: t.line,
@@ -313,15 +331,26 @@ fn nondeterminism(toks: &[Tok], out: &mut Vec<Finding>) {
             && toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
             && toks.get(i + 2).is_some_and(|n| is_ident(n, "now"))
         {
-            out.push(Finding {
-                rule: Rule::Nondeterminism,
-                line: t.line,
-                message: format!(
+            let message = if bit_exact {
+                format!(
                     "`{}::now()` in a bit-exact module: wall-clock reads differ across runs, \
                      which breaks the bit-identical replay contract (docs/SCALE.md); \
                      derive simulated time from seeds or take it as an input",
                     t.text
-                ),
+                )
+            } else {
+                format!(
+                    "`{}::now()` outside a sanctioned wall-clock home: raw clock reads \
+                     scatter timestamps across incomparable anchors; read time through \
+                     `hs_obs::now_ns()` / `hs_obs::trace` instead (the sanctioned homes \
+                     are listed in `hs_lint::WALL_CLOCK_SANCTIONED`)",
+                    t.text
+                )
+            };
+            out.push(Finding {
+                rule: Rule::Nondeterminism,
+                line: t.line,
+                message,
                 suppressed: None,
             });
         }
@@ -540,9 +569,32 @@ mod tests {
             &FileCtx {
                 bit_exact: true,
                 raw_lock_exempt: false,
+                wall_clock_sanctioned: false,
             },
         );
         assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_sanctioned_homes_and_not_inside() {
+        let src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        let f = active(src, &FileCtx::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Nondeterminism);
+        assert!(f[0].message.contains("hs_obs"), "message must name the fix");
+        let sanctioned = FileCtx {
+            bit_exact: false,
+            raw_lock_exempt: false,
+            wall_clock_sanctioned: true,
+        };
+        assert!(active(src, &sanctioned).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_stay_legal_outside_bit_exact_modules() {
+        let src =
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        assert!(active(src, &FileCtx::default()).is_empty());
     }
 
     #[test]
@@ -550,6 +602,7 @@ mod tests {
         let ctx = FileCtx {
             bit_exact: true,
             raw_lock_exempt: false,
+            wall_clock_sanctioned: false,
         };
         let src = "fn f(o: &mut f32, w: f32, v: f32, i: &mut usize, xs: &[f32]) {\n\
                    *o += w * v;\n\

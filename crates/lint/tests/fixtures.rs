@@ -19,6 +19,13 @@ fn fixture(name: &str) -> String {
 const BIT_EXACT: FileCtx = FileCtx {
     bit_exact: true,
     raw_lock_exempt: false,
+    wall_clock_sanctioned: false,
+};
+
+const WALL_CLOCK_SANCTIONED: FileCtx = FileCtx {
+    bit_exact: false,
+    raw_lock_exempt: false,
+    wall_clock_sanctioned: true,
 };
 
 fn active(src: &str, ctx: &FileCtx) -> Vec<Finding> {
@@ -70,6 +77,7 @@ fn raw_lock_is_exempt_inside_the_sync_helper_module() {
     let ctx = FileCtx {
         bit_exact: false,
         raw_lock_exempt: true,
+        wall_clock_sanctioned: false,
     };
     assert_findings(&active(&fixture("raw_lock_fires.rs"), &ctx), &[]);
 }
@@ -98,11 +106,58 @@ fn nondeterminism_fires_on_hash_collections_and_wall_clocks() {
 }
 
 #[test]
-fn nondeterminism_only_applies_to_bit_exact_modules() {
-    // Outside the bit-exact list the same source is legal.
+fn nondeterminism_hash_half_only_applies_to_bit_exact_modules() {
+    // Outside the bit-exact list the hash-order findings disappear; the
+    // wall-clock half keeps firing unless the path is a sanctioned home.
     assert_findings(
         &active(&fixture("nondeterminism_fires.rs"), &FileCtx::default()),
+        &[
+            (Rule::Nondeterminism, 8),  // Instant::now()
+            (Rule::Nondeterminism, 14), // SystemTime::now()
+        ],
+    );
+    // In a sanctioned home the same source is fully legal.
+    assert_findings(
+        &active(&fixture("nondeterminism_fires.rs"), &WALL_CLOCK_SANCTIONED),
         &[],
+    );
+}
+
+#[test]
+fn wall_clock_fires_on_raw_reads_outside_sanctioned_homes() {
+    let found = active(&fixture("wall_clock_fires.rs"), &FileCtx::default());
+    assert_findings(
+        &found,
+        &[(Rule::Nondeterminism, 6), (Rule::Nondeterminism, 12)],
+    );
+    assert!(
+        found[0].message.contains("hs_obs"),
+        "message must point at the sanctioned replacement"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_is_legal_inside_a_sanctioned_home() {
+    assert_findings(
+        &active(&fixture("wall_clock_fires.rs"), &WALL_CLOCK_SANCTIONED),
+        &[],
+    );
+}
+
+#[test]
+fn wall_clock_stays_silent_on_obs_reads_and_instant_arithmetic() {
+    assert_findings(
+        &active(&fixture("wall_clock_clean.rs"), &FileCtx::default()),
+        &[],
+    );
+    // the justified read surfaces as suppressed, not dropped
+    let all = lint_source(&fixture("wall_clock_clean.rs"), &FileCtx::default());
+    let suppressed: Vec<&Finding> = all.iter().filter(|f| f.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, Rule::Nondeterminism);
+    assert_eq!(
+        suppressed[0].suppressed.as_deref(),
+        Some("one-shot anchor captured at startup")
     );
 }
 

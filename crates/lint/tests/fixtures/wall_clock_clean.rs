@@ -1,0 +1,32 @@
+// Fixture: clock usage that stays clean outside the sanctioned homes.
+// Not compiled — lexed by crates/lint/tests/fixtures.rs with the default
+// (unsanctioned, non-bit-exact) context.
+
+/// Reading time through the observability crate is always legal: hs-obs
+/// anchors every timestamp to one process epoch, so timestamps from
+/// different threads land on one timeline.
+fn stamp() -> u64 {
+    hs_obs::now_ns()
+}
+
+/// Opening a trace span is the preferred way to time a region.
+fn timed_region() {
+    let _span = hs_obs::trace::span("region");
+    work();
+}
+
+/// `Instant` *values* are fine — only the `::now()` read is the footgun —
+/// so deadline arithmetic on instants handed in by a sanctioned caller
+/// lints clean.
+fn remaining(deadline: std::time::Instant, now: std::time::Instant) -> std::time::Duration {
+    deadline.saturating_duration_since(now)
+}
+
+// A suppressed read: a written justification keeps the gate green while
+// staying visible in the JSON report.
+fn justified() -> std::time::Instant {
+    // hs-lint: allow(nondeterminism, "one-shot anchor captured at startup")
+    std::time::Instant::now()
+}
+
+fn work() {}

@@ -1,0 +1,26 @@
+// Fixture: raw wall-clock reads that must fire OUTSIDE the sanctioned
+// wall-clock homes (FileCtx { wall_clock_sanctioned: false, bit_exact:
+// false }). Not compiled — lexed by crates/lint/tests/fixtures.rs.
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now(); // line 6: fires
+    t.elapsed().as_nanos() as u64
+}
+
+fn epoch_secs() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now() // line 12: fires
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}
+
+// HashMap stays legal here — only the clock half of the rule applies
+// outside bit-exact modules.
+fn tally(ids: &[u32]) -> std::collections::HashMap<u32, u32> {
+    let mut counts = std::collections::HashMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0) += 1;
+    }
+    counts
+}

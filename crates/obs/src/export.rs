@@ -1,0 +1,357 @@
+//! Exporters: byte-stable JSON, Chrome trace-event JSON, Prometheus text.
+//!
+//! All three render over the vendored `serde::json` writer. Registry
+//! exports iterate name-sorted maps and trace exports iterate tid-sorted
+//! rings, so rendering the same state twice produces identical bytes —
+//! the property the experiment reports and CI artifacts rely on.
+//!
+//! The Chrome trace output follows the [Trace Event Format]'s JSON-object
+//! flavour (`{"traceEvents": [...]}`): one `"M"` (metadata) event naming
+//! each thread, `"X"` (complete) events for spans with microsecond
+//! `ts`/`dur`, and `"i"` (instant) events with thread scope. Perfetto and
+//! `chrome://tracing` both load it. [`validate_chrome_trace`] checks the
+//! structural rules before anything is written to disk, and the root
+//! `tests/obs_trace.rs` pins them.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::path::Path;
+
+use serde::json::JsonValue;
+
+use crate::metrics::Registry;
+use crate::trace::TraceSnapshot;
+
+/// Renders a [`Registry`] snapshot as a byte-stable JSON object:
+/// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,max,p50,p95,p99}}}`.
+pub fn registry_json(registry: &Registry) -> JsonValue {
+    let counters = registry
+        .counters()
+        .into_iter()
+        .map(|(name, v)| (name, JsonValue::Num(v as f64)))
+        .collect();
+    let gauges = registry
+        .gauges()
+        .into_iter()
+        .map(|(name, v)| (name, JsonValue::Num(v as f64)))
+        .collect();
+    let histograms = registry
+        .histograms()
+        .into_iter()
+        .map(|(name, s)| {
+            (
+                name,
+                JsonValue::obj(vec![
+                    ("count", JsonValue::Num(s.count as f64)),
+                    ("sum", JsonValue::Num(s.sum as f64)),
+                    ("max", JsonValue::Num(s.max as f64)),
+                    ("p50", JsonValue::Num(s.p50 as f64)),
+                    ("p95", JsonValue::Num(s.p95 as f64)),
+                    ("p99", JsonValue::Num(s.p99 as f64)),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::obj(vec![
+        ("counters", JsonValue::Obj(counters)),
+        ("gauges", JsonValue::Obj(gauges)),
+        ("histograms", JsonValue::Obj(histograms)),
+    ])
+}
+
+fn micros(ns: u64) -> JsonValue {
+    JsonValue::Num(ns as f64 / 1000.0)
+}
+
+/// Renders a [`TraceSnapshot`] in Chrome trace-event JSON-object format.
+/// Spans become `"X"` (complete) events, instants (zero-duration records)
+/// become thread-scoped `"i"` events, and each thread gets a
+/// `thread_name` metadata event. `ts`/`dur` are microseconds on the
+/// process anchor timeline.
+pub fn chrome_trace(snapshot: &TraceSnapshot) -> JsonValue {
+    let mut events: Vec<JsonValue> = Vec::new();
+    for thread in &snapshot.threads {
+        events.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str("thread_name".to_string())),
+            ("ph", JsonValue::Str("M".to_string())),
+            ("pid", JsonValue::Num(1.0)),
+            ("tid", JsonValue::Num(thread.tid as f64)),
+            (
+                "args",
+                JsonValue::obj(vec![(
+                    "name",
+                    JsonValue::Str(format!("trace-thread-{}", thread.tid)),
+                )]),
+            ),
+        ]));
+        for r in &thread.records {
+            let args = JsonValue::obj(vec![
+                ("span_id", JsonValue::Num(r.span_id as f64)),
+                ("parent", JsonValue::Num(r.parent as f64)),
+                ("payload", JsonValue::Num(r.payload as f64)),
+            ]);
+            if r.t_start_ns == r.t_end_ns {
+                events.push(JsonValue::obj(vec![
+                    ("name", JsonValue::Str(r.name.to_string())),
+                    ("ph", JsonValue::Str("i".to_string())),
+                    ("s", JsonValue::Str("t".to_string())),
+                    ("pid", JsonValue::Num(1.0)),
+                    ("tid", JsonValue::Num(thread.tid as f64)),
+                    ("ts", micros(r.t_start_ns)),
+                    ("args", args),
+                ]));
+            } else {
+                events.push(JsonValue::obj(vec![
+                    ("name", JsonValue::Str(r.name.to_string())),
+                    ("ph", JsonValue::Str("X".to_string())),
+                    ("pid", JsonValue::Num(1.0)),
+                    ("tid", JsonValue::Num(thread.tid as f64)),
+                    ("ts", micros(r.t_start_ns)),
+                    ("dur", micros(r.t_end_ns.saturating_sub(r.t_start_ns))),
+                    ("args", args),
+                ]));
+            }
+        }
+    }
+    JsonValue::obj(vec![
+        ("traceEvents", JsonValue::Arr(events)),
+        ("displayTimeUnit", JsonValue::Str("ms".to_string())),
+    ])
+}
+
+fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn num_field(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    match field(obj, key) {
+        Some(JsonValue::Num(n)) => Ok(*n),
+        _ => Err(format!("event missing numeric \"{key}\"")),
+    }
+}
+
+fn str_field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+    match field(obj, key) {
+        Some(JsonValue::Str(s)) => Ok(s),
+        _ => Err(format!("event missing string \"{key}\"")),
+    }
+}
+
+/// Structurally validates a Chrome trace-event JSON value against the
+/// rules Perfetto's JSON importer enforces: a top-level object with a
+/// `traceEvents` array; every event an object with a non-empty string
+/// `name`, a known `ph` (`X`, `i`, or `M`), and numeric `pid`/`tid`;
+/// `X` events carry numeric `ts` and non-negative `dur`; `i` events carry
+/// numeric `ts` and a scope `s` in `{"t","p","g"}`. Returns the number of
+/// non-metadata events.
+pub fn validate_chrome_trace(trace: &JsonValue) -> Result<usize, String> {
+    let top = match trace {
+        JsonValue::Obj(fields) => fields,
+        _ => return Err("top level must be a JSON object".to_string()),
+    };
+    let events = match field(top, "traceEvents") {
+        Some(JsonValue::Arr(events)) => events,
+        _ => return Err("missing \"traceEvents\" array".to_string()),
+    };
+    let mut real_events = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ev = match ev {
+            JsonValue::Obj(fields) => fields,
+            _ => return Err(format!("event {i} is not an object")),
+        };
+        let ctx = |e: String| format!("event {i}: {e}");
+        let name = str_field(ev, "name").map_err(&ctx)?;
+        if name.is_empty() {
+            return Err(format!("event {i}: empty name"));
+        }
+        num_field(ev, "pid").map_err(&ctx)?;
+        num_field(ev, "tid").map_err(&ctx)?;
+        match str_field(ev, "ph").map_err(&ctx)? {
+            "X" => {
+                num_field(ev, "ts").map_err(&ctx)?;
+                let dur = num_field(ev, "dur").map_err(&ctx)?;
+                if dur.is_nan() || dur < 0.0 {
+                    return Err(format!("event {i}: negative or NaN dur {dur}"));
+                }
+                real_events += 1;
+            }
+            "i" => {
+                num_field(ev, "ts").map_err(&ctx)?;
+                let scope = str_field(ev, "s").map_err(&ctx)?;
+                if !matches!(scope, "t" | "p" | "g") {
+                    return Err(format!("event {i}: bad instant scope {scope:?}"));
+                }
+                real_events += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    Ok(real_events)
+}
+
+/// Validates and writes `snapshot` to `path` in Chrome trace-event
+/// format. Returns the number of events written. Validation failure (a
+/// bug in this crate, not the caller) surfaces as `InvalidData`.
+pub fn write_chrome_trace(path: &Path, snapshot: &TraceSnapshot) -> std::io::Result<usize> {
+    let trace = chrome_trace(snapshot);
+    let events = validate_chrome_trace(&trace)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    serde::json::write_file(path, &trace)?;
+    Ok(events)
+}
+
+/// Metric names may contain characters Prometheus forbids; map anything
+/// outside `[a-zA-Z0-9_:]` to `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a [`Registry`] in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms as
+/// summaries with `{quantile="…"}` labels plus `_sum`/`_count`/`_max`
+/// samples. This string is the payload the ROADMAP item-1 socket
+/// front-end will serve from its `/metrics` endpoint.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in registry.counters() {
+        let name = prom_name(&name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in registry.gauges() {
+        let name = prom_name(&name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, s) in registry.histograms() {
+        let name = prom_name(&name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", s.sum));
+        out.push_str(&format!("{name}_count {}\n", s.count));
+        out.push_str(&format!("{name}_max {}\n", s.max));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanRecord, ThreadTrace};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                dropped: 0,
+                records: vec![
+                    SpanRecord {
+                        span_id: 1,
+                        parent: 0,
+                        name: "request",
+                        t_start_ns: 1000,
+                        t_end_ns: 9000,
+                        payload: 7,
+                    },
+                    SpanRecord {
+                        span_id: 2,
+                        parent: 1,
+                        name: "queue_wait",
+                        t_start_ns: 1000,
+                        t_end_ns: 4000,
+                        payload: 7,
+                    },
+                    SpanRecord {
+                        span_id: 3,
+                        parent: 1,
+                        name: "brownout_enter",
+                        t_start_ns: 5000,
+                        t_end_ns: 5000,
+                        payload: 0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_is_byte_stable() {
+        let snap = sample_snapshot();
+        let trace = chrome_trace(&snap);
+        assert_eq!(validate_chrome_trace(&trace), Ok(3));
+        let text = trace.render();
+        assert_eq!(text, chrome_trace(&snap).render(), "render must be stable");
+        assert!(text.contains("\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ph\":\"M\""));
+        // 1000 ns → 1 µs; integral micros render without a fraction.
+        assert!(text.contains("\"ts\":1,\"dur\":8"), "got: {text}");
+        assert!(text.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace(&JsonValue::Arr(vec![])).is_err());
+        let no_events = JsonValue::obj(vec![("other", JsonValue::Null)]);
+        assert!(validate_chrome_trace(&no_events).is_err());
+        let bad_ph = JsonValue::obj(vec![(
+            "traceEvents",
+            JsonValue::Arr(vec![JsonValue::obj(vec![
+                ("name", JsonValue::Str("x".into())),
+                ("ph", JsonValue::Str("Q".into())),
+                ("pid", JsonValue::Num(1.0)),
+                ("tid", JsonValue::Num(1.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&bad_ph).is_err());
+        let missing_dur = JsonValue::obj(vec![(
+            "traceEvents",
+            JsonValue::Arr(vec![JsonValue::obj(vec![
+                ("name", JsonValue::Str("x".into())),
+                ("ph", JsonValue::Str("X".into())),
+                ("pid", JsonValue::Num(1.0)),
+                ("tid", JsonValue::Num(1.0)),
+                ("ts", JsonValue::Num(0.0)),
+            ])]),
+        )]);
+        assert!(validate_chrome_trace(&missing_dur).is_err());
+    }
+
+    #[test]
+    fn registry_json_and_prometheus_are_pinned() {
+        let r = Registry::new();
+        r.counter("served.total").add(3);
+        r.gauge("queue depth").set(-2);
+        let h = r.histogram("latency_us");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(
+            registry_json(&r).render(),
+            "{\"counters\":{\"served.total\":3},\"gauges\":{\"queue depth\":-2},\
+             \"histograms\":{\"latency_us\":{\"count\":100,\"sum\":5050,\"max\":100,\
+             \"p50\":51,\"p95\":95,\"p99\":99}}}"
+        );
+        let text = prometheus_text(&r);
+        assert_eq!(
+            text,
+            "# TYPE served_total counter\nserved_total 3\n\
+             # TYPE queue_depth gauge\nqueue_depth -2\n\
+             # TYPE latency_us summary\n\
+             latency_us{quantile=\"0.5\"} 51\n\
+             latency_us{quantile=\"0.95\"} 95\n\
+             latency_us{quantile=\"0.99\"} 99\n\
+             latency_us_sum 5050\nlatency_us_count 100\nlatency_us_max 100\n"
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! Streaming metrics: counters, gauges, log-bucketed histograms, and a
+//! named registry.
+//!
+//! The centrepiece is [`Histogram`]: a log-linear bucketed histogram
+//! (16 sub-buckets per power of two) with O(1) lock-free `record`,
+//! lock-free `merge`, and quantiles whose relative error is bounded by
+//! one sub-bucket width — at most `1/16` of the value, and exact below
+//! 16. It replaces the serving layer's "copy 65 536 samples and sort
+//! them on every snapshot" latency window: recording is a couple of
+//! relaxed `fetch_add`s, and a snapshot walks 976 fixed buckets instead
+//! of sorting.
+//!
+//! Quantiles use the **upper-bound convention**: `quantile(q)` returns
+//! the inclusive upper bound of the bucket containing the rank-`⌈q·n⌉`
+//! sample (clamped to the true maximum). The estimate therefore never
+//! under-reports a latency percentile, which is the conservative
+//! direction for SLO accounting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+/// A monotonically-increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Back to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins signed level (queue depth, active workers, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave, so a
+/// bucket's width is at most 1/16 of its lower bound.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Values 0..16 get exact unit buckets (indices 0..16); each octave
+/// `[2^e, 2^(e+1))` for `e in 4..=63` contributes 16 buckets. Total:
+/// 16 + 60·16 = 976.
+pub const NUM_BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index for a value. Exact (width 1) below 16; above that the
+/// value's top 4 bits after the leading one select a sub-bucket.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as u64; // e >= SUB_BITS
+    (((e - SUB_BITS as u64) << SUB_BITS) + (v >> (e - SUB_BITS as u64))) as usize
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB as usize {
+        return (idx as u64, idx as u64);
+    }
+    let shift = (idx as u64 >> SUB_BITS) - 1;
+    let m = idx as u64 - (shift << SUB_BITS);
+    let lower = m << shift;
+    let width = 1u64 << shift;
+    // `lower + (width - 1)`: the top bucket's upper bound is exactly
+    // u64::MAX, so adding `width` first would overflow.
+    (lower, lower + (width - 1))
+}
+
+/// A streaming log-bucketed histogram over `u64` samples.
+///
+/// `record` is wait-free (a few relaxed atomic adds); `merge` and
+/// quantile queries run concurrently with recording and observe a
+/// best-effort consistent view. Quantile error is bounded by one bucket
+/// width: the estimate `p` for a true value `v` satisfies
+/// `v <= p <= v + width(bucket(v))`, with `width <= v/16` for `v >= 16`
+/// and `width = 0` below 16.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram (allocates its 976 buckets once).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. O(1), wait-free, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (exact: `sum / count`). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / n as f64
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) under the upper-bound convention:
+    /// the inclusive upper bound of the bucket holding the sample of rank
+    /// `⌈q·n⌉`, clamped to [`Histogram::max`]. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_bounds(idx).1.min(self.max());
+            }
+        }
+        // Racing recorders can leave `count` ahead of the bucket sums for
+        // an instant; the max is the right answer for any tail rank.
+        self.max()
+    }
+
+    /// Adds `other`'s samples into `self` (bucket-wise; max via
+    /// `fetch_max`). Both histograms may keep recording concurrently.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Discards all samples.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary (used by the exporters).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Fixed summary of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Median estimate (upper-bound convention).
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named collection of metrics, the unit the exporters render. Names
+/// are sorted (`BTreeMap`) so every export is byte-stable.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use. The returned handle
+    /// can be cached; `inc`/`add` on it never touch the registry lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = crate::lock(&self.counters);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = crate::lock(&self.gauges);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = crate::lock(&self.histograms);
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// All counters, name-sorted, with current values.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        crate::lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges, name-sorted, with current levels.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        crate::lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms, name-sorted, summarised.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        crate::lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect()
+    }
+}
+
+/// The process-wide default registry. Library code that doesn't want to
+/// thread a [`Registry`] handle records here; exporters read it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_roundtrip() {
+        let mut probe: Vec<u64> = (0..2048).collect();
+        for e in 4..64u32 {
+            let base = 1u64 << e;
+            // `wrapping` so the top octave's last value is u64::MAX.
+            probe.extend([
+                base,
+                base + 1,
+                base + base / 2,
+                base.wrapping_mul(2).wrapping_sub(1),
+            ]);
+        }
+        probe.push(u64::MAX);
+        probe.sort_unstable();
+        let mut prev_idx = None;
+        for &v in &probe {
+            let idx = bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "idx {idx} for {v}");
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}] (idx {idx})");
+            // Relative width bound: width-1 <= lower/16 for log buckets.
+            assert!(hi - lo <= lo / SUB || v < SUB, "bucket too wide at {v}");
+            if let Some(p) = prev_idx {
+                assert!(idx >= p, "indices must be monotone in value");
+            }
+            prev_idx = Some(idx);
+        }
+        // Adjacent buckets tile the line exactly.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi.wrapping_add(1), lo_next, "gap after bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_1_to_100() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Upper-bound convention: rank-50 sample (50) sits in bucket
+        // [50,51] → 51; rank-95 (95) in [92,95] → 95; rank-99 (99) in
+        // [96,99] → 99.
+        assert_eq!(h.quantile(0.50), 51);
+        assert_eq!(h.quantile(0.95), 95);
+        assert_eq!(h.quantile(0.99), 99);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    /// The satellite pin: streaming quantile vs an exact sort, error at
+    /// most one bucket width, never under the exact value.
+    #[test]
+    fn quantile_error_bounded_by_bucket_width_vs_exact_sort() {
+        // A skewed multi-octave distribution (xorshift, fixed seed).
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut samples: Vec<u64> = Vec::with_capacity(10_000);
+        let h = Histogram::new();
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 1_000) * (x % 97) + (x % 7); // heavy tail, spans octaves
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for &q in &[0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo;
+            assert!(approx >= exact, "q={q}: {approx} under-reports {exact}");
+            assert!(
+                approx - exact <= width,
+                "q={q}: {approx} off exact {exact} by more than bucket width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..500u64 {
+            let target = if v % 2 == 0 { &a } else { &b };
+            target.record(v * 3);
+            whole.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        for &q in &[0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(9000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(5);
+        assert_eq!(h.quantile(1.0), 5);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(k * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.max(), 39_999);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_sorted() {
+        let r = Registry::new();
+        let c1 = r.counter("requests");
+        let c2 = r.counter("requests");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.counter("requests").get(), 3);
+        r.gauge("depth").set(-4);
+        r.histogram("lat").record(10);
+        let names: Vec<String> = {
+            r.counter("aardvark").inc();
+            r.counters().into_iter().map(|(n, _)| n).collect()
+        };
+        assert_eq!(names, vec!["aardvark".to_string(), "requests".to_string()]);
+        assert_eq!(r.gauges(), vec![("depth".to_string(), -4)]);
+        assert_eq!(r.histograms()[0].1.count, 1);
+    }
+}

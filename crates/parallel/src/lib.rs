@@ -11,8 +11,13 @@
 //!    inline on that worker instead of being re-queued, so a parallel FL
 //!    round running parallel convolutions degrades to per-client serial
 //!    kernels rather than `clients × bands` runnable threads.
-//! 3. **No dependencies.** The build environment has no crates registry, so
-//!    this replaces `rayon` with `std::thread` + `Mutex`/`Condvar`.
+//! 3. **Near-zero dependencies.** The build environment has no crates
+//!    registry, so this replaces `rayon` with `std::thread` +
+//!    `Mutex`/`Condvar`. The one workspace dependency is `hs-obs`, whose
+//!    anchored monotonic clock feeds the [`pool_stats`] health read-out
+//!    (tasks run, cumulative worker idle time, queue depth) — `hs-obs` in
+//!    turn depends only on the vendored `serde`, keeping this crate a leaf
+//!    of the runtime dependency graph.
 //!
 //! The API is deliberately small: [`scope`] with [`Scope::spawn`] (the
 //! crossbeam/rayon-scope shape), plus [`parallel_for`] and
@@ -35,8 +40,16 @@ pub mod sync;
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Queue-path tasks executed since process start (inline-degraded spawns
+/// are not queued and not counted).
+static TASKS_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative nanoseconds pool workers have spent parked waiting for work
+/// (on the `hs_obs` anchor timeline).
+static IDLE_NS: AtomicU64 = AtomicU64::new(0);
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
@@ -90,6 +103,7 @@ struct QueuedTask {
 impl QueuedTask {
     /// Runs the job with panic capture and completion accounting.
     fn run(self) {
+        TASKS_RUN.fetch_add(1, Ordering::Relaxed);
         let was_in_pool = IN_POOL.with(|f| f.replace(true));
         let result = catch_unwind(AssertUnwindSafe(self.job));
         IN_POOL.with(|f| f.set(was_in_pool));
@@ -125,11 +139,24 @@ impl Pool {
         loop {
             let task = {
                 let mut queue = sync::lock(&self.queue);
-                loop {
-                    if let Some(task) = queue.pop_front() {
-                        break task;
+                match queue.pop_front() {
+                    Some(task) => task,
+                    None => {
+                        // Work was not immediately available: charge the
+                        // park time to the pool-health idle counter.
+                        let idle_from = hs_obs::now_ns();
+                        let task = loop {
+                            if let Some(task) = queue.pop_front() {
+                                break task;
+                            }
+                            queue = sync::wait(&self.work_ready, queue);
+                        };
+                        IDLE_NS.fetch_add(
+                            hs_obs::now_ns().saturating_sub(idle_from),
+                            Ordering::Relaxed,
+                        );
+                        task
                     }
-                    queue = sync::wait(&self.work_ready, queue);
                 }
             };
             task.run();
@@ -204,6 +231,38 @@ pub fn set_num_threads(n: Option<usize>) {
 /// True when called from inside a pool task (work should stay serial).
 pub fn inside_pool() -> bool {
     IN_POOL.with(|f| f.get())
+}
+
+/// A point-in-time health read-out of the shared pool, the `hs-obs`
+/// instrumentation surface for this crate. Exported (e.g. into the
+/// `hs_obs` global registry) by whoever polls it; this crate only counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool was built with (0 on single-core machines,
+    /// where every spawn degrades to inline execution).
+    pub workers: usize,
+    /// Tasks currently queued and not yet claimed by any worker.
+    pub queue_depth: usize,
+    /// Queue-path tasks executed since process start (by workers *and* by
+    /// scope callers helping drain; inline-degraded spawns are not queued
+    /// and not counted).
+    pub tasks_run: u64,
+    /// Cumulative nanoseconds workers have spent parked waiting for work.
+    /// Rises while the pool is starved; flat while it is saturated.
+    pub idle_ns: u64,
+}
+
+/// Samples [`PoolStats`] from the shared pool. Cheap (one queue lock plus
+/// two relaxed loads) and safe to call from any thread, including pool
+/// workers.
+pub fn pool_stats() -> PoolStats {
+    let pool = global_pool();
+    PoolStats {
+        workers: pool.workers,
+        queue_depth: sync::lock(&pool.queue).len(),
+        tasks_run: TASKS_RUN.load(Ordering::Relaxed),
+        idle_ns: IDLE_NS.load(Ordering::Relaxed),
+    }
 }
 
 /// A handle for spawning tasks that may borrow from the enclosing stack
@@ -472,6 +531,26 @@ mod tests {
         assert_eq!(num_threads(), 1);
         set_num_threads(None);
         assert_eq!(num_threads(), base);
+    }
+
+    #[test]
+    fn pool_stats_count_queued_tasks_and_drain() {
+        let before = pool_stats();
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let after = pool_stats();
+        assert_eq!(after.workers, before.workers);
+        assert_eq!(after.queue_depth, 0, "scope waits for its tasks");
+        if after.workers > 0 {
+            assert!(
+                after.tasks_run >= before.tasks_run + 32,
+                "queued tasks must be counted: {before:?} -> {after:?}"
+            );
+        }
+        assert!(after.idle_ns >= before.idle_ns, "idle time is monotonic");
     }
 
     #[test]

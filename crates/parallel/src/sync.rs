@@ -12,8 +12,10 @@
 //! [`PoisonError::into_inner`] instead, which is what lets a worker
 //! supervisor treat a panicked worker as an isolated, restartable event.
 //!
-//! The helpers live in `hs-parallel` (the workspace's dependency-free leaf
-//! crate) so both `hs-serve` and `hs-fl` share one definition.
+//! The helpers live in `hs-parallel` (a leaf of the runtime dependency
+//! graph — its only workspace dependency is `hs-obs`, which carries its
+//! own copy of this helper for the same reason) so both `hs-serve` and
+//! `hs-fl` share one definition.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 use std::time::Duration;

@@ -1,13 +1,22 @@
-//! The serving metrics recorder: request latency percentiles, the
-//! batch-size histogram (the direct read-out of how well the batcher is
-//! coalescing), and admission/expiry counters.
+//! The serving metrics recorder: request latency percentiles, queue-wait
+//! percentiles, the batch-size histogram (the direct read-out of how well
+//! the batcher is coalescing), and admission/expiry counters.
 //!
-//! Recording is cheap (two atomics or one short mutex hold per event);
-//! aggregation happens in [`ServerMetrics::snapshot`], which sorts a copy
-//! of the latencies. [`MetricsSnapshot`] derives `serde::ToJson`, so the
-//! load-generator harness dumps it straight into the experiment JSON.
+//! Latency and queue-wait series are `hs_obs::Histogram`s — streaming
+//! log-bucketed histograms with O(1) wait-free recording and quantile
+//! error bounded by one sub-bucket (≤ 1/16 of the value). This replaced
+//! the earlier fixed 65 536-sample ring that copied and sorted on every
+//! snapshot: recording no longer takes a lock, snapshots are O(buckets)
+//! instead of O(n·log n), and the statistics cover every completion since
+//! the last [`ServerMetrics::reset`] rather than a recency window.
+//! Percentiles use the histogram's upper-bound convention, so they never
+//! under-report (see `crates/obs` and `docs/OBSERVABILITY.md`).
+//!
+//! [`MetricsSnapshot`] derives `serde::ToJson`, so the load-generator
+//! harness dumps it straight into the experiment JSON.
 
 use crate::sync::lock;
+use hs_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -21,9 +30,10 @@ pub struct BatchBucket {
     pub count: u64,
 }
 
-/// A point-in-time aggregation of a server's metrics. Latency statistics
-/// (`p50_us`..`mean_us`) cover the most recent `LATENCY_WINDOW` (65 536)
-/// completions; the counters cover the server's whole lifetime.
+/// A point-in-time aggregation of a server's metrics. Latency and
+/// queue-wait statistics are streaming-histogram estimates over every
+/// completion since the last reset (percentile error at most one bucket:
+/// ≤ 1/16 of the value); counters cover the same period.
 #[derive(Debug, Clone, serde::ToJson)]
 pub struct MetricsSnapshot {
     /// Requests completed successfully.
@@ -41,10 +51,18 @@ pub struct MetricsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile completion latency, microseconds.
     pub p99_us: u64,
-    /// Worst observed completion latency, microseconds.
+    /// Worst observed completion latency, microseconds (exact).
     pub max_us: u64,
-    /// Mean completion latency, microseconds.
+    /// Mean completion latency, microseconds (exact: sum / count).
     pub mean_us: f64,
+    /// Median admission→batch-open queue wait, microseconds. Splitting
+    /// queue wait from total latency is what lets backpressure tuning see
+    /// whether time is lost waiting or executing.
+    pub queue_p50_us: u64,
+    /// 95th-percentile queue wait, microseconds.
+    pub queue_p95_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_p99_us: u64,
     /// Mean executed batch size: completed requests divided by executed
     /// batches (how full the batcher ran on average).
     pub mean_batch: f64,
@@ -59,22 +77,6 @@ pub struct MetricsSnapshot {
     pub batch_histogram: Vec<BatchBucket>,
 }
 
-/// Cap on retained latency samples: a ring of the most recent completions,
-/// so percentiles track the live distribution while a long-running server's
-/// memory stays bounded (the total count lives in the `completed` counter).
-const LATENCY_WINDOW: usize = 65_536;
-
-#[derive(Default)]
-struct Recorded {
-    /// Ring buffer of the most recent [`LATENCY_WINDOW`] latencies.
-    latencies_us: Vec<u64>,
-    /// Ring insertion index (next slot to overwrite once full).
-    next: usize,
-    /// `batch_counts[size]` = number of batches executed with that many
-    /// requests (index 0 unused).
-    batch_counts: Vec<u64>,
-}
-
 /// The shared recorder every worker and client reports into.
 #[derive(Default)]
 pub struct ServerMetrics {
@@ -85,7 +87,17 @@ pub struct ServerMetrics {
     worker_panics: AtomicU64,
     worker_restarts: AtomicU64,
     brownout_entries: AtomicU64,
-    recorded: Mutex<Recorded>,
+    /// End-to-end completion latencies, microseconds.
+    latency_us: Histogram,
+    /// Admission→batch-open waits, microseconds.
+    queue_wait_us: Histogram,
+    /// `batch_counts[size]` = number of batches executed with that many
+    /// requests (index 0 unused).
+    batch_counts: Mutex<Vec<u64>>,
+}
+
+fn as_micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
 }
 
 impl ServerMetrics {
@@ -94,19 +106,15 @@ impl ServerMetrics {
         Self::default()
     }
 
-    /// Records one successfully completed request. Latency percentiles are
-    /// computed over the most recent [`LATENCY_WINDOW`] completions.
+    /// Records one successfully completed request. Lock-free.
     pub fn record_completion(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let mut rec = lock(&self.recorded);
-        if rec.latencies_us.len() < LATENCY_WINDOW {
-            rec.latencies_us.push(us);
-        } else {
-            let slot = rec.next;
-            rec.latencies_us[slot] = us;
-            rec.next = (slot + 1) % LATENCY_WINDOW;
-        }
+        self.latency_us.record(as_micros(latency));
+    }
+
+    /// Records one request's admission→batch-open queue wait. Lock-free.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait_us.record(as_micros(wait));
     }
 
     /// Records one admission rejection (backpressure).
@@ -141,11 +149,11 @@ impl ServerMetrics {
 
     /// Records the size of one executed batch.
     pub fn record_batch(&self, size: usize) {
-        let mut rec = lock(&self.recorded);
-        if rec.batch_counts.len() <= size {
-            rec.batch_counts.resize(size + 1, 0);
+        let mut counts = lock(&self.batch_counts);
+        if counts.len() <= size {
+            counts.resize(size + 1, 0);
         }
-        rec.batch_counts[size] += 1;
+        counts[size] += 1;
     }
 
     /// Requests completed so far.
@@ -170,26 +178,9 @@ impl ServerMetrics {
 
     /// Aggregates everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let rec = lock(&self.recorded);
-        let mut sorted = rec.latencies_us.clone();
-        sorted.sort_unstable();
-        // nearest-rank percentile: the smallest value with at least q of
-        // the distribution at or below it
-        let pct = |q: f64| -> u64 {
-            if sorted.is_empty() {
-                0
-            } else {
-                let rank = (q * sorted.len() as f64).ceil() as usize;
-                sorted[rank.clamp(1, sorted.len()) - 1]
-            }
-        };
-        let mean_us = if sorted.is_empty() {
-            0.0
-        } else {
-            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
-        };
-        let batch_histogram: Vec<BatchBucket> = rec
-            .batch_counts
+        let lat = self.latency_us.summary();
+        let queue = self.queue_wait_us.summary();
+        let batch_histogram: Vec<BatchBucket> = lock(&self.batch_counts)
             .iter()
             .enumerate()
             .filter(|&(size, &count)| size > 0 && count > 0)
@@ -208,11 +199,14 @@ impl ServerMetrics {
             rejected: self.rejected(),
             expired: self.expired(),
             shed: self.shed(),
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
-            max_us: sorted.last().copied().unwrap_or(0),
-            mean_us,
+            p50_us: lat.p50,
+            p95_us: lat.p95,
+            p99_us: lat.p99,
+            max_us: lat.max,
+            mean_us: self.latency_us.mean(),
+            queue_p50_us: queue.p50,
+            queue_p95_us: queue.p95,
+            queue_p99_us: queue.p99,
             mean_batch,
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
@@ -230,10 +224,9 @@ impl ServerMetrics {
         self.worker_panics.store(0, Ordering::Relaxed);
         self.worker_restarts.store(0, Ordering::Relaxed);
         self.brownout_entries.store(0, Ordering::Relaxed);
-        let mut rec = lock(&self.recorded);
-        rec.latencies_us.clear();
-        rec.next = 0;
-        rec.batch_counts.clear();
+        self.latency_us.reset();
+        self.queue_wait_us.reset();
+        lock(&self.batch_counts).clear();
     }
 }
 
@@ -256,7 +249,10 @@ mod tests {
         assert_eq!(snap.completed, 100);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.expired, 1);
-        assert_eq!(snap.p50_us, 50);
+        // Streaming-histogram estimates, upper-bound convention: the
+        // rank-50 sample (50 µs) reports its bucket's upper bound 51; the
+        // p95/p99 buckets' upper bounds coincide with the exact values.
+        assert_eq!(snap.p50_us, 51);
         assert_eq!(snap.p95_us, 95);
         assert_eq!(snap.p99_us, 99);
         assert_eq!(snap.max_us, 100);
@@ -271,6 +267,58 @@ mod tests {
         assert!((snap.mean_batch - 3.0).abs() < 1e-9); // 9 requests / 3 batches
     }
 
+    /// The streaming estimate may only sit above the exact nearest-rank
+    /// percentile, and by at most its bucket's width (≤ value/16).
+    #[test]
+    fn percentile_error_vs_exact_sort_is_within_one_bucket() {
+        let m = ServerMetrics::new();
+        // Deterministic skewed mix spanning several octaves, like a real
+        // latency distribution (fast hits + heavy tail).
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x: u64 = 0x2545f4914f6cdd1d;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 20 + (x % 300) + if x.is_multiple_of(11) { x % 40_000 } else { 0 };
+            samples.push(v);
+            m.record_completion(Duration::from_micros(v));
+        }
+        samples.sort_unstable();
+        let exact = |q: f64| -> u64 {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        let snap = m.snapshot();
+        for (est, q) in [
+            (snap.p50_us, 0.50),
+            (snap.p95_us, 0.95),
+            (snap.p99_us, 0.99),
+        ] {
+            let e = exact(q);
+            assert!(est >= e, "p{q}: estimate {est} under exact {e}");
+            assert!(
+                est - e <= (e / 16).max(1),
+                "p{q}: estimate {est} more than one bucket above exact {e}"
+            );
+        }
+        assert_eq!(snap.max_us, *samples.last().unwrap(), "max is exact");
+    }
+
+    #[test]
+    fn queue_wait_percentiles_are_separate_from_latency() {
+        let m = ServerMetrics::new();
+        for us in 1..=100u64 {
+            m.record_completion(Duration::from_micros(us * 10));
+            m.record_queue_wait(Duration::from_micros(us));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.queue_p50_us, 51);
+        assert_eq!(snap.queue_p95_us, 95);
+        assert_eq!(snap.queue_p99_us, 99);
+        assert!(snap.p50_us > snap.queue_p50_us, "series must not mix");
+    }
+
     #[test]
     fn empty_snapshot_is_all_zero() {
         // the empty-histogram guard: percentiles of zero completions must
@@ -281,6 +329,8 @@ mod tests {
         assert_eq!(snap.p95_us, 0);
         assert_eq!(snap.p99_us, 0);
         assert_eq!(snap.max_us, 0);
+        assert_eq!(snap.queue_p50_us, 0);
+        assert_eq!(snap.queue_p99_us, 0);
         assert_eq!(snap.mean_us, 0.0);
         assert!(!snap.mean_us.is_nan());
         assert_eq!(snap.mean_batch, 0.0);
@@ -294,6 +344,7 @@ mod tests {
         assert!(!text.contains("NaN") && !text.contains("nan"), "{text}");
         assert!(text.contains("\"p99_us\":0"));
         assert!(text.contains("\"mean_us\":0"));
+        assert!(text.contains("\"queue_p99_us\":0"));
     }
 
     #[test]
@@ -326,10 +377,13 @@ mod tests {
     fn reset_clears_everything() {
         let m = ServerMetrics::new();
         m.record_completion(Duration::from_micros(10));
+        m.record_queue_wait(Duration::from_micros(3));
         m.record_batch(2);
         m.reset();
         let snap = m.snapshot();
         assert_eq!(snap.completed, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.queue_p99_us, 0);
         assert!(snap.batch_histogram.is_empty());
     }
 

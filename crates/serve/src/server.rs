@@ -19,6 +19,15 @@
 //! Between batches every worker polls the [`ModelRegistry`] and atomically
 //! hot-swaps its replica when a newer version of the served model was
 //! published — an in-flight batch always runs on exactly one version.
+//!
+//! The whole lifecycle is traced through `hs_obs` when `HS_TRACE` is set:
+//! an `admit` span per submission, `batch_collect`/`batch_execute`/
+//! `batch_route` spans per batch, per-request `request`/`queue_wait`/
+//! `serve` spans reconstructed from captured timestamps, and instant
+//! events for `rejected`/`expired`/`shed` requests and supervisor
+//! transitions (`worker_panic`, `worker_restart`, `brownout_enter`,
+//! `brownout_exit`). With tracing off each site is a single relaxed
+//! atomic load (see `docs/OBSERVABILITY.md`).
 
 use crate::batcher::{collect_batch, BatchPolicy, Collected};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
@@ -26,6 +35,7 @@ use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::sync::{lock, wait};
 use hs_nn::{CheckpointError, Network};
+use hs_obs::{instant_ns, now_ns, trace};
 use hs_tensor::{DType, Tensor};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -228,6 +238,9 @@ struct Request {
     enqueued: Instant,
     deadline: Option<Instant>,
     slot: Arc<Slot>,
+    /// `hs_obs` correlation id stamped at admission (0 when tracing is
+    /// off); every trace record for this request carries it as payload.
+    trace_id: u64,
 }
 
 impl Drop for Request {
@@ -432,6 +445,9 @@ impl ServeClient {
                 got: sample.dims().to_vec(),
             });
         }
+        let trace_id = trace::next_id();
+        let admit = trace::span("admit");
+        admit.set_payload(trace_id);
         let slot = Arc::new(Slot::new());
         let now = Instant::now();
         let request = Request {
@@ -439,11 +455,13 @@ impl ServeClient {
             enqueued: now,
             deadline: deadline.map(|d| now + d),
             slot: Arc::clone(&slot),
+            trace_id,
         };
         match self.shared.queue.try_push(request) {
             Ok(()) => Ok(Pending { slot }),
             Err(PushError::Full(_)) => {
                 self.shared.metrics.record_rejected();
+                trace::instant("rejected", trace_id);
                 Err(ServeError::Backpressure {
                     capacity: self.shared.queue.capacity(),
                 })
@@ -708,6 +726,7 @@ fn supervisor_loop(
                 continue;
             }
             shared.metrics.record_worker_panic();
+            trace::instant("worker_panic", restarts as u64);
             if restarts < params.max_restarts {
                 let backoff = params.backoff_base * 2u32.pow(restarts.min(6));
                 *slot = WorkerSlot::Backoff {
@@ -724,6 +743,7 @@ fn supervisor_loop(
             if let WorkerSlot::Backoff { at, restarts } = *slot {
                 if now >= at {
                     shared.metrics.record_worker_restart();
+                    trace::instant("worker_restart", i as u64);
                     *slot = WorkerSlot::Running {
                         handle: spawn_worker(shared, make_replica, i),
                         restarts,
@@ -756,8 +776,10 @@ fn supervisor_loop(
         if !active && high_ticks >= brownout.enter_ticks {
             shared.brownout_active.store(true, Ordering::Relaxed);
             shared.metrics.record_brownout_entry();
+            trace::instant("brownout_enter", depth as u64);
         } else if active && low_ticks >= brownout.exit_ticks {
             shared.brownout_active.store(false, Ordering::Relaxed);
+            trace::instant("brownout_exit", depth as u64);
         }
 
         std::thread::sleep(params.poll);
@@ -796,10 +818,22 @@ fn worker_loop(shared: &Shared, net: &mut Network, mut version: u64) {
         if shared.brownout_active.load(Ordering::Relaxed) {
             policy.max_wait /= shared.brownout.wait_divisor;
         }
+        // Explicit-time span so idle collect rounds (the common case on a
+        // quiet server) record nothing at all.
+        let collect_from = if trace::enabled() { now_ns() } else { 0 };
         match collect_batch(&shared.queue, &policy, shared.idle_poll) {
             Collected::Closed => break,
             Collected::Idle => continue,
             Collected::Batch(requests) => {
+                if collect_from != 0 {
+                    trace::span_at(
+                        "batch_collect",
+                        collect_from,
+                        now_ns(),
+                        0,
+                        requests.len() as u64,
+                    );
+                }
                 if shared.panic_fuse.swap(false, Ordering::SeqCst) {
                     // chaos hook: die exactly like a real mid-batch panic
                     // (the requests vector unwinds → drop guards fire)
@@ -832,17 +866,27 @@ fn run_batch(
         match request.deadline {
             Some(d) if now > d => {
                 shared.metrics.record_expired();
+                trace::instant("expired", request.trace_id);
                 request.slot.complete(Err(ServeError::DeadlineExceeded {
                     waited: now - request.enqueued,
                 }));
             }
             Some(d) if browned_out && d - now < min_slack => {
                 shared.metrics.record_shed();
+                trace::instant("shed", request.trace_id);
                 request.slot.complete(Err(ServeError::Shed {
                     queue_depth: shared.queue.len(),
                 }));
             }
-            _ => live.push(request),
+            _ => {
+                // `now` is batch-open: everything before it was queue wait,
+                // everything after is service (the split MetricsSnapshot's
+                // queue_p* fields report).
+                shared
+                    .metrics
+                    .record_queue_wait(now.saturating_duration_since(request.enqueued));
+                live.push(request);
+            }
         }
     }
     if live.is_empty() {
@@ -860,13 +904,32 @@ fn run_batch(
         stacked[i * sample_len..(i + 1) * sample_len].copy_from_slice(request.sample.as_slice());
     }
 
-    let out = net.infer(batch_in);
+    let out = {
+        let execute = trace::span("batch_execute");
+        execute.set_payload(batch as u64);
+        net.infer(batch_in)
+    };
     let row = out.len() / batch;
     let out_rows = out.as_slice();
     shared.metrics.record_batch(batch);
+    let route = trace::span("batch_route");
+    route.set_payload(batch as u64);
+    let t_open = instant_ns(now);
     for (i, request) in live.into_iter().enumerate() {
         let latency = request.enqueued.elapsed();
         shared.metrics.record_completion(latency);
+        // Per-request timeline, reconstructed from captured timestamps:
+        // `request` [enqueued → done] with contiguous children
+        // `queue_wait` [enqueued → batch-open] and `serve` [batch-open →
+        // done], so the children tile the request's wall-clock exactly
+        // (the ≥95 % coverage contract pinned by tests/obs_trace.rs).
+        let t_enq = instant_ns(request.enqueued);
+        let t_done = now_ns();
+        let rid = trace::span_at("request", t_enq, t_done, 0, request.trace_id);
+        if rid != 0 {
+            trace::span_at("queue_wait", t_enq, t_open, rid, request.trace_id);
+            trace::span_at("serve", t_open, t_done, rid, request.trace_id);
+        }
         request.slot.complete(Ok(Response {
             logits: out_rows[i * row..(i + 1) * row].to_vec(),
             model_version: version,

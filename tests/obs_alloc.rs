@@ -1,0 +1,111 @@
+//! Pins the zero-cost contract of the observability layer when tracing is
+//! off: after warm-up, the disabled trace entry points (`span`, `span_at`,
+//! `instant`) and the hot metric operations (`Counter::inc`,
+//! `Gauge::set`, `Histogram::record`) must perform **zero** heap
+//! allocations on the calling thread. This is the counting-allocator
+//! harness from `tests/infer_alloc.rs`, pointed at `hs_obs`.
+//!
+//! The first `trace::enabled()` call reads `HS_TRACE` from the
+//! environment (which allocates), and `Registry::counter`/`histogram`
+//! lookups intern names into a map — both are paid once during warm-up,
+//! outside the counted region, exactly as production callers hold their
+//! handles across requests.
+
+use hs_obs::metrics::Registry;
+use hs_obs::trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting allocation events per thread.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only added
+// behaviour is bumping a thread-local counter, which cannot re-enter the
+// allocator (`Cell<u64>` with const init performs no allocation).
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller's layout contract is passed through to `System` as-is.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same layout the caller vouched for, forwarded unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller's layout contract is passed through to `System` as-is.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same layout the caller vouched for, forwarded unchanged.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller's ptr/layout contract is passed through to `System`
+    // as-is.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        // SAFETY: same ptr/layout the caller vouched for, forwarded
+        // unchanged.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: caller's ptr/layout contract is passed through to `System`
+    // as-is.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same ptr/layout the caller vouched for, forwarded
+        // unchanged.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation events on this thread while running `f`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    let result = f();
+    (ALLOC_COUNT.with(|c| c.get()) - before, result)
+}
+
+#[test]
+fn disabled_tracing_allocates_nothing() {
+    let _guard = trace::test_guard();
+    trace::set_enabled(false); // also settles the one-time env init
+
+    let (allocs, _) = count_allocs(|| {
+        for i in 0..1000u64 {
+            let span = trace::span("disabled");
+            span.set_payload(i);
+            drop(span);
+            trace::instant("disabled_instant", i);
+            trace::span_at("disabled_at", i, i + 5, 0, i);
+        }
+    });
+    assert_eq!(allocs, 0, "disabled trace path allocated {allocs} times");
+}
+
+#[test]
+fn hot_metric_operations_allocate_nothing() {
+    // Handles are resolved once, up front — the interning allocation is a
+    // registration cost, not a per-record cost.
+    let registry = Registry::new();
+    let counter = registry.counter("served_total");
+    let gauge = registry.gauge("queue_depth");
+    let histogram = registry.histogram("latency_us");
+    histogram.record(1); // touch every lazily-initialised piece once
+
+    let (allocs, _) = count_allocs(|| {
+        for i in 0..1000u64 {
+            counter.inc();
+            counter.add(3);
+            gauge.set(i as i64);
+            gauge.add(-1);
+            histogram.record(i * 17 + 1);
+        }
+    });
+    assert_eq!(allocs, 0, "hot metric path allocated {allocs} times");
+    assert_eq!(counter.get(), 4000);
+    assert_eq!(histogram.count(), 1001);
+}
